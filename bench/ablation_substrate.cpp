@@ -1,0 +1,146 @@
+// Ablations of this reproduction's own design choices (beyond the paper's
+// Table XI): each row switches one substrate or policy mechanism off and
+// shows its contribution. These are the design decisions DESIGN.md calls
+// out:
+//   1. PODEM deterministic top-off (vs weighted-random patterns only);
+//   2. the prune/reorder Classifier safety net (vs prune on T_p alone);
+//   3. dummy-buffer oversampling for the Classifier's imbalanced classes;
+//   4. the relaxed suspect floor of the diagnosis engine.
+
+#include <cstdio>
+
+#include "atpg/coverage.h"
+#include "atpg/patterns.h"
+#include "bench/table_common.h"
+#include "core/pr_curve.h"
+
+namespace m3dfl {
+namespace {
+
+/// Evaluates a policy variant on a fresh test set; returns {accuracy,
+/// mean resolution, mean FHI}.
+eval::Cell evaluate_policy(const eval::Design& design,
+                           const eval::TrainedFramework& fw,
+                           const core::PolicyConfig& cfg,
+                           std::size_t test_samples, std::uint64_t seed) {
+  eval::DatagenOptions o;
+  o.num_samples = test_samples;
+  o.seed = seed;
+  const eval::Dataset test = eval::generate_dataset(design, o);
+  diag::Diagnoser diagnoser = design.make_diagnoser();
+  core::QualityAccumulator acc;
+  for (const eval::Sample& s : test.samples) {
+    const auto report = diagnoser.diagnose(s.log);
+    const auto outcome = core::apply_policy(report, s.sub, fw.models(), cfg);
+    acc.add(outcome.report, s.truth_sites);
+  }
+  const auto stats = acc.stats();
+  eval::Cell cell;
+  cell.accuracy = stats.accuracy;
+  cell.mean_res = stats.mean_resolution;
+  cell.mean_fhi = stats.mean_fhi;
+  return cell;
+}
+
+}  // namespace
+}  // namespace m3dfl
+
+int main() {
+  using namespace m3dfl;
+  std::puts("Substrate/design-choice ablations (tate, Syn-1)\n");
+  const eval::RunScale scale = bench::bench_scale();
+  const eval::BenchmarkSpec spec = eval::tate_spec();
+
+  // --- 1. ATPG: random-only vs PODEM top-off -------------------------------
+  {
+    const eval::Design& d = eval::cached_design(spec, eval::Config::kSyn1);
+    atpg::PatternGenOptions pg;
+    pg.num_patterns = spec.num_patterns;
+    pg.seed = derive_seed(spec.seed, 41);
+    sim::FaultSimulator fsim(d.nl, d.sites);
+    auto v1 = atpg::generate_tdf_patterns(d.nl, pg);
+    pg.seed = derive_seed(spec.seed, 61);
+    auto v2 = atpg::generate_tdf_patterns(d.nl, pg);
+    fsim.bind(v1, v2);
+    const auto random_only = atpg::measure_tdf_coverage(fsim, d.sites, 4000,
+                                                        derive_seed(spec.seed, 5001));
+    TablePrinter t("Ablation 1: deterministic PODEM top-off");
+    t.set_header({"Pattern source", "Patterns", "TDF coverage"});
+    t.add_row({"weighted-random only", std::to_string(spec.num_patterns),
+               fmt_pct(random_only.coverage())});
+    t.add_row({"random + PODEM top-off",
+               std::to_string(d.patterns.num_patterns()),
+               fmt_pct(d.atpg_coverage) + " (" +
+                   fmt_pct(d.test_coverage) + " of testable)"});
+    t.print();
+    std::puts("");
+  }
+
+  // --- 2-3. Policy mechanisms ------------------------------------------------
+  {
+    const eval::TrainingBundle bundle =
+        eval::build_training_bundle(spec, false, scale);
+    const eval::TrainedFramework fw = eval::train_framework(bundle, scale);
+    const eval::Design& d = *bundle.syn1;
+    const std::uint64_t seed = derive_seed(spec.seed, 40511);
+
+    core::PolicyConfig with_cls = fw.policy;
+    core::PolicyConfig no_cls = fw.policy;
+    no_cls.use_classifier = false;
+    core::PolicyConfig no_floor = fw.policy;
+    no_floor.reorder_floor = 0.0;
+
+    const eval::Cell a =
+        evaluate_policy(d, fw, with_cls, scale.test_samples, seed);
+    const eval::Cell b =
+        evaluate_policy(d, fw, no_cls, scale.test_samples, seed);
+    const eval::Cell c =
+        evaluate_policy(d, fw, no_floor, scale.test_samples, seed);
+
+    TablePrinter t("Ablation 2: policy safety mechanisms");
+    t.set_header({"Policy variant", "Accuracy", "Mean resolution",
+                  "Mean FHI"});
+    t.add_row({"full policy", fmt_pct(a.accuracy), fmt(a.mean_res, 2),
+               fmt(a.mean_fhi, 2)});
+    t.add_row({"no Classifier (prune on T_p alone)", fmt_pct(b.accuracy),
+               fmt(b.mean_res, 2), fmt(b.mean_fhi, 2)});
+    t.add_row({"no reordering floor", fmt_pct(c.accuracy),
+               fmt(c.mean_res, 2), fmt(c.mean_fhi, 2)});
+    t.print();
+    std::puts("(the Classifier trades a little resolution for the accuracy");
+    std::puts(" guarantee; the floor protects FHI from coin-flip reorders)\n");
+  }
+
+  // --- 4. Diagnosis suspect floor -------------------------------------------
+  {
+    TablePrinter t("Ablation 3: diagnosis suspect relaxation");
+    t.set_header({"single_fault_relax", "Accuracy", "Mean resolution",
+                  "Mean FHI"});
+    for (double relax : {1.0, 0.9, spec.diag.single_fault_relax}) {
+      // The design (netlist/patterns) is shared; only the diagnosis engine
+      // options vary, so construct the Diagnoser explicitly.
+      const eval::Design& d = eval::cached_design(spec, eval::Config::kSyn1);
+      diag::DiagnoserOptions dopts = spec.diag;
+      dopts.single_fault_relax = relax;
+      eval::DatagenOptions o;
+      o.num_samples = scale.test_samples;
+      o.seed = derive_seed(spec.seed, 40611);
+      const eval::Dataset test = eval::generate_dataset(d, o);
+      diag::Diagnoser diagnoser(d.nl, d.sites, d.scan, dopts);
+      diagnoser.bind(*d.fsim);
+      core::QualityAccumulator acc;
+      for (const eval::Sample& s : test.samples) {
+        acc.add(diagnoser.diagnose(s.log), s.truth_sites);
+      }
+      const auto stats = acc.stats();
+      t.add_row({fmt(relax, 2), fmt_pct(stats.accuracy),
+                 fmt(stats.mean_resolution, 2), fmt(stats.mean_fhi, 2)});
+    }
+    t.print();
+    std::puts("(strict intersection (1.0) yields minimal reports; the");
+    std::puts(" relaxed floor reproduces the near-miss candidates commercial");
+    std::puts(" tools report, which the baseline [11] and the GNN policy");
+    std::puts(" then get to prune)");
+  }
+  return 0;
+}

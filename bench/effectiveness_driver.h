@@ -1,0 +1,85 @@
+#pragma once
+
+// Shared driver for the Table V/VI (bypass) and Table VII/VIII (compacted)
+// benches: both tables of each pair come from the same evaluation run, as
+// in the paper.
+
+#include <cstdio>
+
+#include "bench/table_common.h"
+
+namespace m3dfl::bench {
+
+inline int run_effectiveness_bench(bool compacted) {
+  using namespace m3dfl;
+  std::printf("Tables %s of the paper (%s)\n\n",
+              compacted ? "VII and VIII" : "V and VI",
+              compacted ? "with 20x response compaction"
+                        : "without response compaction (bypass mode)");
+
+  const eval::RunScale scale = bench::bench_scale();
+  std::vector<eval::EffectivenessRow> rows;
+  for (const auto& spec : eval::all_benchmark_specs()) {
+    std::printf("... evaluating %s\n", spec.name.c_str());
+    std::fflush(stdout);
+    const auto r = eval::run_effectiveness(spec, compacted, scale);
+    rows.insert(rows.end(), r.begin(), r.end());
+  }
+  std::puts("");
+
+  // --- Table V / VII: plain ATPG diagnosis quality -------------------------
+  {
+    TablePrinter t(compacted
+                       ? "Table VII: ATPG diagnosis reports, compacted"
+                       : "Table V: ATPG diagnosis reports, bypass");
+    t.set_header({"Design", "Config", "Accuracy", "Resolution mu (sigma)",
+                  "FHI mu (sigma)"});
+    std::string last;
+    for (const auto& r : rows) {
+      if (r.design != last && !last.empty()) t.add_separator();
+      last = r.design;
+      t.add_row({r.design, r.config, fmt_pct(r.atpg.accuracy),
+                 bench::mu_sigma(r.atpg.mean_res, r.atpg.std_res),
+                 bench::mu_sigma(r.atpg.mean_fhi, r.atpg.std_fhi)});
+    }
+    t.print();
+  }
+  std::puts("");
+
+  // --- Table VI / VIII: effectiveness --------------------------------------
+  {
+    TablePrinter t(compacted
+                       ? "Table VIII: fault-localization effectiveness, "
+                         "compacted"
+                       : "Table VI: fault-localization effectiveness, "
+                         "bypass");
+    t.set_header({"Design", "Config",
+                  "[11] acc", "[11] resol.", "[11] FHI", "[11] loc.",
+                  "GNN acc", "GNN resol.", "GNN FHI", "GNN loc.",
+                  "GNN+[11] acc", "GNN+[11] resol.", "GNN+[11] FHI"});
+    std::string last;
+    for (const auto& r : rows) {
+      if (r.design != last && !last.empty()) t.add_separator();
+      last = r.design;
+      t.add_row({r.design, r.config,
+                 bench::acc_delta(r.baseline.accuracy, r.atpg.accuracy),
+                 bench::with_delta(r.baseline.mean_res, r.atpg.mean_res, 1),
+                 bench::with_delta(r.baseline.mean_fhi, r.atpg.mean_fhi, 1),
+                 fmt_pct(r.baseline.tier_loc),
+                 bench::acc_delta(r.gnn.accuracy, r.atpg.accuracy),
+                 bench::with_delta(r.gnn.mean_res, r.atpg.mean_res, 1),
+                 bench::with_delta(r.gnn.mean_fhi, r.atpg.mean_fhi, 1),
+                 fmt_pct(r.gnn.tier_loc),
+                 bench::acc_delta(r.gnn_plus.accuracy, r.atpg.accuracy),
+                 bench::with_delta(r.gnn_plus.mean_res, r.atpg.mean_res, 1),
+                 bench::with_delta(r.gnn_plus.mean_fhi, r.atpg.mean_fhi, 1)});
+    }
+    t.print();
+  }
+  std::puts("\n(deltas are relative improvements over the ATPG column;");
+  std::puts(" 'loc.' is the tier-localization rate over reports the plain");
+  std::puts(" ATPG diagnosis had not already confined to a single tier)");
+  return 0;
+}
+
+}  // namespace m3dfl::bench

@@ -1,0 +1,49 @@
+// Reproduces Fig. 10 of the paper: T_diff — the physical-failure-analysis
+// time saved by the framework — as a function of x, the PFA cost per
+// candidate, for every benchmark (Syn-2 test sets).
+//
+//   T_total(ATPG)      = T_ATPG + FHI_ATPG * x
+//   T_total(framework) = max(T_ATPG, T_GNN) + T_update + FHI_updated * x
+//   T_diff             = T_total(ATPG) - T_total(framework)
+
+#include <cstdio>
+
+#include "bench/table_common.h"
+
+int main() {
+  using namespace m3dfl;
+  std::puts("Fig. 10: PFA time saved (T_diff, seconds) vs per-candidate "
+            "PFA cost x\n");
+
+  const eval::RunScale scale = bench::bench_scale();
+  const auto rows = eval::run_runtime(scale);
+
+  const double xs[] = {1, 10, 100, 1000, 10000};
+  TablePrinter t;
+  t.set_header({"Design", "FHI ATPG", "FHI updated", "x=1s", "x=10s",
+                "x=100s", "x=1000s", "x=10000s"});
+  for (const auto& r : rows) {
+    core::PfaTimeModel model;
+    model.t_atpg = r.t_atpg;
+    model.t_gnn = r.t_gnn;
+    model.t_update = r.t_update;
+    model.fhi_atpg = r.fhi_atpg;
+    model.fhi_updated = r.fhi_updated;
+    std::vector<std::string> cells = {r.design, fmt(r.fhi_atpg, 2),
+                                      fmt(r.fhi_updated, 2)};
+    // T_diff per test set: the FHI terms scale by the number of diagnosed
+    // chips; report the per-chip figure times the test-set size implied by
+    // the totals (as the paper does, the series shape is what matters).
+    for (double x : xs) {
+      cells.push_back(fmt(model.t_diff(x), 1));
+    }
+    t.add_row(std::move(cells));
+  }
+  t.print();
+
+  std::puts("\nShape check vs the paper's Fig. 10: T_diff grows with x and");
+  std::puts("turns positive once the per-candidate PFA cost dwarfs the");
+  std::puts("framework's (tiny) update overhead — every candidate the");
+  std::puts("improved FHI skips saves x seconds of failure analysis.");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// google-benchmark micro-kernels for the library's hot paths: bit-parallel
+// logic simulation, event-driven fault simulation, heterogeneous-graph
+// construction, back-tracing, PODEM, and GNN inference.
+
+#include <benchmark/benchmark.h>
+
+#include "atpg/patterns.h"
+#include "atpg/podem.h"
+#include "core/tier_predictor.h"
+#include "eval/benchmarks.h"
+#include "eval/datagen.h"
+#include "graphx/backtrace.h"
+
+namespace m3dfl {
+namespace {
+
+const eval::Design& fixture() {
+  static const eval::Design& d =
+      eval::cached_design(eval::tiny_spec(), eval::Config::kSyn1);
+  return d;
+}
+
+void BM_LogicSimulation(benchmark::State& state) {
+  const eval::Design& d = fixture();
+  sim::LogicSimulator simulator(d.nl);
+  std::vector<sim::Word> out(d.nl.num_gates() * d.patterns.num_words());
+  for (auto _ : state) {
+    simulator.run_into(d.patterns, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(d.nl.num_gates()) *
+                          static_cast<std::int64_t>(d.patterns.num_patterns()));
+}
+BENCHMARK(BM_LogicSimulation);
+
+void BM_FaultSimulation(benchmark::State& state) {
+  const eval::Design& d = fixture();
+  std::vector<sim::Word> diff;
+  netlist::SiteId site = 0;
+  for (auto _ : state) {
+    site = (site + 37) % d.sites.size();
+    d.fsim->observed_diff({site, sim::FaultPolarity::kSlow}, diff);
+    benchmark::DoNotOptimize(diff.data());
+  }
+}
+BENCHMARK(BM_FaultSimulation);
+
+void BM_HeteroGraphConstruction(benchmark::State& state) {
+  const eval::Design& d = fixture();
+  for (auto _ : state) {
+    graphx::HeteroGraph graph(d.nl, d.sites);
+    benchmark::DoNotOptimize(graph.num_topedges());
+  }
+}
+BENCHMARK(BM_HeteroGraphConstruction);
+
+void BM_BacktraceSubgraph(benchmark::State& state) {
+  const eval::Design& d = fixture();
+  eval::DatagenOptions opts;
+  opts.num_samples = 1;
+  opts.seed = 99;
+  const eval::Dataset ds = eval::generate_dataset(d, opts);
+  if (ds.samples.empty()) {
+    state.SkipWithError("no detectable fault");
+    return;
+  }
+  const sim::FailureLog& log = ds.samples.front().log;
+  for (auto _ : state) {
+    const graphx::SubGraph sg =
+        graphx::backtrace_subgraph(*d.graph, log, d.scan);
+    benchmark::DoNotOptimize(sg.num_nodes());
+  }
+}
+BENCHMARK(BM_BacktraceSubgraph);
+
+void BM_PodemGenerate(benchmark::State& state) {
+  const eval::Design& d = fixture();
+  atpg::Podem podem(d.nl, d.sites);
+  netlist::SiteId site = 1;
+  for (auto _ : state) {
+    site = (site + 53) % d.sites.size();
+    const auto r =
+        podem.generate({site, sim::FaultPolarity::kSlowToRise});
+    benchmark::DoNotOptimize(r.success);
+  }
+}
+BENCHMARK(BM_PodemGenerate);
+
+void BM_TierPredictorInference(benchmark::State& state) {
+  const eval::Design& d = fixture();
+  eval::DatagenOptions opts;
+  opts.num_samples = 1;
+  opts.seed = 123;
+  const eval::Dataset ds = eval::generate_dataset(d, opts);
+  if (ds.samples.empty()) {
+    state.SkipWithError("no detectable fault");
+    return;
+  }
+  core::TierPredictor tier(7);
+  for (auto _ : state) {
+    const auto pred = tier.predict(ds.samples.front().sub);
+    benchmark::DoNotOptimize(pred.p_top);
+  }
+}
+BENCHMARK(BM_TierPredictorInference);
+
+}  // namespace
+}  // namespace m3dfl
+
+BENCHMARK_MAIN();

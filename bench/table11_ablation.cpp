@@ -1,0 +1,43 @@
+// Reproduces Table XI of the paper: diagnosis effectiveness with the
+// individual GNN models standalone, on AES / Syn-1 with the test set
+// augmented by 10% MIV-fault-only samples.
+
+#include <cstdio>
+
+#include "bench/table_common.h"
+
+int main() {
+  using namespace m3dfl;
+  std::puts("Table XI: fault localization with individual models "
+            "(aes, Syn-1, +10% MIV-fault samples)\n");
+
+  const eval::RunScale scale = bench::bench_scale();
+  const auto rows = eval::run_ablation(eval::aes_spec(), scale);
+
+  const eval::Cell& atpg = rows.front().cell;  // "ATPG only" reference.
+  TablePrinter t;
+  t.set_header({"Diagnosis method", "Accuracy", "Resolution mu (sigma)",
+                "FHI mu (sigma)"});
+  for (const auto& r : rows) {
+    const bool is_ref = r.method == "ATPG only";
+    t.add_row(
+        {r.method,
+         is_ref ? fmt_pct(r.cell.accuracy)
+                : bench::acc_delta(r.cell.accuracy, atpg.accuracy),
+         is_ref ? bench::mu_sigma(r.cell.mean_res, r.cell.std_res)
+                : bench::with_delta(r.cell.mean_res, atpg.mean_res, 1) +
+                      "  (" + fmt(r.cell.std_res, 1) + ")",
+         is_ref ? bench::mu_sigma(r.cell.mean_fhi, r.cell.std_fhi)
+                : bench::with_delta(r.cell.mean_fhi, atpg.mean_fhi, 1) +
+                      "  (" + fmt(r.cell.std_fhi, 1) + ")"});
+  }
+  t.print();
+  std::puts("\nShape checks vs the paper's Table XI:");
+  std::puts(" * Tier-predictor standalone improves resolution/FHI but loses");
+  std::puts("   accuracy on MIV faults it prunes by placement tier;");
+  std::puts(" * MIV-pinpointer standalone only promotes MIV candidates (no");
+  std::puts("   pruning), so quality changes little but accuracy is intact;");
+  std::puts(" * together, the pinpointer protects predicted-faulty MIVs from");
+  std::puts("   tier pruning, recovering the accuracy loss.");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Materializes Table IV of the paper: the confusion matrix of the
+// Tier-predictor under the T_p classification threshold. The paper's
+// Table IV defines the quadrants; this bench fills them with live counts
+// from a trained model (tate test sets), plus the PR operating point they
+// induce.
+
+#include <cstdio>
+
+#include "bench/table_common.h"
+#include "core/pr_curve.h"
+
+int main() {
+  using namespace m3dfl;
+  std::puts("Table IV: confusion matrix of the Tier-predictor at T_p\n");
+
+  const eval::RunScale scale = bench::bench_scale();
+  const eval::BenchmarkSpec spec = eval::tate_spec();
+  const eval::TrainingBundle bundle =
+      eval::build_training_bundle(spec, false, scale);
+  const eval::TrainedFramework fw = eval::train_framework(bundle, scale);
+
+  // Fresh evaluation samples (Syn-1 test seed).
+  eval::DatagenOptions o;
+  o.num_samples = scale.test_samples * 2;
+  o.seed = derive_seed(spec.seed, 40411);
+  const eval::Dataset test = eval::generate_dataset(*bundle.syn1, o);
+
+  std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
+  std::vector<std::pair<double, bool>> samples;
+  for (const eval::Sample& s : test.samples) {
+    if (s.sub.num_nodes() == 0) continue;
+    const auto pred = fw.tier.predict(s.sub);
+    const bool actual_positive =
+        static_cast<int>(pred.tier()) == s.fault_tier;
+    const bool predicted_positive = pred.confidence() >= fw.policy.t_p;
+    samples.push_back({pred.confidence(), actual_positive});
+    if (actual_positive && predicted_positive) ++tp;
+    if (actual_positive && !predicted_positive) ++fn;
+    if (!actual_positive && predicted_positive) ++fp;
+    if (!actual_positive && !predicted_positive) ++tn;
+  }
+
+  TablePrinter t;
+  t.set_header({"", "Predicted Positive (conf >= T_p)",
+                "Predicted Negative (conf < T_p)"});
+  t.add_row({"Actual Positive (tier correct)",
+             "True Positive: " + std::to_string(tp),
+             "False Negative: " + std::to_string(fn)});
+  t.add_row({"Actual Negative (tier wrong)",
+             "False Positive: " + std::to_string(fp),
+             "True Negative: " + std::to_string(tn)});
+  t.print();
+
+  const core::PrCurve curve = core::PrCurve::from_samples(samples);
+  std::printf("\nT_p = %.3f (min threshold with training precision >= 99%%)\n",
+              fw.policy.t_p);
+  std::printf("operating point on this test set: precision %s, recall %s\n",
+              fmt_pct(curve.precision_at(fw.policy.t_p)).c_str(),
+              fmt_pct(curve.recall_at(fw.policy.t_p)).c_str());
+  std::puts("\nOnly Predicted-Positive samples may be pruned; the");
+  std::puts("transfer-learned Classifier then separates the True Positives");
+  std::puts("(safe to prune) from the False Positives (reorder instead) —");
+  std::puts("the mechanism that caps the framework's accuracy loss.");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces Tables V and VI of the paper (bypass mode): quality of the
+// plain ATPG diagnosis reports, and the effectiveness of the 2D baseline
+// [11], the GNN framework standalone, and GNN + [11] combined.
+
+#include "bench/effectiveness_driver.h"
+
+int main() { return m3dfl::bench::run_effectiveness_bench(false); }

@@ -1,0 +1,6 @@
+// Reproduces Tables VII and VIII of the paper: the Table-V/VI study with
+// the 20x XOR response compactor engaged.
+
+#include "bench/effectiveness_driver.h"
+
+int main() { return m3dfl::bench::run_effectiveness_bench(true); }

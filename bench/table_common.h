@@ -1,0 +1,43 @@
+#pragma once
+
+// Shared helpers for the table/figure benchmark binaries.
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "eval/experiments.h"
+
+namespace m3dfl::bench {
+
+/// Formats "mean (std)" the way the paper's tables print distributions.
+inline std::string mu_sigma(double mu, double sigma, int decimals = 1) {
+  return fmt(mu, decimals) + " (" + fmt(sigma, decimals) + ")";
+}
+
+/// Formats a cell relative to the ATPG reference: "value (+delta%)".
+inline std::string with_delta(double value, double reference, int decimals,
+                              bool lower_is_better = true) {
+  if (reference <= 0.0) return fmt(value, decimals);
+  const double delta = lower_is_better ? (reference - value) / reference
+                                       : (value - reference) / reference;
+  return fmt(value, decimals) + " " + fmt_delta_pct(delta);
+}
+
+/// Accuracy cell with its change versus the ATPG reference.
+inline std::string acc_delta(double acc, double ref_acc) {
+  return fmt_pct(acc) + " " + fmt_delta_pct(acc - ref_acc);
+}
+
+/// The evaluation scale used by the table benches. Smaller than the
+/// paper's 5000/750 splits (see DESIGN.md "Scale decisions") but identical
+/// in structure; override via the M3DFL_FAST env var for a quick pass.
+inline eval::RunScale bench_scale() {
+  eval::RunScale scale;
+  if (std::getenv("M3DFL_FAST") != nullptr) {
+    scale = eval::RunScale::tiny();
+  }
+  return scale;
+}
+
+}  // namespace m3dfl::bench

@@ -1,0 +1,56 @@
+// Transferability in action (the paper's Sec. IV / VII scenario): a model
+// trained once on the Syn-1 flow — augmented only with randomly partitioned
+// netlists — diagnoses netlists it has never seen: test-point-inserted
+// (TPI), re-synthesized (Syn-2), and re-partitioned (Par) variants of the
+// same design, without retraining.
+
+#include <cstdio>
+
+#include "eval/experiments.h"
+
+int main() {
+  using namespace m3dfl;
+
+  eval::RunScale scale = eval::RunScale::tiny();
+  scale.train_single = 120;
+  scale.train_random_part = 60;
+  scale.tier_epochs = 20;
+  scale.test_samples = 40;
+
+  const eval::BenchmarkSpec spec = eval::tate_spec();
+  std::puts("== train once: Syn-1 + two randomly partitioned netlists ==");
+  const eval::TrainingBundle bundle =
+      eval::build_training_bundle(spec, false, scale);
+  const eval::TrainedFramework fw = eval::train_framework(bundle, scale);
+  std::printf("training accuracy %.1f%%, T_p = %.3f\n\n",
+              100 * fw.train_tier_accuracy, fw.policy.t_p);
+
+  std::puts("== apply to unseen design configurations, no retraining ==");
+  for (eval::Config config : eval::eval_configs()) {
+    const eval::Design& design = eval::cached_design(spec, config);
+    eval::DatagenOptions opts;
+    opts.num_samples = scale.test_samples;
+    opts.seed = 7000 + static_cast<std::uint64_t>(config);
+    const eval::Dataset test = eval::generate_dataset(design, opts);
+
+    std::size_t correct = 0;
+    std::size_t n = 0;
+    for (const eval::Sample& s : test.samples) {
+      if (s.sub.num_nodes() == 0) continue;
+      ++n;
+      const auto pred = fw.tier.predict(s.sub);
+      correct += static_cast<int>(pred.tier()) == s.fault_tier;
+    }
+    std::printf("  %-6s  %4zu chips  tier accuracy %.1f%%  "
+                "(gates %zu, MIVs %zu, patterns %zu)\n",
+                eval::config_name(config), n,
+                n ? 100.0 * static_cast<double>(correct) / n : 0.0,
+                design.nl.num_logic_gates(), design.nl.num_mivs(),
+                design.patterns.num_patterns());
+  }
+  std::puts("\nEach configuration differs in structure (TPI adds observe");
+  std::puts("points, Syn-2 rewrites gates, Par cuts the tiers differently),");
+  std::puts("yet the pre-trained models diagnose them directly — the");
+  std::puts("transferability the paper demonstrates in Figs. 5 and 6.");
+  return 0;
+}

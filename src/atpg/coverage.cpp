@@ -1,0 +1,53 @@
+#include "atpg/coverage.h"
+
+#include "common/rng.h"
+
+namespace m3dfl::atpg {
+
+std::vector<InjectedFault> enumerate_tdf_faults(
+    const netlist::SiteTable& sites) {
+  std::vector<InjectedFault> faults;
+  faults.reserve(sites.size() * 2);
+  for (netlist::SiteId s = 0; s < sites.size(); ++s) {
+    faults.push_back({s, FaultPolarity::kSlowToRise});
+    faults.push_back({s, FaultPolarity::kSlowToFall});
+  }
+  return faults;
+}
+
+std::vector<InjectedFault> enumerate_stuck_at_faults(
+    const netlist::SiteTable& sites) {
+  std::vector<InjectedFault> faults;
+  faults.reserve(sites.size() * 2);
+  for (netlist::SiteId s = 0; s < sites.size(); ++s) {
+    faults.push_back({s, FaultPolarity::kStuckAt0});
+    faults.push_back({s, FaultPolarity::kStuckAt1});
+  }
+  return faults;
+}
+
+bool is_detected(sim::FaultSimulator& fsim, const InjectedFault& fault) {
+  thread_local std::vector<sim::Word> diff;
+  return fsim.observed_diff(fault, diff);
+}
+
+CoverageResult measure_tdf_coverage(sim::FaultSimulator& fsim,
+                                    const netlist::SiteTable& sites,
+                                    std::size_t sample_limit,
+                                    std::uint64_t seed) {
+  std::vector<InjectedFault> faults = enumerate_tdf_faults(sites);
+  if (sample_limit > 0 && sample_limit < faults.size()) {
+    Rng rng(seed);
+    rng.shuffle(faults);
+    faults.resize(sample_limit);
+  }
+  CoverageResult result;
+  result.num_faults = faults.size();
+  std::vector<sim::Word> diff;
+  for (const InjectedFault& f : faults) {
+    if (fsim.observed_diff(f, diff)) ++result.detected;
+  }
+  return result;
+}
+
+}  // namespace m3dfl::atpg

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/fault_sim.h"
+
+namespace m3dfl::atpg {
+
+using sim::FaultPolarity;
+using sim::InjectedFault;
+
+/// Enumerates the full TDF fault list: slow-to-rise and slow-to-fall at
+/// every fault site (every gate pin plus every MIV).
+std::vector<InjectedFault> enumerate_tdf_faults(
+    const netlist::SiteTable& sites);
+
+/// Enumerates the classic stuck-at fault list: SA0 and SA1 at every site.
+std::vector<InjectedFault> enumerate_stuck_at_faults(
+    const netlist::SiteTable& sites);
+
+struct CoverageResult {
+  std::size_t num_faults = 0;
+  std::size_t detected = 0;
+  double coverage() const {
+    return num_faults ? static_cast<double>(detected) / num_faults : 0.0;
+  }
+};
+
+/// Measures TDF coverage of the pattern set bound to `fsim`. If
+/// sample_limit > 0, a deterministic random sample of that many faults is
+/// measured instead of the full list (statistical fault sampling, the
+/// standard practice for large designs).
+CoverageResult measure_tdf_coverage(sim::FaultSimulator& fsim,
+                                    const netlist::SiteTable& sites,
+                                    std::size_t sample_limit = 0,
+                                    std::uint64_t seed = 1);
+
+/// True if the fault produces at least one miscompare under the bound
+/// pattern set.
+bool is_detected(sim::FaultSimulator& fsim, const InjectedFault& fault);
+
+}  // namespace m3dfl::atpg

@@ -1,0 +1,169 @@
+#include "atpg/patterns.h"
+
+#include <algorithm>
+
+#include "atpg/coverage.h"
+#include "atpg/podem.h"
+#include "common/rng.h"
+#include "sim/fault_sim.h"
+
+namespace m3dfl::atpg {
+
+using sim::PatternSet;
+
+sim::PatternSet generate_tdf_patterns(const netlist::Netlist& nl,
+                                      const PatternGenOptions& opts) {
+  Rng rng(opts.seed);
+  sim::PatternSet ps(nl.num_inputs(), opts.num_patterns);
+  // Weighted-random: each input gets a weight in {1/(L+1) .. L/(L+1)} per
+  // pattern *block*, re-drawn every word to vary the bias over time.
+  const int L = opts.weight_levels;
+  for (std::size_t i = 0; i < ps.num_inputs(); ++i) {
+    for (std::size_t w = 0; w < ps.num_words(); ++w) {
+      const double p =
+          static_cast<double>(rng.uniform_int(1, L)) / static_cast<double>(L + 1);
+      sim::Word word = 0;
+      for (std::size_t b = 0; b < sim::kWordBits; ++b) {
+        if (rng.bernoulli(p)) word |= sim::Word{1} << b;
+      }
+      ps.word(i, w) = word & ps.valid_mask(w);
+    }
+  }
+  return ps;
+}
+
+namespace {
+
+/// Copies `src` into the first src.num_patterns() slots of a larger set.
+PatternSet grow(const PatternSet& src, std::size_t new_count) {
+  PatternSet out(src.num_inputs(), new_count);
+  for (std::size_t i = 0; i < src.num_inputs(); ++i) {
+    for (std::size_t p = 0; p < src.num_patterns(); ++p) {
+      out.set_bit(i, p, src.bit(i, p));
+    }
+  }
+  return out;
+}
+
+void fill_pattern(PatternSet& ps, std::size_t slot,
+                  const std::vector<V3>& assign, Rng& rng) {
+  for (std::size_t i = 0; i < ps.num_inputs(); ++i) {
+    const V3 v = assign[i];
+    const bool bit = v == V3::kX ? rng.bernoulli(0.5) : v == V3::k1;
+    ps.set_bit(i, slot, bit);
+  }
+}
+
+}  // namespace
+
+TdfPatternPair generate_tdf_patterns_with_topoff(
+    const netlist::Netlist& nl, const netlist::SiteTable& sites,
+    const PatternGenOptions& opts, std::size_t max_topoff) {
+  TdfPatternPair pair;
+  pair.num_random = opts.num_patterns;
+
+  PatternGenOptions v2_opts = opts;
+  v2_opts.seed = derive_seed(opts.seed, 0x5eed);
+  PatternSet v1 = generate_tdf_patterns(nl, opts);
+  PatternSet v2 = generate_tdf_patterns(nl, v2_opts);
+
+  // Fault-dropping pass over the random base.
+  sim::FaultSimulator fsim(nl, sites);
+  fsim.bind(v1, v2);
+  std::vector<sim::InjectedFault> pending = enumerate_tdf_faults(sites);
+  const std::size_t total_faults = pending.size();
+  std::vector<sim::Word> diff;
+  std::size_t detected = 0;
+  {
+    std::vector<sim::InjectedFault> undetected;
+    for (const auto& f : pending) {
+      if (fsim.observed_diff(f, diff)) {
+        ++detected;
+      } else {
+        undetected.push_back(f);
+      }
+    }
+    pending = std::move(undetected);
+  }
+
+  // Deterministic top-off, in blocks of up to 64 patterns so fortuitous
+  // detection by the random X-fill drops faults cheaply.
+  Podem podem(nl, sites);
+  Rng fill_rng(derive_seed(opts.seed, 0xf111));
+  struct Target {
+    sim::InjectedFault fault;
+    bool processed = false;  // PODEM already attempted.
+  };
+  std::vector<Target> targets;
+  targets.reserve(pending.size());
+  for (const auto& f : pending) targets.push_back({f, false});
+
+  std::size_t added = 0;
+  while (added < max_topoff) {
+    const std::size_t block = std::min<std::size_t>(64, max_topoff - added);
+    PatternSet bv1(nl.num_inputs(), block);
+    PatternSet bv2(nl.num_inputs(), block);
+    std::size_t produced = 0;
+    for (Target& t : targets) {
+      if (produced >= block) break;
+      if (t.processed) continue;
+      t.processed = true;
+      const Podem::Result r = podem.generate(t.fault);
+      if (r.untestable) ++pair.num_untestable;
+      if (!r.success) continue;
+      fill_pattern(bv1, produced, r.v1_inputs, fill_rng);
+      fill_pattern(bv2, produced, r.v2_inputs, fill_rng);
+      ++produced;
+    }
+    if (produced == 0) break;  // Every remaining target failed PODEM.
+    added += produced;
+
+    // Append the produced block to the full pattern pair.
+    const std::size_t old_count = v1.num_patterns();
+    PatternSet nv1 = grow(v1, old_count + produced);
+    PatternSet nv2 = grow(v2, old_count + produced);
+    for (std::size_t p = 0; p < produced; ++p) {
+      for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+        nv1.set_bit(i, old_count + p, bv1.bit(i, p));
+        nv2.set_bit(i, old_count + p, bv2.bit(i, p));
+      }
+    }
+    v1 = std::move(nv1);
+    v2 = std::move(nv2);
+
+    // Drop everything the new block detects (detection is monotone in the
+    // pattern set, so simulating just the block is sufficient).
+    PatternSet sv1(nl.num_inputs(), produced);
+    PatternSet sv2(nl.num_inputs(), produced);
+    for (std::size_t p = 0; p < produced; ++p) {
+      for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+        sv1.set_bit(i, p, bv1.bit(i, p));
+        sv2.set_bit(i, p, bv2.bit(i, p));
+      }
+    }
+    sim::FaultSimulator bsim(nl, sites);
+    bsim.bind(sv1, sv2);
+    std::vector<Target> still;
+    still.reserve(targets.size());
+    for (const Target& t : targets) {
+      if (bsim.observed_diff(t.fault, diff)) {
+        ++detected;
+      } else {
+        still.push_back(t);
+      }
+    }
+    targets = std::move(still);
+  }
+
+  pair.v1 = std::move(v1);
+  pair.v2 = std::move(v2);
+  pair.num_topoff = added;
+  pair.coverage =
+      total_faults ? static_cast<double>(detected) / total_faults : 0.0;
+  const std::size_t testable = total_faults - pair.num_untestable;
+  pair.test_coverage =
+      testable ? static_cast<double>(detected) / testable : 0.0;
+  return pair;
+}
+
+}  // namespace m3dfl::atpg

@@ -1,0 +1,503 @@
+#include "atpg/podem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+namespace m3dfl::atpg {
+
+using netlist::FaultSite;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateType;
+using netlist::kNoGate;
+using netlist::Netlist;
+using sim::FaultPolarity;
+using sim::InjectedFault;
+
+namespace {
+
+/// Three-valued gate evaluation over a value lookup functor.
+template <typename ValOf>
+V3 eval3(const Gate& gate, ValOf&& val_of) {
+  switch (gate.type) {
+    case GateType::kInput:
+      return V3::kX;
+    case GateType::kBuf:
+    case GateType::kMiv:
+    case GateType::kObs:
+      return val_of(0);
+    case GateType::kInv:
+      return v3_not(val_of(0));
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool any_x = false;
+      for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+        const V3 v = val_of(k);
+        if (v == V3::k0) {
+          return gate.type == GateType::kAnd ? V3::k0 : V3::k1;
+        }
+        any_x |= v == V3::kX;
+      }
+      if (any_x) return V3::kX;
+      return gate.type == GateType::kAnd ? V3::k1 : V3::k0;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool any_x = false;
+      for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+        const V3 v = val_of(k);
+        if (v == V3::k1) {
+          return gate.type == GateType::kOr ? V3::k1 : V3::k0;
+        }
+        any_x |= v == V3::kX;
+      }
+      if (any_x) return V3::kX;
+      return gate.type == GateType::kOr ? V3::k0 : V3::k1;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      const V3 a = val_of(0);
+      const V3 b = val_of(1);
+      if (a == V3::kX || b == V3::kX) return V3::kX;
+      const bool x = (a == V3::k1) != (b == V3::k1);
+      return (gate.type == GateType::kXor) == x ? V3::k1 : V3::k0;
+    }
+  }
+  return V3::kX;
+}
+
+}  // namespace
+
+/// One PODEM frame: a 3-valued good machine plus (in V2 mode) a faulty
+/// machine with the target site forced. Assignments propagate event-driven
+/// — 3-valued evaluation is monotone in the information order, so an
+/// X->defined wavefront converges without level ordering; only backtracks
+/// need a full recompute.
+struct Podem::Frame {
+  const Netlist* nl;
+  const FaultSite* site;  ///< nullptr in justify-only (V1) mode.
+  V3 forced = V3::kX;     ///< Faulty-machine value at the site.
+
+  std::vector<V3> good;
+  std::vector<V3> fault;
+  std::vector<V3> pi;  ///< Per input index.
+
+  std::vector<std::uint8_t> is_output;
+  std::vector<GateId> effect_gates;  ///< Gates where good != fault (defined).
+  std::vector<std::uint8_t> in_effect;
+  bool observed = false;
+
+  std::vector<GateId> queue_;
+  std::vector<std::uint8_t> queued_;
+
+  Frame(const Netlist& netlist, const FaultSite* s, V3 forced_value)
+      : nl(&netlist),
+        site(s),
+        forced(forced_value),
+        good(netlist.num_gates(), V3::kX),
+        fault(netlist.num_gates(), V3::kX),
+        pi(netlist.num_inputs(), V3::kX),
+        is_output(netlist.num_gates(), 0),
+        in_effect(netlist.num_gates(), 0),
+        queued_(netlist.num_gates(), 0) {
+    for (GateId o : netlist.outputs()) is_output[o] = 1;
+  }
+
+  /// Re-arms the frame for a new target without reallocating.
+  void reset(const FaultSite* s, V3 forced_value) {
+    site = s;
+    forced = forced_value;
+    std::fill(pi.begin(), pi.end(), V3::kX);
+    // recompute() (called by run_frame) clears the value/effect state.
+  }
+
+  V3 eval_good(GateId g) const {
+    const Gate& gate = nl->gate(g);
+    return eval3(gate, [&](std::size_t k) { return good[gate.fanin[k]]; });
+  }
+
+  V3 eval_fault(GateId g) const {
+    const Gate& gate = nl->gate(g);
+    if (site && site->is_stem() && g == site->gate) return forced;
+    if (site && !site->is_stem() && g == site->gate) {
+      return eval3(gate, [&](std::size_t k) {
+        return static_cast<std::int16_t>(k) == site->pin
+                   ? forced
+                   : fault[gate.fanin[k]];
+      });
+    }
+    if (!site) return good[g];
+    return eval3(gate, [&](std::size_t k) { return fault[gate.fanin[k]]; });
+  }
+
+  void note(GateId g) {
+    if (!in_effect[g] && good[g] != V3::kX && fault[g] != V3::kX &&
+        good[g] != fault[g]) {
+      in_effect[g] = 1;
+      effect_gates.push_back(g);
+      if (is_output[g]) observed = true;
+    }
+  }
+
+  /// Event-driven propagation from a set of seed gates already updated.
+  void propagate() {
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const GateId g = queue_[head];
+      queued_[g] = 0;
+      for (GateId f : nl->gate(g).fanout) {
+        const V3 ng = eval_good(f);
+        const V3 nf = site ? eval_fault(f) : ng;
+        if (ng != good[f] || nf != fault[f]) {
+          good[f] = ng;
+          fault[f] = nf;
+          note(f);
+          if (!queued_[f]) {
+            queued_[f] = 1;
+            queue_.push_back(f);
+          }
+        }
+      }
+    }
+    queue_.clear();
+  }
+
+  /// Assigns one input (previously X) and propagates.
+  void assign(std::size_t input_idx, V3 val) {
+    pi[input_idx] = val;
+    const GateId g = nl->inputs()[input_idx];
+    good[g] = val;
+    fault[g] = val;
+    // A stem fault on an input pin keeps its forced faulty value.
+    if (site && site->is_stem() && site->gate == g) fault[g] = forced;
+    note(g);
+    queue_.push_back(g);
+    queued_[g] = 1;
+    propagate();
+  }
+
+  /// Full recompute from the PI assignments (used after backtracking,
+  /// which removes information and breaks the monotone fast path).
+  void recompute() {
+    std::fill(good.begin(), good.end(), V3::kX);
+    std::fill(fault.begin(), fault.end(), V3::kX);
+    std::fill(in_effect.begin(), in_effect.end(), 0);
+    effect_gates.clear();
+    observed = false;
+    queue_.clear();
+    std::fill(queued_.begin(), queued_.end(), 0);
+
+    const auto ins = nl->inputs();
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      good[ins[i]] = pi[i];
+      fault[ins[i]] = pi[i];
+    }
+    if (site && site->is_stem() &&
+        nl->gate(site->gate).type == GateType::kInput) {
+      fault[site->gate] = forced;
+    }
+    for (GateId g : nl->topo_order()) {
+      const Gate& gate = nl->gate(g);
+      if (gate.type != GateType::kInput) {
+        good[g] = eval_good(g);
+        fault[g] = site ? eval_fault(g) : good[g];
+      }
+      note(g);
+    }
+  }
+};
+
+Podem::Podem(const Netlist& nl, const netlist::SiteTable& sites)
+    : nl_(&nl), sites_(&sites) {
+  input_index_of_gate_.assign(nl.num_gates(), -1);
+  const auto ins = nl.inputs();
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    input_index_of_gate_[ins[i]] = static_cast<std::int64_t>(i);
+  }
+}
+
+Podem::~Podem() = default;
+Podem::Podem(Podem&&) noexcept = default;
+Podem& Podem::operator=(Podem&&) noexcept = default;
+
+namespace {
+
+/// Objective backtrace: walk a (gate, value) objective toward an
+/// unassigned input; returns (input index, value) or input -1 on failure.
+std::pair<std::int64_t, V3> backtrace_objective(
+    const Netlist& nl, const std::vector<V3>& vals,
+    const std::vector<std::int64_t>& input_index_of_gate, GateId g, V3 val) {
+  for (int guard = 0; guard < 4096; ++guard) {
+    const Gate& gate = nl.gate(g);
+    if (gate.type == GateType::kInput) {
+      return {input_index_of_gate[g], val};
+    }
+    GateId next = kNoGate;
+    V3 next_val = V3::kX;
+    switch (gate.type) {
+      case GateType::kBuf:
+      case GateType::kMiv:
+      case GateType::kObs:
+        next = gate.fanin[0];
+        next_val = val;
+        break;
+      case GateType::kInv:
+        next = gate.fanin[0];
+        next_val = v3_not(val);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        const bool inverted =
+            gate.type == GateType::kNand || gate.type == GateType::kNor;
+        // The value required at the AND/OR level; requesting it on any
+        // X input either fully justifies (controlling value) or makes
+        // progress toward the all-non-controlling case.
+        const V3 want = inverted ? v3_not(val) : val;
+        for (GateId d : gate.fanin) {
+          if (vals[d] == V3::kX) {
+            next = d;
+            next_val = want;
+            break;
+          }
+        }
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        const GateId a = gate.fanin[0];
+        const GateId b = gate.fanin[1];
+        const bool want1 =
+            (gate.type == GateType::kXor) ? val == V3::k1 : val == V3::k0;
+        if (vals[a] == V3::kX) {
+          const bool other1 = vals[b] == V3::k1;  // X treated as 0.
+          next = a;
+          next_val = (want1 != other1) ? V3::k1 : V3::k0;
+        } else if (vals[b] == V3::kX) {
+          const bool other1 = vals[a] == V3::k1;
+          next = b;
+          next_val = (want1 != other1) ? V3::k1 : V3::k0;
+        }
+        break;
+      }
+      case GateType::kInput:
+        break;
+    }
+    if (next == kNoGate) return {-1, V3::kX};
+    g = next;
+    val = next_val;
+  }
+  return {-1, V3::kX};
+}
+
+/// Runs one PODEM frame to completion. Success predicate: V2 mode — fault
+/// effect observed at an output; V1 mode — driver justified to `want`.
+bool run_frame(const Netlist& nl,
+               const std::vector<std::int64_t>& input_index_of_gate,
+               Podem::Frame& frame, GateId driver, V3 want_driver,
+               bool propagate_effect, int backtrack_limit, int* backtracks,
+               bool* exhausted) {
+  struct Decision {
+    std::size_t input;
+    bool tried_both;
+  };
+  std::vector<Decision> stack;
+  frame.recompute();
+
+  const int max_iters = 16 * backtrack_limit + 512;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    if (propagate_effect ? frame.observed
+                         : frame.good[driver] == want_driver) {
+      return true;
+    }
+
+    GateId obj_gate = kNoGate;
+    V3 obj_val = V3::kX;
+    bool dead_end = false;
+
+    if (frame.good[driver] == V3::kX) {
+      obj_gate = driver;
+      obj_val = want_driver;
+    } else if (frame.good[driver] != want_driver) {
+      dead_end = true;  // Activation contradicted.
+    } else if (propagate_effect && frame.effect_gates.empty()) {
+      // No D exists yet. For a branch fault the activated value sits on one
+      // pin of the site's gate only; its side inputs must first be driven
+      // to non-controlling values before a fault effect can form. (Stem
+      // faults form their D the moment the driver is justified, so reaching
+      // here with a stem fault means the effect was masked — dead end.)
+      if (frame.site && !frame.site->is_stem()) {
+        const Gate& gate = nl.gate(frame.site->gate);
+        for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+          if (static_cast<std::int16_t>(k) == frame.site->pin) continue;
+          if (frame.good[gate.fanin[k]] != V3::kX) continue;
+          switch (gate.type) {
+            case GateType::kAnd:
+            case GateType::kNand:
+              obj_val = V3::k1;
+              break;
+            case GateType::kOr:
+            case GateType::kNor:
+              obj_val = V3::k0;
+              break;
+            default:
+              obj_val = V3::k0;
+              break;
+          }
+          obj_gate = gate.fanin[k];
+          break;
+        }
+      }
+      if (obj_gate == kNoGate) dead_end = true;
+    } else if (propagate_effect) {
+      // D-frontier: fanouts of effect gates whose output is still X and
+      // which have an X side input to sensitize.
+      for (GateId d : frame.effect_gates) {
+        for (GateId g : nl.gate(d).fanout) {
+          if (frame.good[g] != V3::kX && frame.fault[g] != V3::kX) continue;
+          const Gate& gate = nl.gate(g);
+          for (GateId side : gate.fanin) {
+            if (frame.good[side] != V3::kX) continue;
+            switch (gate.type) {
+              case GateType::kAnd:
+              case GateType::kNand:
+                obj_val = V3::k1;
+                break;
+              case GateType::kOr:
+              case GateType::kNor:
+                obj_val = V3::k0;
+                break;
+              default:
+                obj_val = V3::k0;
+                break;
+            }
+            obj_gate = side;
+            break;
+          }
+          if (obj_gate != kNoGate) break;
+        }
+        if (obj_gate != kNoGate) break;
+      }
+      if (obj_gate == kNoGate) dead_end = true;  // Empty D-frontier.
+    } else {
+      dead_end = true;  // Justification contradicted.
+    }
+
+    std::int64_t pin = -1;
+    V3 pin_val = V3::kX;
+    if (!dead_end) {
+      std::tie(pin, pin_val) = backtrace_objective(
+          nl, frame.good, input_index_of_gate, obj_gate, obj_val);
+      if (pin < 0) dead_end = true;
+    }
+
+    if (dead_end) {
+      bool flipped = false;
+      while (!stack.empty()) {
+        Decision& d = stack.back();
+        if (!d.tried_both) {
+          d.tried_both = true;
+          frame.pi[d.input] = v3_not(frame.pi[d.input]);
+          ++*backtracks;
+          flipped = true;
+          break;
+        }
+        frame.pi[d.input] = V3::kX;
+        stack.pop_back();
+      }
+      if (!flipped) {
+        if (exhausted) *exhausted = true;  // Search tree fully explored.
+        return false;
+      }
+      if (*backtracks > backtrack_limit) return false;
+      frame.recompute();
+      continue;
+    }
+
+    stack.push_back({static_cast<std::size_t>(pin), false});
+    frame.assign(static_cast<std::size_t>(pin), pin_val);
+  }
+  return false;
+}
+
+}  // namespace
+
+Podem::Result Podem::generate(const InjectedFault& target,
+                              int backtrack_limit) {
+  Result result;
+  const FaultSite& site = sites_->site(target.site);
+
+  if (sim::is_stuck_at(target.polarity)) {
+    // Stuck-at: a single-frame problem — excite the opposite good value
+    // and propagate; V1 is unconstrained.
+    const V3 good_val = target.polarity == FaultPolarity::kStuckAt0
+                            ? V3::k1
+                            : V3::k0;
+    const V3 forced_val = v3_not(good_val);
+    if (!v2_frame_) {
+      v2_frame_ = std::make_unique<Frame>(*nl_, &site, forced_val);
+    }
+    Frame& frame = *v2_frame_;
+    frame.reset(&site, forced_val);
+    int backtracks = 0;
+    bool exhausted = false;
+    if (!run_frame(*nl_, input_index_of_gate_, frame, site.driver, good_val,
+                   /*propagate_effect=*/true, backtrack_limit, &backtracks,
+                   &exhausted)) {
+      result.backtracks = backtracks;
+      result.untestable = exhausted;
+      return result;
+    }
+    result.success = true;
+    result.v1_inputs.assign(nl_->num_inputs(), V3::kX);
+    result.v2_inputs = frame.pi;
+    result.backtracks = backtracks;
+    return result;
+  }
+
+  // Polarity kSlow is tested as slow-to-rise (either transition suffices).
+  const bool rise = target.polarity != FaultPolarity::kSlowToFall;
+  const V3 v1_value = rise ? V3::k0 : V3::k1;  // Initial value at the site.
+  const V3 v2_value = rise ? V3::k1 : V3::k0;  // Final (good) value.
+  const V3 forced = v1_value;                  // Faulty machine is "late".
+
+  // V2 frame: excite good = v2_value at the driver and propagate the
+  // stuck-at-`forced` effect to an observation point.
+  if (!v2_frame_) {
+    v2_frame_ = std::make_unique<Frame>(*nl_, &site, forced);
+  }
+  Frame& v2 = *v2_frame_;
+  v2.reset(&site, forced);
+  int backtracks = 0;
+  bool exhausted = false;
+  if (!run_frame(*nl_, input_index_of_gate_, v2, site.driver, v2_value,
+                 /*propagate_effect=*/true, backtrack_limit, &backtracks,
+                 &exhausted)) {
+    result.backtracks = backtracks;
+    result.untestable = exhausted;
+    return result;
+  }
+
+  // V1 frame: justify the initial value at the driver (no propagation).
+  if (!v1_frame_) {
+    v1_frame_ = std::make_unique<Frame>(*nl_, nullptr, V3::kX);
+  }
+  Frame& v1 = *v1_frame_;
+  v1.reset(nullptr, V3::kX);
+  if (!run_frame(*nl_, input_index_of_gate_, v1, site.driver, v1_value,
+                 /*propagate_effect=*/false, backtrack_limit, &backtracks,
+                 &exhausted)) {
+    result.backtracks = backtracks;
+    result.untestable = exhausted;
+    return result;
+  }
+
+  result.success = true;
+  result.v1_inputs = v1.pi;
+  result.v2_inputs = v2.pi;
+  result.backtracks = backtracks;
+  return result;
+}
+
+}  // namespace m3dfl::atpg

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netlist/fault_site.h"
+#include "sim/fault_sim.h"
+
+namespace m3dfl::atpg {
+
+/// Three-valued logic value used by the deterministic test generator.
+enum class V3 : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+inline V3 v3_not(V3 v) {
+  if (v == V3::kX) return V3::kX;
+  return v == V3::k0 ? V3::k1 : V3::k0;
+}
+
+/// PODEM deterministic test generator for transition delay faults under
+/// enhanced-scan application (independently controllable launch/capture
+/// vectors). This is the "deterministic top-off" stage of the library's
+/// ATPG: random patterns detect the easy faults, PODEM targets the
+/// random-resistant remainder, reproducing the 97-99% coverage a
+/// commercial tool reports in the paper's Table III.
+///
+/// The standard TDF surrogate splits a target into two single-frame
+/// problems:
+///  * V1 frame: justify the initial value at the fault site's driver
+///    (0 for slow-to-rise, 1 for slow-to-fall);
+///  * V2 frame: classic stuck-at PODEM — excite the final value and
+///    propagate the fault effect (D / D-bar) to any observation point.
+class Podem {
+ public:
+  Podem(const netlist::Netlist& nl, const netlist::SiteTable& sites);
+
+  struct Result {
+    bool success = false;
+    /// The decision tree was exhausted below the backtrack limit: the
+    /// fault is proven untestable under the TDF surrogate model (no
+    /// launch/capture pair can both activate and propagate it). Commercial
+    /// tools exclude such faults from the coverage denominator.
+    bool untestable = false;
+    /// Per input index; kX means unconstrained (free for random fill).
+    std::vector<V3> v1_inputs;
+    std::vector<V3> v2_inputs;
+    int backtracks = 0;
+  };
+
+  /// Generates a two-vector test for the fault, or fails within the
+  /// backtrack limit (the fault may be untestable or just hard).
+  Result generate(const sim::InjectedFault& fault, int backtrack_limit = 50);
+
+  /// Implementation detail exposed for the in-file helpers.
+  struct Frame;
+  ~Podem();
+  Podem(Podem&&) noexcept;
+  Podem& operator=(Podem&&) noexcept;
+
+ private:
+  const netlist::Netlist* nl_;
+  const netlist::SiteTable* sites_;
+  std::vector<std::int64_t> input_index_of_gate_;
+  /// Reused across generate() calls; one PODEM run allocates nothing.
+  std::unique_ptr<Frame> v2_frame_;
+  std::unique_ptr<Frame> v1_frame_;
+};
+
+}  // namespace m3dfl::atpg

@@ -1,0 +1,34 @@
+#include "atpg/scan_config.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace m3dfl::atpg {
+
+ScanConfig ScanConfig::make(std::uint32_t num_outputs,
+                            std::uint32_t num_chains,
+                            std::uint32_t compaction_ratio) {
+  assert(num_chains > 0 && compaction_ratio > 0);
+  ScanConfig cfg;
+  cfg.num_outputs = num_outputs;
+  cfg.num_chains = std::min(num_chains, std::max(1u, num_outputs));
+  cfg.num_channels =
+      (cfg.num_chains + compaction_ratio - 1) / compaction_ratio;
+  cfg.chain_length =
+      cfg.num_chains ? (num_outputs + cfg.num_chains - 1) / cfg.num_chains
+                     : 0;
+  return cfg;
+}
+
+std::vector<std::uint32_t> ScanConfig::outputs_of(std::uint32_t channel,
+                                                  std::uint32_t cycle) const {
+  std::vector<std::uint32_t> outs;
+  for (std::uint32_t chain = channel; chain < num_chains;
+       chain += num_channels) {
+    const std::uint32_t o = cycle * num_chains + chain;
+    if (o < num_outputs) outs.push_back(o);
+  }
+  return outs;
+}
+
+}  // namespace m3dfl::atpg

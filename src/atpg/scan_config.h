@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace m3dfl::atpg {
+
+/// Scan architecture of a design: observation points are stitched
+/// round-robin into num_chains scan chains; chains are grouped onto
+/// num_channels output channels through the spatial compactor
+/// (compaction ratio = chains per channel, 20x in the paper).
+struct ScanConfig {
+  std::uint32_t num_outputs = 0;   ///< Observation points (scan cells).
+  std::uint32_t num_chains = 1;
+  std::uint32_t num_channels = 1;
+  std::uint32_t chain_length = 0;  ///< ceil(num_outputs / num_chains).
+
+  /// Builds a config; num_channels = ceil(num_chains / compaction_ratio).
+  static ScanConfig make(std::uint32_t num_outputs, std::uint32_t num_chains,
+                         std::uint32_t compaction_ratio);
+
+  // Observation point o sits at position o / num_chains of chain
+  // o % num_chains (round-robin stitching balances chain lengths).
+  std::uint32_t chain_of(std::uint32_t output) const {
+    return output % num_chains;
+  }
+  std::uint32_t position_of(std::uint32_t output) const {
+    return output / num_chains;
+  }
+  std::uint32_t channel_of_chain(std::uint32_t chain) const {
+    return chain % num_channels;
+  }
+  std::uint32_t channel_of(std::uint32_t output) const {
+    return channel_of_chain(chain_of(output));
+  }
+
+  /// Observation points that map to (channel, cycle): the ambiguity set a
+  /// diagnosis engine faces for one compacted miscompare (<= ratio points).
+  std::vector<std::uint32_t> outputs_of(std::uint32_t channel,
+                                        std::uint32_t cycle) const;
+
+  /// Effective compaction ratio (chains per channel).
+  double ratio() const {
+    return num_channels ? static_cast<double>(num_chains) / num_channels : 0;
+  }
+};
+
+}  // namespace m3dfl::atpg

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace m3dfl {
+
+/// Deterministic 64-bit pseudo-random generator (xoshiro256**).
+///
+/// Every stochastic step in the library (netlist generation, partitioning
+/// tie-breaks, pattern generation, fault injection, weight initialization,
+/// dataset shuffling) draws from an explicitly seeded Rng so that all
+/// experiments are bit-reproducible across runs and platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// UniformValue in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index of a non-empty container.
+  template <typename Container>
+  std::size_t pick_index(const Container& c) {
+    return static_cast<std::size_t>(next_below(c.size()));
+  }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Derives an independent stream seed from a base seed and a stream tag.
+/// Used to give each pipeline stage its own generator so that changing the
+/// sample count of one stage does not perturb another.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
+}  // namespace m3dfl

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace m3dfl {
+
+/// Streaming accumulator for mean / standard deviation (Welford's method).
+/// Used throughout the evaluation harness to summarize diagnostic
+/// resolution, first-hit index, and runtime distributions.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Population standard deviation (paper tables report sigma over the
+  /// full test set, so population rather than sample variance is used).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a span; returns 0 for an empty span.
+double mean_of(std::span<const double> xs);
+
+/// Population standard deviation of a span; returns 0 for size < 1.
+double stddev_of(std::span<const double> xs);
+
+/// Pearson correlation of two equally sized spans (0 if degenerate).
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Percentile (0..100) with linear interpolation; input need not be sorted.
+double percentile(std::vector<double> xs, double pct);
+
+}  // namespace m3dfl

@@ -1,0 +1,90 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace m3dfl {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TablePrinter::to_string() const {
+  // Compute column widths.
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) {
+    if (!row.separator) grow(row.cells);
+  }
+
+  std::size_t total = widths.empty() ? 0 : 3 * widths.size() + 1;
+  for (auto w : widths) total += w;
+
+  std::ostringstream out;
+  auto hline = [&out, total]() { out << std::string(total, '-') << '\n'; };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      out << ' ' << c << std::string(widths[i] - c.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << title_ << '\n';
+  hline();
+  if (!header_.empty()) {
+    emit(header_);
+    hline();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      hline();
+    } else {
+      emit(row.cells);
+    }
+  }
+  hline();
+  return out.str();
+}
+
+void TablePrinter::print() const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_delta_pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%+.*f%%)", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace m3dfl

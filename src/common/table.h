@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace m3dfl {
+
+/// Minimal fixed-width ASCII table printer used by the benchmark harness to
+/// render the paper's tables. Columns auto-size to their widest cell.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = {});
+
+  /// Sets the header row (clears any previous header).
+  void set_header(std::vector<std::string> cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders the full table to a string (title, header, rows).
+  std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string fmt(double value, int decimals = 1);
+
+/// Formats a percentage: fmt_pct(0.9932, 1) -> "99.3%".
+std::string fmt_pct(double fraction, int decimals = 1);
+
+/// Formats a signed delta percentage: "(+32.9%)" / "(-0.4%)".
+std::string fmt_delta_pct(double fraction, int decimals = 1);
+
+}  // namespace m3dfl

@@ -1,0 +1,83 @@
+#include "compress/compactor.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <map>
+
+namespace m3dfl::compress {
+
+void ResponseCompactor::compact_diff(std::span<const Word> diff,
+                                     std::size_t W,
+                                     std::vector<Word>& out) const {
+  const std::size_t cells =
+      static_cast<std::size_t>(cfg_.num_channels) * cfg_.chain_length;
+  out.assign(cells * W, 0);
+  for (std::uint32_t o = 0; o < cfg_.num_outputs; ++o) {
+    const std::uint32_t ch = cfg_.channel_of(o);
+    const std::uint32_t cyc = cfg_.position_of(o);
+    Word* dst =
+        out.data() + (static_cast<std::size_t>(ch) * cfg_.chain_length + cyc) * W;
+    const Word* src = diff.data() + static_cast<std::size_t>(o) * W;
+    for (std::size_t w = 0; w < W; ++w) dst[w] ^= src[w];
+  }
+}
+
+FailureLog ResponseCompactor::failure_log_from_diff(
+    std::span<const Word> diff, std::size_t W,
+    std::size_t num_patterns) const {
+  std::vector<Word> compacted;
+  compact_diff(diff, W, compacted);
+  FailureLog log;
+  log.compacted = true;
+  for (std::uint32_t ch = 0; ch < cfg_.num_channels; ++ch) {
+    for (std::uint32_t cyc = 0; cyc < cfg_.chain_length; ++cyc) {
+      const Word* row =
+          compacted.data() +
+          (static_cast<std::size_t>(ch) * cfg_.chain_length + cyc) * W;
+      for (std::size_t w = 0; w < W; ++w) {
+        Word m = row[w];
+        while (m) {
+          const int bit = std::countr_zero(m);
+          m &= m - 1;
+          const std::size_t p = w * sim::kWordBits + static_cast<std::size_t>(bit);
+          if (p < num_patterns) {
+            log.cfails.push_back({static_cast<std::uint32_t>(p),
+                                  static_cast<std::uint16_t>(ch),
+                                  static_cast<std::uint16_t>(cyc)});
+          }
+        }
+      }
+    }
+  }
+  std::sort(log.cfails.begin(), log.cfails.end(),
+            [](const FailureLog::CObs& a, const FailureLog::CObs& b) {
+              if (a.pattern != b.pattern) return a.pattern < b.pattern;
+              if (a.channel != b.channel) return a.channel < b.channel;
+              return a.cycle < b.cycle;
+            });
+  return log;
+}
+
+FailureLog ResponseCompactor::compact_log(const FailureLog& uncompacted) const {
+  assert(!uncompacted.compacted);
+  // Parity per (pattern, channel, cycle).
+  std::map<std::tuple<std::uint32_t, std::uint16_t, std::uint16_t>, int>
+      parity;
+  for (const FailureLog::Obs& f : uncompacted.fails) {
+    const auto ch = static_cast<std::uint16_t>(cfg_.channel_of(f.output));
+    const auto cyc = static_cast<std::uint16_t>(cfg_.position_of(f.output));
+    ++parity[{f.pattern, ch, cyc}];
+  }
+  FailureLog log;
+  log.compacted = true;
+  for (const auto& [key, count] : parity) {
+    if (count % 2 == 1) {
+      log.cfails.push_back(
+          {std::get<0>(key), std::get<1>(key), std::get<2>(key)});
+    }
+  }
+  return log;
+}
+
+}  // namespace m3dfl::compress

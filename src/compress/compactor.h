@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atpg/scan_config.h"
+#include "sim/failure_log.h"
+
+namespace m3dfl::compress {
+
+using atpg::ScanConfig;
+using sim::FailureLog;
+using sim::Word;
+
+/// Combinational XOR spatial response compactor.
+///
+/// Chains are grouped onto output channels (ScanConfig::channel_of_chain);
+/// the value scanned out of a channel at shift cycle c is the XOR of the
+/// cells at position c of every chain in the group. XOR is linear, so the
+/// *error* observed on a channel is the XOR of the per-cell errors — an odd
+/// number of simultaneous errors at the same (channel, cycle) is visible,
+/// an even number aliases (cancels). Both effects are modeled exactly.
+///
+/// A bypass mode (paper Sec. IV: "bypass signals that enable the designs to
+/// scan out uncompressed responses") is simply the uncompacted failure log.
+class ResponseCompactor {
+ public:
+  explicit ResponseCompactor(const ScanConfig& cfg) : cfg_(cfg) {}
+
+  const ScanConfig& config() const { return cfg_; }
+  std::uint32_t num_channels() const { return cfg_.num_channels; }
+  std::uint32_t num_cycles() const { return cfg_.chain_length; }
+
+  /// XOR-compacts per-output diff masks (diff[o * W + w]) into
+  /// per-(channel, cycle) masks: out[(channel * num_cycles + cycle) * W + w].
+  void compact_diff(std::span<const Word> diff, std::size_t W,
+                    std::vector<Word>& out) const;
+
+  /// Builds a compacted failure log directly from per-output diff masks.
+  FailureLog failure_log_from_diff(std::span<const Word> diff, std::size_t W,
+                                   std::size_t num_patterns) const;
+
+  /// Compacts an uncompacted failure log (models re-testing the same die
+  /// with the compactor engaged). Aliasing (even error parity) is applied.
+  FailureLog compact_log(const FailureLog& uncompacted) const;
+
+ private:
+  ScanConfig cfg_;
+};
+
+}  // namespace m3dfl::compress

@@ -1,0 +1,74 @@
+#include "compress/lfsr.h"
+
+#include <bit>
+#include <cassert>
+
+namespace m3dfl::compress {
+
+Lfsr::Lfsr(std::uint64_t taps, std::uint64_t seed)
+    : taps_(taps), state_(seed), degree_(64 - std::countl_zero(taps)) {
+  assert(taps != 0);
+  const std::uint64_t mask =
+      degree_ >= 64 ? ~0ULL : ((1ULL << degree_) - 1);
+  state_ &= mask;
+  if (state_ == 0) state_ = 1;
+}
+
+bool Lfsr::step() {
+  const bool out = state_ & 1;
+  state_ >>= 1;
+  if (out) state_ ^= taps_ >> 1;
+  return out;
+}
+
+std::uint64_t Lfsr::period(std::uint64_t taps) {
+  Lfsr ref(taps, 1);
+  const std::uint64_t start = ref.state();
+  std::uint64_t n = 0;
+  do {
+    ref.step();
+    ++n;
+  } while (ref.state() != start && n < (1ULL << 26));
+  return n;
+}
+
+EdtDecompressor::EdtDecompressor(int num_chains, int num_input_channels,
+                                 std::uint64_t taps)
+    : num_chains_(num_chains),
+      num_input_channels_(num_input_channels),
+      taps_(taps),
+      lfsr_(taps, 1) {}
+
+void EdtDecompressor::reset(std::uint64_t seed) { lfsr_ = Lfsr(taps_, seed); }
+
+std::vector<bool> EdtDecompressor::expand_cycle(
+    const std::vector<bool>& channel_bits) {
+  assert(static_cast<int>(channel_bits.size()) == num_input_channels_);
+  // Inject channel bits into spaced ring stages.
+  std::uint64_t inject = 0;
+  const int deg = lfsr_.degree();
+  for (int c = 0; c < num_input_channels_; ++c) {
+    if (channel_bits[c]) {
+      // Stages 1..deg-1, spread evenly; stage 0 is avoided so injection can
+      // never cancel a fresh seed into the (remapped) all-zero state.
+      inject |= 1ULL << (1 + (c * (deg - 1)) /
+                                 std::max(1, num_input_channels_));
+    }
+  }
+  // One ring rotation per shift cycle, then phase-shifted chain outputs.
+  Lfsr stepped(taps_, lfsr_.state() ^ inject);
+  stepped.step();
+  const std::uint64_t s = stepped.state();
+  std::vector<bool> chain_bits(num_chains_);
+  for (int i = 0; i < num_chains_; ++i) {
+    // Phase shifter: XOR of three spread stages per chain.
+    const int a = (i * 7 + 1) % deg;
+    const int b = (i * 13 + 3) % deg;
+    const int c = (i * 29 + 5) % deg;
+    chain_bits[i] = (((s >> a) ^ (s >> b) ^ (s >> c)) & 1) != 0;
+  }
+  lfsr_ = stepped;
+  return chain_bits;
+}
+
+}  // namespace m3dfl::compress

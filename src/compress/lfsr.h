@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace m3dfl::compress {
+
+/// Galois LFSR over GF(2) with a programmable tap polynomial. Used as the
+/// ring generator of the EDT-style stimulus decompressor below and directly
+/// testable as a substrate primitive.
+class Lfsr {
+ public:
+  /// taps: polynomial bits (bit i set => tap at stage i); degree = highest
+  /// set bit + 1. State must never be all-zero; a zero seed is remapped.
+  explicit Lfsr(std::uint64_t taps, std::uint64_t seed = 1);
+
+  /// Advances one step and returns the output bit.
+  bool step();
+
+  std::uint64_t state() const { return state_; }
+  int degree() const { return degree_; }
+
+  /// Period of the sequence for this polynomial starting from state 1
+  /// (exhaustive walk; degree <= 24 recommended). Primitive polynomials
+  /// yield 2^degree - 1.
+  static std::uint64_t period(std::uint64_t taps);
+
+ private:
+  std::uint64_t taps_;
+  std::uint64_t state_;
+  int degree_;
+};
+
+/// EDT-style test-stimulus decompressor: a small number of external input
+/// channels feed an LFSR ring whose phase-shifted outputs drive many scan
+/// chains. The paper's designs use embedded deterministic test (Tessent
+/// EDT); this class reproduces the mechanism so the library models the
+/// stimulus side of compression as well as the response side.
+class EdtDecompressor {
+ public:
+  EdtDecompressor(int num_chains, int num_input_channels,
+                  std::uint64_t taps = (1ULL << 16) | (1ULL << 14) |
+                                       (1ULL << 13) | (1ULL << 11) | 1ULL);
+
+  /// Expands one compressed shift-cycle: channel bits are XOR-injected into
+  /// the ring, then each chain receives one phase-shifted ring bit.
+  std::vector<bool> expand_cycle(const std::vector<bool>& channel_bits);
+
+  /// Resets the ring to the given seed.
+  void reset(std::uint64_t seed = 1);
+
+  int num_chains() const { return num_chains_; }
+  int num_input_channels() const { return num_input_channels_; }
+
+ private:
+  int num_chains_;
+  int num_input_channels_;
+  std::uint64_t taps_;
+  Lfsr lfsr_;
+};
+
+}  // namespace m3dfl::compress

@@ -1,0 +1,37 @@
+#include "core/metrics.h"
+
+namespace m3dfl::core {
+
+void QualityAccumulator::add(const DiagnosisReport& report,
+                             std::span<const SiteId> truth) {
+  ++n_;
+  const bool accurate =
+      multifault_ ? report.hits_all(truth) : report.hits_any(truth);
+  if (accurate) ++accurate_;
+  resolution_.add(static_cast<double>(report.resolution()));
+  const std::size_t fhi = report.first_hit_index(truth);
+  if (fhi > 0) fhi_.add(static_cast<double>(fhi));
+}
+
+QualityStats QualityAccumulator::stats() const {
+  QualityStats s;
+  s.num_reports = n_;
+  s.accuracy = n_ ? static_cast<double>(accurate_) / n_ : 0.0;
+  s.mean_resolution = resolution_.mean();
+  s.std_resolution = resolution_.stddev();
+  s.mean_fhi = fhi_.mean();
+  s.std_fhi = fhi_.stddev();
+  return s;
+}
+
+void TierLocalizationCounter::add(bool atpg_single_tier, bool localized) {
+  if (atpg_single_tier) return;
+  ++considered_;
+  if (localized) ++localized_;
+}
+
+double TierLocalizationCounter::rate() const {
+  return considered_ ? static_cast<double>(localized_) / considered_ : 0.0;
+}
+
+}  // namespace m3dfl::core

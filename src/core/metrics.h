@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "diagnosis/report.h"
+
+namespace m3dfl::core {
+
+using diag::DiagnosisReport;
+using netlist::SiteId;
+using netlist::Tier;
+
+/// Aggregate report-quality statistics in the paper's terms: accuracy,
+/// mean/std diagnostic resolution, mean/std first-hit index.
+struct QualityStats {
+  std::size_t num_reports = 0;
+  double accuracy = 0.0;
+  double mean_resolution = 0.0;
+  double std_resolution = 0.0;
+  double mean_fhi = 0.0;
+  double std_fhi = 0.0;
+};
+
+/// Accumulates per-sample evaluations into QualityStats.
+///
+/// Conventions (matching the paper):
+///  * accuracy: single-fault — some candidate names a ground-truth site;
+///    multi-fault — every injected site appears in the list;
+///  * resolution: candidate count, averaged over all reports;
+///  * FHI: 1-based rank of the first ground-truth candidate, averaged over
+///    the reports that contain one (a miss has no first hit).
+class QualityAccumulator {
+ public:
+  explicit QualityAccumulator(bool multifault = false)
+      : multifault_(multifault) {}
+
+  void add(const DiagnosisReport& report, std::span<const SiteId> truth);
+
+  QualityStats stats() const;
+
+ private:
+  bool multifault_;
+  std::size_t n_ = 0;
+  std::size_t accurate_ = 0;
+  RunningStats resolution_;
+  RunningStats fhi_;
+};
+
+/// Tier-localization rate (paper Sec. VI-A): the fraction of reports
+/// localized to the faulty tier, counted only over reports the plain ATPG
+/// diagnosis had NOT already confined to a single tier.
+class TierLocalizationCounter {
+ public:
+  /// atpg_single_tier: the original ATPG report was single-tier already
+  /// (excluded from the calculation). localized: the method under
+  /// evaluation pinned the faulty tier correctly.
+  void add(bool atpg_single_tier, bool localized);
+
+  double rate() const;
+  std::size_t considered() const { return considered_; }
+
+ private:
+  std::size_t considered_ = 0;
+  std::size_t localized_ = 0;
+};
+
+/// PFA time model of paper Fig. 10. Total time to reach the ground truth:
+/// T_atpg + FHI * x for the ATPG flow, and
+/// max(T_atpg, T_gnn) + T_update + FHI_updated * x for the framework.
+struct PfaTimeModel {
+  double t_atpg = 0.0;
+  double t_gnn = 0.0;
+  double t_update = 0.0;
+  double fhi_atpg = 0.0;
+  double fhi_updated = 0.0;
+
+  double total_atpg(double x_seconds_per_candidate) const {
+    return t_atpg + fhi_atpg * x_seconds_per_candidate;
+  }
+  double total_framework(double x_seconds_per_candidate) const {
+    return std::max(t_atpg, t_gnn) + t_update +
+           fhi_updated * x_seconds_per_candidate;
+  }
+  /// T_diff: positive means the framework saves PFA time.
+  double t_diff(double x_seconds_per_candidate) const {
+    return total_atpg(x_seconds_per_candidate) -
+           total_framework(x_seconds_per_candidate);
+  }
+};
+
+}  // namespace m3dfl::core

@@ -1,0 +1,55 @@
+#include "core/miv_pinpointer.h"
+
+#include <algorithm>
+
+namespace m3dfl::core {
+
+MivPinpointer::MivPinpointer(std::uint64_t seed,
+                             std::vector<std::size_t> hidden)
+    : model_(graphx::kNumSubgraphFeatures, hidden, seed) {}
+
+std::vector<double> MivPinpointer::scores(const SubGraph& g) const {
+  return model_.predict_miv(g);
+}
+
+std::vector<SiteId> MivPinpointer::predict_faulty_mivs(
+    const SubGraph& g, double threshold, std::size_t max_count) const {
+  const std::vector<double> s = scores(g);
+  std::vector<std::size_t> order;
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    if (s[k] >= threshold) order.push_back(k);
+  }
+  std::sort(order.begin(), order.end(),
+            [&s](std::size_t a, std::size_t b) { return s[a] > s[b]; });
+  if (order.size() > max_count) order.resize(max_count);
+  std::vector<SiteId> out;
+  out.reserve(order.size());
+  for (std::size_t k : order) out.push_back(g.nodes[g.miv_local[k]]);
+  return out;
+}
+
+gnn::TrainStats MivPinpointer::train(std::span<const SubGraph* const> data,
+                                     const gnn::TrainOptions& opts) {
+  return gnn::train_node_scorer(model_, data, opts);
+}
+
+double MivPinpointer::top1_accuracy(
+    std::span<const SubGraph* const> data) const {
+  std::size_t considered = 0;
+  std::size_t hits = 0;
+  for (const SubGraph* g : data) {
+    // Only samples with a labeled faulty MIV count.
+    const auto truth =
+        std::find_if(g->miv_label.begin(), g->miv_label.end(),
+                     [](float v) { return v > 0.5f; });
+    if (truth == g->miv_label.end()) continue;
+    ++considered;
+    const std::vector<double> s = scores(*g);
+    if (s.empty()) continue;
+    const auto top = std::max_element(s.begin(), s.end()) - s.begin();
+    if (g->miv_label[static_cast<std::size_t>(top)] > 0.5f) ++hits;
+  }
+  return considered ? static_cast<double>(hits) / considered : 0.0;
+}
+
+}  // namespace m3dfl::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/trainer.h"
+#include "netlist/fault_site.h"
+
+namespace m3dfl::core {
+
+using graphx::SubGraph;
+using netlist::SiteId;
+
+/// GNN Model-2 of the paper: node classification over the sub-graph's MIV
+/// nodes, scoring each with the probability that this MIV carries the delay
+/// defect (paper Sec. III-C: "the learned node features are directly used
+/// to calculate the probability that an MIV has a defect").
+class MivPinpointer {
+ public:
+  explicit MivPinpointer(std::uint64_t seed = 202,
+                         std::vector<std::size_t> hidden = {32, 32});
+
+  /// Per-MIV probabilities, parallel to g.miv_local.
+  std::vector<double> scores(const SubGraph& g) const;
+
+  /// Global site ids of the MIVs predicted faulty: score >= threshold,
+  /// strongest first, at most max_count (a defective chip has one or a
+  /// few defective MIVs; flagging more would push junk to the top of the
+  /// reordered reports and hurt FHI).
+  std::vector<SiteId> predict_faulty_mivs(const SubGraph& g,
+                                          double threshold = 0.5,
+                                          std::size_t max_count = 3) const;
+
+  /// Trains on sub-graphs whose miv_label vectors are filled.
+  gnn::TrainStats train(std::span<const SubGraph* const> data,
+                        const gnn::TrainOptions& opts = {});
+
+  /// Hit rate on MIV-fault samples: fraction where the top-scoring MIV is
+  /// the injected one (the Fig.-6 MIV-pinpointer accuracy metric).
+  double top1_accuracy(std::span<const SubGraph* const> data) const;
+
+  gnn::NodeScorer& model() { return model_; }
+  const gnn::NodeScorer& model() const { return model_; }
+
+ private:
+  gnn::NodeScorer model_;
+};
+
+}  // namespace m3dfl::core

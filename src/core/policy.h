@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "core/miv_pinpointer.h"
+#include "core/prune_classifier.h"
+#include "core/tier_predictor.h"
+#include "diagnosis/report.h"
+
+namespace m3dfl::core {
+
+using diag::Candidate;
+using diag::DiagnosisReport;
+
+/// Which models participate — the Table-XI ablation switches.
+struct PolicyConfig {
+  /// T_p, derived from the training PR curve at >= 99% precision.
+  double t_p = 0.9;
+  bool use_tier_predictor = true;
+  bool use_miv_pinpointer = true;
+  /// When false and confidence is high, prune unconditionally
+  /// (Tier-predictor-standalone behaviour of Table XI).
+  bool use_classifier = true;
+  double miv_threshold = 0.8;
+  double classifier_threshold = 0.5;
+  /// Reordering floor: when the Tier-predictor's confidence is below this
+  /// value its tier call is near-chance, and moving candidates around on a
+  /// coin flip only degrades FHI; such reports pass through unchanged.
+  double reorder_floor = 0.60;
+};
+
+struct PolicyModels {
+  const TierPredictor* tier = nullptr;
+  const MivPinpointer* miv = nullptr;
+  const PruneClassifier* classifier = nullptr;
+};
+
+/// Result of the candidate pruning & reordering process for one report.
+struct PolicyOutcome {
+  DiagnosisReport report;          ///< The final (updated) report.
+  std::vector<Candidate> backup;   ///< Pruned candidates — the backup
+                                   ///< dictionary entry for this chip
+                                   ///< (paper Sec. VI-A).
+  bool pruned = false;             ///< Pruning (vs reordering) was applied.
+  bool high_confidence = false;    ///< confidence >= T_p.
+  netlist::Tier predicted_tier = netlist::Tier::kBottom;
+  double confidence = 0.0;
+  std::vector<SiteId> predicted_mivs;
+  double seconds = 0.0;            ///< T_update: time spent updating.
+};
+
+/// The candidate pruning and reordering policy of paper Fig. 7 / Fig. 8:
+///  1. candidates equivalent to MIVs the MIV-pinpointer flags as faulty are
+///     moved to the top (and protected from pruning);
+///  2. the Tier-predictor's confidence p = max(p_top, p_bottom) is compared
+///     against T_p: low confidence => reorder (faulty-tier candidates
+///     first); high confidence => the Classifier chooses prune or reorder;
+///  3. pruning removes fault-free-tier candidates into the backup
+///     dictionary; if pruning would empty the report it degrades to
+///     reordering.
+PolicyOutcome apply_policy(const DiagnosisReport& report, const SubGraph& sub,
+                           const PolicyModels& models,
+                           const PolicyConfig& config);
+
+}  // namespace m3dfl::core

@@ -1,0 +1,79 @@
+#include "core/pr_curve.h"
+
+#include <algorithm>
+
+namespace m3dfl::core {
+
+PrCurve PrCurve::from_samples(std::vector<std::pair<double, bool>> samples) {
+  PrCurve curve;
+  std::sort(samples.begin(), samples.end());
+  curve.samples_ = std::move(samples);
+  const auto& xs = curve.samples_;
+  if (xs.empty()) return curve;
+
+  const std::size_t total_pos = static_cast<std::size_t>(
+      std::count_if(xs.begin(), xs.end(),
+                    [](const auto& s) { return s.second; }));
+
+  // Sweep thresholds at each distinct confidence. Samples with confidence
+  // >= threshold are Predicted Positive.
+  std::size_t pos_below = 0;  // Actual positives below the threshold (FN).
+  std::size_t below = 0;
+  for (std::size_t i = 0; i <= xs.size(); ++i) {
+    const double thr = i < xs.size() ? xs[i].first : 1.0 + 1e-9;
+    if (i == 0 || i == xs.size() || xs[i].first != xs[i - 1].first) {
+      const std::size_t predicted_pos = xs.size() - below;
+      const std::size_t tp = total_pos - pos_below;
+      PrPoint p;
+      p.threshold = thr;
+      p.precision = predicted_pos > 0
+                        ? static_cast<double>(tp) / predicted_pos
+                        : 1.0;
+      p.recall =
+          total_pos > 0 ? static_cast<double>(tp) / total_pos : 1.0;
+      curve.points_.push_back(p);
+    }
+    if (i < xs.size()) {
+      ++below;
+      if (xs[i].second) ++pos_below;
+    }
+  }
+  return curve;
+}
+
+double PrCurve::threshold_for_precision(double target) const {
+  double best_thr = points_.empty() ? 1.0 : points_.back().threshold;
+  double best_prec = -1.0;
+  for (const PrPoint& p : points_) {
+    if (p.precision >= target) return p.threshold;
+    if (p.precision > best_prec) {
+      best_prec = p.precision;
+      best_thr = p.threshold;
+    }
+  }
+  return best_thr;
+}
+
+double PrCurve::precision_at(double threshold) const {
+  std::size_t tp = 0, pp = 0;
+  for (const auto& [conf, positive] : samples_) {
+    if (conf >= threshold) {
+      ++pp;
+      if (positive) ++tp;
+    }
+  }
+  return pp > 0 ? static_cast<double>(tp) / pp : 1.0;
+}
+
+double PrCurve::recall_at(double threshold) const {
+  std::size_t tp = 0, pos = 0;
+  for (const auto& [conf, positive] : samples_) {
+    if (positive) {
+      ++pos;
+      if (conf >= threshold) ++tp;
+    }
+  }
+  return pos > 0 ? static_cast<double>(tp) / pos : 1.0;
+}
+
+}  // namespace m3dfl::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace m3dfl::core {
+
+/// One operating point of a precision-recall curve.
+struct PrPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// Precision-recall curve over (confidence, actual-positive) samples,
+/// following the paper's Table-IV confusion matrix: a sample is Actual
+/// Positive when the Tier-predictor named the correct tier, and Predicted
+/// Positive when its confidence max(p_top, p_bottom) exceeds the
+/// classification threshold. The curve is used to derive T_p — the minimum
+/// threshold whose precision meets the target (99% in the paper), i.e. the
+/// confidence above which pruning is allowed to cost at most 1% accuracy.
+class PrCurve {
+ public:
+  /// Builds the curve from samples of (confidence, correct-prediction).
+  static PrCurve from_samples(std::vector<std::pair<double, bool>> samples);
+
+  std::span<const PrPoint> points() const { return points_; }
+
+  /// Minimum threshold with precision >= target; falls back to the
+  /// highest-precision threshold when the target is unattainable.
+  double threshold_for_precision(double target) const;
+
+  /// Precision at a given threshold (fraction of correct predictions among
+  /// those with confidence >= threshold).
+  double precision_at(double threshold) const;
+
+  /// Recall at a given threshold.
+  double recall_at(double threshold) const;
+
+ private:
+  std::vector<PrPoint> points_;                    ///< Ascending thresholds.
+  std::vector<std::pair<double, bool>> samples_;   ///< Sorted by confidence.
+};
+
+}  // namespace m3dfl::core

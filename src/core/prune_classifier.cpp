@@ -1,0 +1,54 @@
+#include "core/prune_classifier.h"
+
+#include <algorithm>
+
+namespace m3dfl::core {
+
+PruneClassifier PruneClassifier::transfer_from(const TierPredictor& tier,
+                                               std::uint64_t seed,
+                                               std::size_t head_hidden) {
+  PruneClassifier c;
+  c.model_ = gnn::GraphClassifier::transfer_from(tier.stack(), 2, head_hidden,
+                                                 seed);
+  return c;
+}
+
+double PruneClassifier::prune_probability(const SubGraph& g) const {
+  return model_.predict(g)[kPrune];
+}
+
+gnn::TrainStats PruneClassifier::train_balanced(
+    std::span<const SubGraph* const> graphs, std::span<const int> labels,
+    const gnn::TrainOptions& opts, std::uint64_t oversample_seed) {
+  assert(graphs.size() == labels.size());
+  std::vector<const SubGraph*> majority, minority;
+  int minority_label = kReorder;
+  {
+    std::size_t pos = 0;
+    for (int l : labels) pos += l == kPrune;
+    minority_label = 2 * pos >= labels.size() ? kReorder : kPrune;
+  }
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    (labels[i] == minority_label ? minority : majority).push_back(graphs[i]);
+  }
+
+  // Oversample the minority up to the majority size with dummy buffers.
+  std::vector<SubGraph> synthetic;
+  if (!minority.empty() && minority.size() < majority.size()) {
+    synthetic = gnn::oversample_with_buffers(minority, majority.size(),
+                                             oversample_seed);
+  }
+
+  std::vector<gnn::LabeledGraph> data;
+  data.reserve(majority.size() + minority.size() + synthetic.size());
+  const int majority_label = minority_label == kPrune ? kReorder : kPrune;
+  for (const SubGraph* g : majority) data.push_back({g, majority_label});
+  if (synthetic.empty()) {
+    for (const SubGraph* g : minority) data.push_back({g, minority_label});
+  } else {
+    for (const SubGraph& g : synthetic) data.push_back({&g, minority_label});
+  }
+  return gnn::train_graph_classifier(model_, data, opts);
+}
+
+}  // namespace m3dfl::core

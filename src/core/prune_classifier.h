@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/tier_predictor.h"
+#include "gnn/oversample.h"
+
+namespace m3dfl::core {
+
+/// GNN Model-3 of the paper: the transfer-learned Classifier that decides,
+/// for a high-confidence Tier-predictor sample (Predicted Positive), whether
+/// to *prune* the fault-free tier's candidates or merely *reorder* them
+/// (paper Sec. V-C). It distinguishes True Positives (tier prediction
+/// correct — safe to prune) from False Positives (pruning would delete the
+/// ground truth).
+///
+/// Construction follows network-based deep transfer learning: the
+/// pre-trained GCN stack of the Tier-predictor is copied and frozen;
+/// freshly initialized classification layers (hidden + softmax) are trained
+/// on the Predicted-Positive sub-graphs. The severely imbalanced TP:FP
+/// dataset (~90:1 in the paper) is balanced with the dummy-buffer graph
+/// oversampling of gnn/oversample.h.
+class PruneClassifier {
+ public:
+  /// Label convention: 1 = True Positive (prune), 0 = False Positive
+  /// (reorder).
+  static constexpr int kPrune = 1;
+  static constexpr int kReorder = 0;
+
+  PruneClassifier() = default;
+
+  /// Builds the classifier on top of a trained Tier-predictor's stack.
+  static PruneClassifier transfer_from(const TierPredictor& tier,
+                                       std::uint64_t seed = 303,
+                                       std::size_t head_hidden = 16);
+
+  /// Probability that pruning is safe for this sub-graph.
+  double prune_probability(const SubGraph& g) const;
+
+  bool should_prune(const SubGraph& g, double threshold = 0.5) const {
+    return prune_probability(g) >= threshold;
+  }
+
+  /// Balances the minority class with dummy-buffer oversampling, then
+  /// trains the classification head. `labels` parallel `graphs`.
+  gnn::TrainStats train_balanced(std::span<const SubGraph* const> graphs,
+                                 std::span<const int> labels,
+                                 const gnn::TrainOptions& opts = {},
+                                 std::uint64_t oversample_seed = 404);
+
+  gnn::GraphClassifier& model() { return model_; }
+  const gnn::GraphClassifier& model() const { return model_; }
+
+ private:
+  gnn::GraphClassifier model_;
+};
+
+}  // namespace m3dfl::core

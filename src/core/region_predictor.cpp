@@ -1,0 +1,66 @@
+#include "core/region_predictor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace m3dfl::core {
+
+RegionPredictor::RegionPredictor(int num_regions, std::uint64_t seed,
+                                 std::vector<std::size_t> hidden)
+    : num_regions_(num_regions),
+      model_(graphx::kNumSubgraphFeatures, hidden,
+             static_cast<std::size_t>(num_regions), seed) {
+  assert(num_regions >= 2);
+}
+
+graphx::SubGraph RegionPredictor::relabel(
+    const graphx::SubGraph& sub, std::span<const int> region_of_gate,
+    const netlist::SiteTable& sites, netlist::SiteId fault_site) const {
+  graphx::SubGraph out = sub;
+  const float denom = static_cast<float>(num_regions_ - 1);
+  for (std::size_t i = 0; i < out.num_nodes(); ++i) {
+    const netlist::GateId gate = sites.site(out.nodes[i]).gate;
+    out.feature(i, 3) =
+        static_cast<float>(region_of_gate[gate]) / denom;
+  }
+  if (fault_site != netlist::kNoSite) {
+    out.label_tier = region_of_gate[sites.site(fault_site).gate];
+  } else {
+    out.label_tier = -1;
+  }
+  return out;
+}
+
+std::vector<double> RegionPredictor::predict(const graphx::SubGraph& g) const {
+  return model_.predict(g);
+}
+
+RegionPredictor::Prediction RegionPredictor::predict_region(
+    const graphx::SubGraph& g) const {
+  const std::vector<double> p = predict(g);
+  const auto top = std::max_element(p.begin(), p.end()) - p.begin();
+  return {static_cast<int>(top), p[static_cast<std::size_t>(top)]};
+}
+
+gnn::TrainStats RegionPredictor::train(
+    std::span<const gnn::LabeledGraph> data, const gnn::TrainOptions& opts) {
+  return gnn::train_graph_classifier(model_, data, opts);
+}
+
+double RegionPredictor::accuracy(
+    std::span<const gnn::LabeledGraph> data) const {
+  return gnn::classifier_accuracy(model_, data);
+}
+
+std::vector<int> assign_regions(const netlist::Netlist& nl,
+                                int num_regions) {
+  assert(num_regions >= 1);
+  std::vector<int> region(nl.num_gates(), 0);
+  for (netlist::GateId g = 0; g < nl.num_gates(); ++g) {
+    const float x = std::clamp(nl.gate(g).pos, 0.0f, 0.9999f);
+    region[g] = static_cast<int>(x * static_cast<float>(num_regions));
+  }
+  return region;
+}
+
+}  // namespace m3dfl::core

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gnn/trainer.h"
+#include "netlist/fault_site.h"
+
+namespace m3dfl::core {
+
+/// K-way generalization of the Tier-predictor — the paper's Sec. III-C
+/// extension: "the proposed Tier-predictor can perform diagnosis on M3D
+/// designs with more than two tiers by extending the dimension of the
+/// graph representation vector to be the number of tiers in the CUDs."
+///
+/// A K-region design assigns every gate a region id in [0, K). The only
+/// feature-level change is that the binary Table-II tier feature becomes
+/// the normalized region index region / (K - 1); the readout widens from 2
+/// to K softmax outputs. Everything else — back-tracing, the remaining 12
+/// features, the GCN trunk — is reused unchanged.
+class RegionPredictor {
+ public:
+  explicit RegionPredictor(int num_regions, std::uint64_t seed = 505,
+                           std::vector<std::size_t> hidden = {32, 32});
+
+  int num_regions() const { return num_regions_; }
+
+  /// Rewrites a 2-tier sub-graph's tier feature with normalized K-region
+  /// ids (per node, looked up through the site table) and sets label_tier
+  /// to the region of `fault_site` (or leaves -1 when kNoSite).
+  graphx::SubGraph relabel(const graphx::SubGraph& sub,
+                           std::span<const int> region_of_gate,
+                           const netlist::SiteTable& sites,
+                           netlist::SiteId fault_site) const;
+
+  /// Per-region probabilities for one (relabeled) sub-graph.
+  std::vector<double> predict(const graphx::SubGraph& g) const;
+
+  /// Most likely region and its probability.
+  struct Prediction {
+    int region = 0;
+    double probability = 0.0;
+  };
+  Prediction predict_region(const graphx::SubGraph& g) const;
+
+  /// Trains on relabeled sub-graphs (label = SubGraph::label_tier, which
+  /// relabel() fills with the fault's region id).
+  gnn::TrainStats train(std::span<const gnn::LabeledGraph> data,
+                        const gnn::TrainOptions& opts = {});
+
+  double accuracy(std::span<const gnn::LabeledGraph> data) const;
+
+ private:
+  int num_regions_;
+  gnn::GraphClassifier model_;
+};
+
+/// Assigns every gate of a netlist to one of `num_regions` placement
+/// stripes (the K-region analogue of the striped tier partition). Region
+/// ids are contiguous in placement, so logic cones stay region-coherent.
+std::vector<int> assign_regions(const netlist::Netlist& nl, int num_regions);
+
+}  // namespace m3dfl::core

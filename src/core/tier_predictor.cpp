@@ -1,0 +1,26 @@
+#include "core/tier_predictor.h"
+
+namespace m3dfl::core {
+
+TierPredictor::TierPredictor(std::uint64_t seed,
+                             std::vector<std::size_t> hidden)
+    : model_(graphx::kNumSubgraphFeatures, hidden, 2, seed) {}
+
+TierPredictor::Prediction TierPredictor::predict(const SubGraph& g) const {
+  const std::vector<double> p = model_.predict(g);
+  Prediction out;
+  out.p_bottom = p[label_of(Tier::kBottom)];
+  out.p_top = p[label_of(Tier::kTop)];
+  return out;
+}
+
+TrainStats TierPredictor::train(std::span<const LabeledGraph> data,
+                                const TrainOptions& opts) {
+  return gnn::train_graph_classifier(model_, data, opts);
+}
+
+double TierPredictor::accuracy(std::span<const LabeledGraph> data) const {
+  return gnn::classifier_accuracy(model_, data);
+}
+
+}  // namespace m3dfl::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "gnn/trainer.h"
+#include "netlist/netlist.h"
+
+namespace m3dfl::core {
+
+using gnn::LabeledGraph;
+using gnn::TrainOptions;
+using gnn::TrainStats;
+using graphx::SubGraph;
+using netlist::Tier;
+
+/// GNN Model-1 of the paper: graph classification producing the vector
+/// [p_top, p_bottom] — the probabilities that the defect lies in the top or
+/// bottom device tier. Architecture: GCN stack + graph mean-pool readout +
+/// linear softmax (paper Sec. III-C). Extending to >2 tiers only requires
+/// widening the output vector.
+class TierPredictor {
+ public:
+  /// Label convention everywhere in the library: class index ==
+  /// static_cast<int>(Tier), i.e. 0 = bottom, 1 = top.
+  static int label_of(Tier t) { return static_cast<int>(t); }
+
+  explicit TierPredictor(std::uint64_t seed = 101,
+                         std::vector<std::size_t> hidden = {32, 32});
+
+  struct Prediction {
+    double p_top = 0.5;
+    double p_bottom = 0.5;
+    Tier tier() const {
+      return p_top >= p_bottom ? Tier::kTop : Tier::kBottom;
+    }
+    /// max(p_top, p_bottom): the confidence score compared against T_p.
+    double confidence() const { return p_top > p_bottom ? p_top : p_bottom; }
+  };
+
+  Prediction predict(const SubGraph& g) const;
+
+  /// Trains on labeled sub-graphs (label = SubGraph::label_tier).
+  TrainStats train(std::span<const LabeledGraph> data,
+                   const TrainOptions& opts = {});
+
+  /// Fraction of graphs whose predicted tier matches the label.
+  double accuracy(std::span<const LabeledGraph> data) const;
+
+  /// Pre-trained representation trunk, shared with the prune/reorder
+  /// Classifier via network-based transfer.
+  const gnn::GcnStack& stack() const { return model_.stack; }
+
+  gnn::GraphClassifier& model() { return model_; }
+  const gnn::GraphClassifier& model() const { return model_; }
+
+ private:
+  gnn::GraphClassifier model_;
+};
+
+}  // namespace m3dfl::core

@@ -1,0 +1,164 @@
+#include "diagnosis/baseline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace m3dfl::diag {
+
+const char* BaselineFeatures::name(int i) {
+  switch (i) {
+    case 0: return "match-score";
+    case 1: return "explained-fraction";
+    case 2: return "misprediction-rate";
+    case 3: return "rank-percentile";
+    case 4: return "driver-fanout";
+    case 5: return "is-stem";
+  }
+  return "?";
+}
+
+BaselineFeatures baseline_features(const Candidate& c, std::size_t rank,
+                                   std::size_t report_size,
+                                   const netlist::Netlist& nl,
+                                   const netlist::SiteTable& sites) {
+  BaselineFeatures f;
+  const double total_obs = c.matched + c.missed;
+  const double total_pred = c.matched + c.mispredicted;
+  f.x[0] = c.score;
+  f.x[1] = total_obs > 0 ? c.matched / total_obs : 0.0;
+  f.x[2] = total_pred > 0 ? c.mispredicted / total_pred : 0.0;
+  f.x[3] = report_size > 1
+               ? 1.0 - static_cast<double>(rank) /
+                           static_cast<double>(report_size - 1)
+               : 1.0;
+  const netlist::FaultSite& fs = sites.site(c.site);
+  f.x[4] = std::log1p(static_cast<double>(nl.gate(fs.driver).fanout.size())) /
+           std::log1p(8.0);
+  f.x[5] = fs.is_stem() ? 1.0 : 0.0;
+  return f;
+}
+
+double BaselineModel::probability(const BaselineFeatures& f) const {
+  double z = bias;
+  for (int i = 0; i < BaselineFeatures::kNum; ++i) z += w[i] * f.x[i];
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+BaselineModel train_baseline(const std::vector<BaselineTrainingSample>& data,
+                             const netlist::Netlist& nl,
+                             const netlist::SiteTable& sites,
+                             const BaselineTrainOptions& opts) {
+  // Flatten (features, label) pairs: label 1 = ground-truth candidate.
+  struct Ex {
+    BaselineFeatures f;
+    double y;
+  };
+  std::vector<Ex> examples;
+  for (const BaselineTrainingSample& s : data) {
+    const auto& cands = s.report->candidates;
+    for (std::size_t r = 0; r < cands.size(); ++r) {
+      const bool is_truth =
+          std::find(s.truth.begin(), s.truth.end(), cands[r].site) !=
+          s.truth.end();
+      examples.push_back(
+          {baseline_features(cands[r], r, cands.size(), nl, sites),
+           is_truth ? 1.0 : 0.0});
+    }
+  }
+  BaselineModel model;
+  if (examples.empty()) return model;
+
+  // Class weighting: ground-truth candidates are rare (one per report).
+  std::size_t pos = 0;
+  for (const Ex& e : examples) pos += e.y > 0.5;
+  const double w_pos =
+      pos ? static_cast<double>(examples.size()) / (2.0 * pos) : 1.0;
+  const double w_neg =
+      examples.size() > pos
+          ? static_cast<double>(examples.size()) / (2.0 * (examples.size() - pos))
+          : 1.0;
+
+  Rng rng(opts.seed);
+  std::vector<std::size_t> order(examples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.shuffle(order);
+    const double lr =
+        opts.learning_rate / (1.0 + 0.02 * static_cast<double>(epoch));
+    for (std::size_t i : order) {
+      const Ex& e = examples[i];
+      const double p = model.probability(e.f);
+      const double grad = (p - e.y) * (e.y > 0.5 ? w_pos : w_neg);
+      for (int k = 0; k < BaselineFeatures::kNum; ++k) {
+        model.w[k] -= lr * (grad * e.f.x[k] + opts.l2 * model.w[k]);
+      }
+      model.bias -= lr * grad;
+    }
+  }
+
+  // Recall-constrained threshold: highest tau such that at least
+  // min_report_recall of the training reports keep >= 1 truth candidate.
+  std::vector<double> truth_best;
+  for (const BaselineTrainingSample& s : data) {
+    const auto& cands = s.report->candidates;
+    double best = -1.0;
+    for (std::size_t r = 0; r < cands.size(); ++r) {
+      const bool is_truth =
+          std::find(s.truth.begin(), s.truth.end(), cands[r].site) !=
+          s.truth.end();
+      if (!is_truth) continue;
+      best = std::max(
+          best, model.probability(baseline_features(cands[r], r, cands.size(),
+                                                     nl, sites)));
+    }
+    if (best >= 0.0) truth_best.push_back(best);
+  }
+  if (truth_best.empty()) {
+    model.threshold = 0.0;
+    return model;
+  }
+  std::sort(truth_best.begin(), truth_best.end());
+  // Allow losing at most (1 - min_report_recall) of the reports.
+  const auto allowed = static_cast<std::size_t>(
+      (1.0 - opts.min_report_recall) * static_cast<double>(truth_best.size()));
+  const double tau = truth_best[std::min(allowed, truth_best.size() - 1)];
+  // Sit just under the lowest truth probability we must keep.
+  model.threshold = std::max(0.0, tau - 1e-9);
+  return model;
+}
+
+DiagnosisReport apply_baseline(const DiagnosisReport& report,
+                               const BaselineModel& model,
+                               const netlist::Netlist& nl,
+                               const netlist::SiteTable& sites) {
+  DiagnosisReport out;
+  out.seconds = report.seconds;
+  if (report.candidates.empty()) return out;
+
+  struct Scored {
+    Candidate c;
+    double p;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(report.candidates.size());
+  for (std::size_t r = 0; r < report.candidates.size(); ++r) {
+    const Candidate& c = report.candidates[r];
+    scored.push_back(
+        {c, model.probability(baseline_features(
+                c, r, report.candidates.size(), nl, sites))});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) { return a.p > b.p; });
+  for (const Scored& s : scored) {
+    if (s.p >= model.threshold || out.candidates.empty()) {
+      out.candidates.push_back(s.c);
+    }
+  }
+  return out;
+}
+
+}  // namespace m3dfl::diag

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "diagnosis/report.h"
+#include "netlist/fault_site.h"
+
+namespace m3dfl::diag {
+
+/// Per-candidate feature vector of the 2D baseline. Mirrors PADRE [11]
+/// (physically-aware diagnostic resolution enhancement): only tier-agnostic
+/// features derived from the report and circuit structure are used — the
+/// baseline has no notion of device tiers, which is exactly why it cannot
+/// provide tier-level localization (paper Sec. VI-A).
+struct BaselineFeatures {
+  static constexpr int kNum = 6;
+  std::array<double, kNum> x{};
+
+  static const char* name(int i);
+};
+
+/// Extracts baseline features for the candidate at `rank` (0-based) of a
+/// report of `report_size` entries.
+BaselineFeatures baseline_features(const Candidate& c, std::size_t rank,
+                                   std::size_t report_size,
+                                   const netlist::Netlist& nl,
+                                   const netlist::SiteTable& sites);
+
+/// First-level candidate classifier of the baseline: logistic regression
+/// over BaselineFeatures with a recall-constrained decision threshold. The
+/// paper compares against exactly this stage of [11] ("only the results
+/// from the first-level classifier ... are chosen to prevent a large loss
+/// of accuracy").
+struct BaselineModel {
+  std::array<double, BaselineFeatures::kNum> w{};
+  double bias = 0.0;
+  double threshold = 0.5;
+
+  double probability(const BaselineFeatures& f) const;
+};
+
+/// One labeled training report for the baseline.
+struct BaselineTrainingSample {
+  const DiagnosisReport* report;
+  std::vector<netlist::SiteId> truth;
+};
+
+struct BaselineTrainOptions {
+  int epochs = 300;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  /// Fraction of training reports that must keep at least one ground-truth
+  /// candidate after filtering; the threshold is lowered until satisfied.
+  double min_report_recall = 0.995;
+  std::uint64_t seed = 7;
+};
+
+/// Trains the first-level classifier on labeled diagnosis reports.
+BaselineModel train_baseline(const std::vector<BaselineTrainingSample>& data,
+                             const netlist::Netlist& nl,
+                             const netlist::SiteTable& sites,
+                             const BaselineTrainOptions& opts = {});
+
+/// Applies the baseline to a report: removes candidates the classifier
+/// rejects (always keeping at least the single best one) and reorders the
+/// survivors by descending classifier probability.
+DiagnosisReport apply_baseline(const DiagnosisReport& report,
+                               const BaselineModel& model,
+                               const netlist::Netlist& nl,
+                               const netlist::SiteTable& sites);
+
+}  // namespace m3dfl::diag

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/scan_config.h"
+#include "compress/compactor.h"
+#include "diagnosis/report.h"
+#include "netlist/fault_site.h"
+#include "sim/failure_log.h"
+#include "sim/fault_sim.h"
+
+namespace m3dfl::diag {
+
+using atpg::ScanConfig;
+using netlist::Netlist;
+using netlist::SiteTable;
+using sim::FailureLog;
+using sim::FaultSimulator;
+using sim::Word;
+
+/// Tuning of the effect-cause diagnosis engine.
+struct DiagnoserOptions {
+  /// Candidates scoring below keep_score_ratio * best are dropped.
+  double keep_score_ratio = 0.70;
+  /// Absolute floor: candidates below this Jaccard score are never kept.
+  double min_score = 0.30;
+  /// Report size cap. Ground truth beyond the cap is lost — the realistic
+  /// accuracy-loss mechanism of commercial tools on large designs.
+  std::size_t max_candidates = 48;
+  /// Cap on suspect sites that are fault-simulated per log.
+  std::size_t max_suspects = 3000;
+  /// Single-fault suspect gathering keeps gates explaining at least this
+  /// fraction of the failing responses (1.0 = strict intersection).
+  /// Commercial tools keep near-miss candidates because real defects only
+  /// approximate the fault model; this produces the partial-match report
+  /// entries the 2D baseline [11] exists to prune.
+  double single_fault_relax = 0.85;
+  /// Multi-fault mode: union-based suspect collection + greedy cover.
+  bool multifault = false;
+  /// Also hypothesize stuck-at candidates (SA0/SA1) next to the TDF
+  /// polarities, and drop the suspect transition requirement (a stuck site
+  /// fails patterns it never transitions on). Enables diagnosing stuck-at
+  /// defects with the same engine.
+  bool include_stuck_at = false;
+};
+
+/// Effect-cause TDF diagnosis with per-candidate fault-signature matching —
+/// the library's stand-in for the paper's commercial ATPG diagnosis flow.
+///
+/// Pipeline per failure log:
+///  1. structural back-trace: suspect gates = transitioning gates inside the
+///     fan-in cones of the failing observation points (intersected across
+///     failing responses for a single defect, united for multi-fault);
+///  2. candidate enumeration: stem and branch fault sites over the suspects;
+///  3. per-candidate TDF fault simulation (both polarities) and signature
+///     matching against the observed failure log — at the observation-point
+///     level in bypass mode, at the (channel, cycle) level with compaction;
+///  4. ranking by match score and report assembly.
+class Diagnoser {
+ public:
+  Diagnoser(const Netlist& nl, const SiteTable& sites, const ScanConfig& scan,
+            DiagnoserOptions opts = {});
+
+  /// Attaches the fault simulator (already bound to the pattern set).
+  void bind(FaultSimulator& fsim);
+
+  /// Diagnoses one failure log (compacted or not). Thread-compatible per
+  /// instance (not thread-safe across concurrent calls).
+  DiagnosisReport diagnose(const FailureLog& log);
+
+  const DiagnoserOptions& options() const { return opts_; }
+
+ private:
+  std::vector<netlist::GateId> collect_suspect_gates(const FailureLog& log);
+  std::vector<Candidate> score_candidates(
+      const FailureLog& log, const std::vector<netlist::GateId>& suspects);
+  DiagnosisReport assemble_single(std::vector<Candidate> scored);
+  DiagnosisReport assemble_multifault(std::vector<Candidate> scored,
+                                      const FailureLog& log);
+
+  bool gate_in_cone_of_output(netlist::GateId g, std::uint32_t output) const;
+
+  const Netlist* nl_;
+  const SiteTable* sites_;
+  ScanConfig scan_;
+  compress::ResponseCompactor compactor_;
+  DiagnoserOptions opts_;
+  FaultSimulator* fsim_ = nullptr;
+
+  // cone_[o] is a bitset over gates: the fan-in cone of observation o.
+  std::size_t cone_words_ = 0;
+  std::vector<Word> cone_;
+
+  // Scratch for signature matching.
+  std::vector<Word> obs_mask_;       ///< Observed diff masks (per obs/cell).
+  std::size_t obs_total_fails_ = 0;  ///< Popcount of obs_mask_.
+  std::vector<Word> pred_diff_;
+  std::vector<std::uint32_t> pred_touched_;
+  std::vector<Word> cell_scratch_;
+
+  // Per-candidate predicted signatures (multi-fault greedy cover).
+  struct Signature {
+    std::vector<std::uint64_t> keys;  ///< Sorted (cell, pattern) keys.
+  };
+  std::vector<Signature> signatures_;
+};
+
+}  // namespace m3dfl::diag

@@ -1,0 +1,151 @@
+#include "diagnosis/dictionary.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace m3dfl::diag {
+
+namespace {
+
+std::vector<std::uint64_t> keys_from_diff(std::span<const sim::Word> diff,
+                                          std::size_t num_outputs,
+                                          std::size_t W,
+                                          std::size_t num_patterns) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint32_t o = 0; o < num_outputs; ++o) {
+    for (std::size_t w = 0; w < W; ++w) {
+      sim::Word m = diff[static_cast<std::size_t>(o) * W + w];
+      while (m) {
+        const int bit = std::countr_zero(m);
+        m &= m - 1;
+        const std::size_t p = w * sim::kWordBits + static_cast<std::size_t>(bit);
+        if (p < num_patterns) {
+          keys.push_back((static_cast<std::uint64_t>(o) << 32) | p);
+        }
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+std::uint64_t FaultDictionary::hash_keys(
+    const std::vector<std::uint64_t>& keys) {
+  // FNV-1a over the sorted key stream.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t k : keys) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (k >> (8 * byte)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
+                                 const netlist::SiteTable& sites,
+                                 sim::FaultSimulator& fsim,
+                                 FaultDictionaryOptions options)
+    : nl_(&nl), sites_(&sites) {
+  std::vector<sim::Word> diff;
+  const std::size_t W = fsim.num_words();
+  for (netlist::SiteId s = 0; s < sites.size(); ++s) {
+    for (sim::FaultPolarity pol : options.polarities) {
+      if (!fsim.observed_diff({s, pol}, diff)) continue;
+      Entry e;
+      e.site = s;
+      e.polarity = pol;
+      e.keys = keys_from_diff(diff, nl.num_outputs(), W,
+                              fsim.num_patterns());
+      e.hash = hash_keys(e.keys);
+      by_hash_[e.hash].push_back(static_cast<std::uint32_t>(entries_.size()));
+      entries_.push_back(std::move(e));
+    }
+  }
+}
+
+std::size_t FaultDictionary::signature_bytes() const {
+  std::size_t total = 0;
+  for (const Entry& e : entries_) {
+    total += e.keys.size() * sizeof(std::uint64_t);
+  }
+  return total;
+}
+
+DiagnosisReport FaultDictionary::diagnose(const sim::FailureLog& log) const {
+  DiagnosisReport report;
+  if (log.compacted || log.empty()) return report;
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(log.fails.size());
+  for (const sim::FailureLog::Obs& f : log.fails) {
+    keys.push_back((static_cast<std::uint64_t>(f.output) << 32) | f.pattern);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  auto make_candidate = [this](const Entry& e, double score) {
+    Candidate c;
+    c.site = e.site;
+    c.polarity = e.polarity;
+    c.tier = sites_->tier_of(e.site, *nl_);
+    c.is_miv = sites_->is_miv_site(e.site, *nl_);
+    c.score = score;
+    return c;
+  };
+
+  // Exact matches first: hash bucket + full verification.
+  const std::uint64_t h = hash_keys(keys);
+  const auto bucket = by_hash_.find(h);
+  if (bucket != by_hash_.end()) {
+    for (std::uint32_t idx : bucket->second) {
+      const Entry& e = entries_[idx];
+      if (e.keys == keys) {
+        Candidate c = make_candidate(e, 1.0);
+        c.matched = static_cast<std::uint32_t>(keys.size());
+        report.candidates.push_back(c);
+      }
+    }
+  }
+  if (!report.candidates.empty()) {
+    std::sort(report.candidates.begin(), report.candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.site < b.site;
+              });
+    return report;
+  }
+
+  // Nearest-signature fallback: Jaccard over the stored signatures.
+  struct Scored {
+    double score;
+    std::uint32_t idx;
+  };
+  std::vector<Scored> scored;
+  std::vector<std::uint64_t> inter;
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    inter.clear();
+    std::set_intersection(keys.begin(), keys.end(), e.keys.begin(),
+                          e.keys.end(), std::back_inserter(inter));
+    if (inter.empty()) continue;
+    const double uni = static_cast<double>(keys.size() + e.keys.size() -
+                                           inter.size());
+    scored.push_back({static_cast<double>(inter.size()) / uni, i});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.idx < b.idx;
+  });
+  const FaultDictionaryOptions defaults;
+  for (const Scored& s : scored) {
+    if (report.candidates.size() >= defaults.max_candidates) break;
+    const Entry& e = entries_[s.idx];
+    Candidate c = make_candidate(e, s.score);
+    report.candidates.push_back(c);
+  }
+  return report;
+}
+
+}  // namespace m3dfl::diag

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "diagnosis/report.h"
+#include "sim/failure_log.h"
+#include "sim/fault_sim.h"
+
+namespace m3dfl::diag {
+
+/// Fault-dictionary diagnosis — the classic precompute-everything
+/// alternative to the effect-cause Diagnoser. Every fault's full failure
+/// signature is simulated once and indexed; diagnosing a failure log is
+/// then a hash lookup (exact matches) plus a similarity scan (nearest
+/// signatures), with no simulation on the tester-floor critical path.
+///
+/// Trade-off (the textbook one): the dictionary costs
+/// O(faults x signature) memory and a full fault-simulation campaign up
+/// front, but diagnosis drops from tens of milliseconds (effect-cause with
+/// per-candidate simulation) to microseconds. The paper's framework makes
+/// the same style of trade when it amortizes graph construction; this
+/// class completes the library's coverage of classic diagnosis techniques.
+struct FaultDictionaryOptions {
+  /// Only faults whose signature is non-empty are stored.
+  sim::FaultPolarity polarities[2] = {sim::FaultPolarity::kSlowToRise,
+                                      sim::FaultPolarity::kSlowToFall};
+  /// Report size cap for nearest-signature fallback.
+  std::size_t max_candidates = 32;
+};
+
+class FaultDictionary {
+ public:
+  /// Builds the dictionary by simulating every TDF once. `fsim` must be
+  /// bound to the production pattern set.
+  FaultDictionary(const netlist::Netlist& nl,
+                  const netlist::SiteTable& sites,
+                  sim::FaultSimulator& fsim,
+                  FaultDictionaryOptions options = {});
+
+  std::size_t num_entries() const { return entries_.size(); }
+
+  /// Memory footprint of the stored signatures, in bytes (the paper-style
+  /// cost figure for dictionary approaches).
+  std::size_t signature_bytes() const;
+
+  /// Diagnoses an uncompacted failure log. Exact signature matches rank
+  /// first (score 1); otherwise the highest-Jaccard signatures are
+  /// returned.
+  DiagnosisReport diagnose(const sim::FailureLog& log) const;
+
+ private:
+  struct Entry {
+    netlist::SiteId site;
+    sim::FaultPolarity polarity;
+    std::vector<std::uint64_t> keys;  ///< Sorted (output << 32 | pattern).
+    std::uint64_t hash;
+  };
+
+  static std::uint64_t hash_keys(const std::vector<std::uint64_t>& keys);
+
+  const netlist::Netlist* nl_;
+  const netlist::SiteTable* sites_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_hash_;
+};
+
+}  // namespace m3dfl::diag

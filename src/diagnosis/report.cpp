@@ -1,0 +1,60 @@
+#include "diagnosis/report.h"
+
+#include <algorithm>
+
+namespace m3dfl::diag {
+
+namespace {
+bool contains(std::span<const SiteId> xs, SiteId s) {
+  return std::find(xs.begin(), xs.end(), s) != xs.end();
+}
+}  // namespace
+
+bool DiagnosisReport::hits_any(std::span<const SiteId> truth) const {
+  return std::any_of(candidates.begin(), candidates.end(),
+                     [&truth](const Candidate& c) {
+                       return contains(truth, c.site);
+                     });
+}
+
+bool DiagnosisReport::hits_all(std::span<const SiteId> truth) const {
+  return std::all_of(truth.begin(), truth.end(), [this](SiteId s) {
+    return std::any_of(candidates.begin(), candidates.end(),
+                       [s](const Candidate& c) { return c.site == s; });
+  });
+}
+
+std::size_t DiagnosisReport::first_hit_index(
+    std::span<const SiteId> truth) const {
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (contains(truth, candidates[i].site)) return i + 1;
+  }
+  return 0;
+}
+
+bool DiagnosisReport::single_tier(Tier* which) const {
+  bool seen = false;
+  Tier t = Tier::kBottom;
+  for (const Candidate& c : candidates) {
+    if (c.is_miv) continue;
+    if (!seen) {
+      t = c.tier;
+      seen = true;
+    } else if (c.tier != t) {
+      return false;
+    }
+  }
+  if (!seen && !candidates.empty()) {
+    // MIV-only report: treat as localized to the MIVs' placement tier if
+    // they agree.
+    t = candidates.front().tier;
+    for (const Candidate& c : candidates) {
+      if (c.tier != t) return false;
+    }
+    seen = true;
+  }
+  if (seen && which) *which = t;
+  return seen;
+}
+
+}  // namespace m3dfl::diag

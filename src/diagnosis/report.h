@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/fault_site.h"
+#include "sim/fault_sim.h"
+
+namespace m3dfl::diag {
+
+using netlist::SiteId;
+using netlist::Tier;
+using sim::FaultPolarity;
+
+/// One ranked entry of a diagnosis report.
+struct Candidate {
+  SiteId site = netlist::kNoSite;
+  FaultPolarity polarity = FaultPolarity::kSlow;
+  Tier tier = Tier::kBottom;
+  bool is_miv = false;
+  double score = 0.0;            ///< Jaccard(predicted, observed) in [0, 1].
+  std::uint32_t matched = 0;     ///< Observed miscompares reproduced.
+  std::uint32_t mispredicted = 0;///< Predicted miscompares not observed.
+  std::uint32_t missed = 0;      ///< Observed miscompares not reproduced.
+};
+
+/// A ranked diagnosis report — what the paper's commercial ATPG diagnosis
+/// produces for one failure log, and what the GNN-based policy then prunes
+/// and reorders.
+struct DiagnosisReport {
+  std::vector<Candidate> candidates;  ///< Best first.
+  double seconds = 0.0;               ///< Wall-clock diagnosis time (T_ATPG).
+
+  /// Diagnostic resolution: the number of candidates (paper Sec. II-B).
+  std::size_t resolution() const { return candidates.size(); }
+
+  /// True if any candidate is one of the ground-truth sites.
+  bool hits_any(std::span<const SiteId> truth) const;
+
+  /// True if every ground-truth site appears in the candidate list
+  /// (the multi-fault accuracy criterion, paper Sec. VII-A).
+  bool hits_all(std::span<const SiteId> truth) const;
+
+  /// First-hit index: 1-based rank of the first ground-truth candidate, or
+  /// 0 when none is present.
+  std::size_t first_hit_index(std::span<const SiteId> truth) const;
+
+  /// True if all candidates lie in a single tier. MIV candidates are
+  /// tier-less (paper Sec. VII-B) and excluded from the check unless the
+  /// report is MIV-only.
+  bool single_tier(Tier* which = nullptr) const;
+};
+
+}  // namespace m3dfl::diag

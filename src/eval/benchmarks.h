@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atpg/patterns.h"
+#include "atpg/scan_config.h"
+#include "diagnosis/diagnoser.h"
+#include "graphx/hetero_graph.h"
+#include "m3d/miv.h"
+#include "m3d/partition.h"
+#include "netlist/fault_site.h"
+#include "netlist/generators.h"
+#include "netlist/transforms.h"
+#include "sim/fault_sim.h"
+
+namespace m3dfl::eval {
+
+/// Design configurations evaluated in the paper (Sec. IV):
+///  * kSyn1 — the training synthesis/partitioning flow;
+///  * kTPI  — test-point-inserted netlist;
+///  * kSyn2 — re-synthesized netlist (different clock target);
+///  * kPar  — alternative M3D partitioning algorithm;
+///  * kRandomPart — random partitioning (data augmentation only).
+enum class Config : std::uint8_t { kSyn1, kTPI, kSyn2, kPar, kRandomPart };
+
+const char* config_name(Config c);
+
+/// All four evaluation configurations, in table order.
+std::vector<Config> eval_configs();
+
+/// Everything that defines one benchmark circuit and its test setup. The
+/// four presets below stand in for the paper's AES / Tate / netcard /
+/// leon3mp (see DESIGN.md "Substitutions"): sizes are scaled down ~60x but
+/// the ordering and the diagnosis-difficulty profile (equivalence-class
+/// size via buffer_fraction, cone depth via locality/levels) mirror the
+/// paper's Table III.
+struct BenchmarkSpec {
+  std::string name;
+  netlist::GeneratorParams gen;
+  std::uint32_t num_chains = 32;
+  std::uint32_t compaction_ratio = 20;
+  std::size_t num_patterns = 256;
+  /// Enhanced-scan test application (independently controllable launch and
+  /// capture vectors). Gives the 97-99% TDF coverage the paper's
+  /// commercial deterministic ATPG reaches; plain launch-off-capture with
+  /// random vectors is also supported (see sim/logic_sim.h).
+  bool enhanced_scan = true;
+  /// Deterministic PODEM top-off budget (extra patterns appended after the
+  /// random base to reach paper-level TDF coverage). 0 disables.
+  std::size_t max_topoff_patterns = 512;
+  diag::DiagnoserOptions diag;
+  std::uint64_t seed = 1;
+};
+
+BenchmarkSpec aes_spec();
+BenchmarkSpec tate_spec();
+BenchmarkSpec netcard_spec();
+BenchmarkSpec leon3mp_spec();
+std::vector<BenchmarkSpec> all_benchmark_specs();
+
+/// A small spec for unit/integration tests (sub-second end-to-end).
+BenchmarkSpec tiny_spec();
+
+/// A fully built design: M3D netlist + scan + patterns + bound simulator +
+/// heterogeneous graph. Heap-held and immovable once built (the simulator
+/// and graph hold pointers into the owning struct).
+struct Design {
+  BenchmarkSpec spec;
+  Config config = Config::kSyn1;
+
+  netlist::Netlist nl;  ///< M3D netlist (tiers assigned, MIVs inserted).
+  netlist::SiteTable sites;
+  part::PartitionResult part;  ///< Tier stats of the final netlist.
+  atpg::ScanConfig scan;
+  sim::PatternSet patterns;    ///< Launch (V1) scan loads.
+  sim::PatternSet patterns_v2; ///< Capture (V2) loads (enhanced scan only).
+
+  std::unique_ptr<sim::FaultSimulator> fsim;   ///< Bound to `patterns`.
+  std::unique_ptr<graphx::HeteroGraph> graph;  ///< Transitions bound.
+
+  double graph_build_seconds = 0.0;  ///< Feature-construction time (T. IX).
+  double atpg_coverage = 0.0;  ///< Raw TDF coverage (all faults).
+  double test_coverage = 0.0;  ///< Coverage over testable faults (the
+                               ///< figure commercial tools report).
+  std::size_t num_topoff_patterns = 0;
+
+  Design() = default;
+  Design(const Design&) = delete;
+  Design& operator=(const Design&) = delete;
+
+  /// A diagnoser wired to this design (bound to fsim).
+  diag::Diagnoser make_diagnoser(bool multifault = false) const;
+};
+
+/// Builds a design for a benchmark in a given configuration.
+/// partition_seed distinguishes multiple random partitions (kRandomPart).
+std::unique_ptr<Design> build_design(const BenchmarkSpec& spec, Config config,
+                                     std::uint64_t partition_seed = 0);
+
+/// Process-wide design cache: building a design (ATPG with deterministic
+/// top-off, good-machine simulation, heterogeneous-graph construction) is
+/// the expensive step of every experiment, and designs are immutable once
+/// built, so experiment drivers share them. Keyed by (spec identity,
+/// config, partition_seed). Not thread-safe (the experiment drivers are
+/// single-threaded).
+Design& cached_design(const BenchmarkSpec& spec, Config config,
+                      std::uint64_t partition_seed = 0);
+
+}  // namespace m3dfl::eval

@@ -1,0 +1,147 @@
+#include "eval/datagen.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+#include "compress/compactor.h"
+
+namespace m3dfl::eval {
+
+using netlist::SiteId;
+using netlist::Tier;
+using sim::FaultPolarity;
+using sim::InjectedFault;
+
+namespace {
+
+FaultPolarity random_polarity(Rng& rng) {
+  return rng.bernoulli(0.5) ? FaultPolarity::kSlowToRise
+                            : FaultPolarity::kSlowToFall;
+}
+
+/// Draws the fault set for one sample according to the mode.
+std::vector<InjectedFault> draw_faults(const Design& d, FaultMode mode,
+                                       Rng& rng) {
+  std::vector<InjectedFault> faults;
+  switch (mode) {
+    case FaultMode::kSingleSite: {
+      const auto site =
+          static_cast<SiteId>(rng.next_below(d.sites.size()));
+      faults.push_back({site, random_polarity(rng)});
+      break;
+    }
+    case FaultMode::kSingleMiv: {
+      const std::vector<SiteId> mivs = d.sites.miv_sites(d.nl);
+      if (mivs.empty()) break;
+      faults.push_back({mivs[rng.pick_index(mivs)], random_polarity(rng)});
+      break;
+    }
+    case FaultMode::kMultiSameTier: {
+      const Tier tier = rng.bernoulli(0.5) ? Tier::kTop : Tier::kBottom;
+      const int k = static_cast<int>(rng.uniform_int(2, 5));
+      // Rejection-sample sites from the chosen tier (non-MIV, so the
+      // defects are unambiguously tier-resident).
+      int guard = 0;
+      while (static_cast<int>(faults.size()) < k && guard < 2000) {
+        ++guard;
+        const auto site =
+            static_cast<SiteId>(rng.next_below(d.sites.size()));
+        if (d.sites.tier_of(site, d.nl) != tier) continue;
+        if (d.sites.is_miv_site(site, d.nl)) continue;
+        const bool dup = std::any_of(
+            faults.begin(), faults.end(),
+            [site](const InjectedFault& f) { return f.site == site; });
+        if (dup) continue;
+        faults.push_back({site, random_polarity(rng)});
+      }
+      break;
+    }
+  }
+  return faults;
+}
+
+}  // namespace
+
+Dataset generate_dataset(const Design& design, const DatagenOptions& opts) {
+  Dataset ds;
+  ds.samples.reserve(opts.num_samples);
+  Rng rng(opts.seed);
+  sim::FaultSimulator& fsim = *design.fsim;
+  const compress::ResponseCompactor compactor(design.scan);
+
+  std::vector<sim::Word> diff;
+  for (std::size_t i = 0; i < opts.num_samples; ++i) {
+    Sample sample;
+    bool ok = false;
+    for (int attempt = 0; attempt < opts.max_retries && !ok; ++attempt) {
+      sample.faults = draw_faults(design, opts.mode, rng);
+      if (sample.faults.empty()) break;
+      ok = fsim.observed_diff(sample.faults, diff);
+    }
+    if (!ok) continue;  // Pattern set cannot detect anything here; skip.
+
+    if (opts.compacted) {
+      sample.log = compactor.failure_log_from_diff(diff, fsim.num_words(),
+                                                   fsim.num_patterns());
+      // XOR aliasing can cancel every miscompare; such a chip would pass
+      // the compacted test. Regenerate in that rare case.
+      if (sample.log.empty()) {
+        --i;
+        continue;
+      }
+    } else {
+      sample.log = sim::failure_log_from_diff(diff, design.nl.num_outputs(),
+                                              fsim.num_patterns());
+    }
+
+    sample.truth_sites.clear();
+    for (const InjectedFault& f : sample.faults) {
+      sample.truth_sites.push_back(f.site);
+    }
+    sample.fault_tier = static_cast<int>(
+        design.sites.tier_of(sample.faults.front().site, design.nl));
+    sample.truth_is_miv =
+        design.sites.is_miv_site(sample.faults.front().site, design.nl);
+
+    // Back-trace and label the sub-graph.
+    sample.sub =
+        graphx::backtrace_subgraph(*design.graph, sample.log, design.scan);
+    sample.sub.label_tier = sample.fault_tier;
+    sample.sub.truth_in_nodes = std::any_of(
+        sample.truth_sites.begin(), sample.truth_sites.end(),
+        [&sample](SiteId s) { return sample.sub.local_of(s) >= 0; });
+    for (std::size_t k = 0; k < sample.sub.miv_local.size(); ++k) {
+      const SiteId site = sample.sub.nodes[sample.sub.miv_local[k]];
+      const bool faulty = std::find(sample.truth_sites.begin(),
+                                    sample.truth_sites.end(),
+                                    site) != sample.truth_sites.end();
+      sample.sub.miv_label[k] = faulty ? 1.0f : 0.0f;
+    }
+
+    ds.samples.push_back(std::move(sample));
+  }
+  return ds;
+}
+
+std::vector<gnn::LabeledGraph> tier_labeled(const Dataset& ds) {
+  std::vector<gnn::LabeledGraph> out;
+  out.reserve(ds.samples.size());
+  for (const Sample& s : ds.samples) {
+    if (s.sub.num_nodes() == 0) continue;
+    out.push_back({&s.sub, s.fault_tier});
+  }
+  return out;
+}
+
+std::vector<const graphx::SubGraph*> graphs_of(const Dataset& ds) {
+  std::vector<const graphx::SubGraph*> out;
+  out.reserve(ds.samples.size());
+  for (const Sample& s : ds.samples) {
+    if (s.sub.num_nodes() == 0) continue;
+    out.push_back(&s.sub);
+  }
+  return out;
+}
+
+}  // namespace m3dfl::eval

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/benchmarks.h"
+#include "gnn/trainer.h"
+#include "graphx/backtrace.h"
+#include "sim/failure_log.h"
+
+namespace m3dfl::eval {
+
+/// Fault-injection mode of the data-generation flow (paper Fig. 4).
+enum class FaultMode : std::uint8_t {
+  kSingleSite,    ///< One TDF at a uniformly random fault site.
+  kSingleMiv,     ///< One TDF at a uniformly random MIV (MIV-targeted set).
+  kMultiSameTier, ///< 2-5 TDFs in one tier (tier-systematic defects,
+                  ///< paper Sec. VII-A).
+};
+
+/// One generated diagnosis sample: the injected defect(s), the tester
+/// failure log, and the back-traced labeled sub-graph.
+struct Sample {
+  sim::FailureLog log;
+  std::vector<sim::InjectedFault> faults;
+  std::vector<netlist::SiteId> truth_sites;  ///< Sites of `faults`.
+  int fault_tier = -1;     ///< Tier label (all faults share it by design).
+  bool truth_is_miv = false;
+  graphx::SubGraph sub;    ///< Back-traced sub-graph with labels filled.
+};
+
+struct Dataset {
+  std::vector<Sample> samples;
+
+  std::size_t size() const { return samples.size(); }
+};
+
+struct DatagenOptions {
+  std::size_t num_samples = 100;
+  FaultMode mode = FaultMode::kSingleSite;
+  bool compacted = false;
+  std::uint64_t seed = 1;
+  /// Retries per sample until the injected fault is detected by the
+  /// pattern set (undetected faults produce no failure log).
+  int max_retries = 64;
+};
+
+/// Runs the Fig.-4 flow on a built design: inject -> simulate -> failure
+/// log -> back-trace -> labeled sub-graph.
+Dataset generate_dataset(const Design& design, const DatagenOptions& opts);
+
+/// Labeled views used by the GNN trainers.
+std::vector<gnn::LabeledGraph> tier_labeled(const Dataset& ds);
+std::vector<const graphx::SubGraph*> graphs_of(const Dataset& ds);
+
+}  // namespace m3dfl::eval

@@ -1,0 +1,77 @@
+#include "eval/framework_io.h"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "gnn/serialize.h"
+
+namespace m3dfl::eval {
+
+void save_framework(const TrainedFramework& fw, std::ostream& os) {
+  os << "m3dfl-framework v1\n";
+  const auto old_precision = os.precision();
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "policy t_p " << fw.policy.t_p << '\n';
+  os << "policy miv_threshold " << fw.policy.miv_threshold << '\n';
+  os << "policy classifier_threshold " << fw.policy.classifier_threshold
+     << '\n';
+  os << "policy reorder_floor " << fw.policy.reorder_floor << '\n';
+  os.precision(old_precision);
+  gnn::save_graph_classifier(fw.tier.model(), os);
+  gnn::save_node_scorer(fw.miv.model(), os);
+  gnn::save_graph_classifier(fw.classifier.model(), os);
+}
+
+bool load_framework(TrainedFramework& fw, std::istream& is,
+                    std::string* error) {
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != "m3dfl-framework" ||
+      version != "v1") {
+    if (error) *error = "bad header (expected 'm3dfl-framework v1')";
+    return false;
+  }
+  TrainedFramework loaded;
+  for (int i = 0; i < 4; ++i) {
+    std::string word, key;
+    double value = 0.0;
+    if (!(is >> word >> key >> value) || word != "policy") {
+      if (error) *error = "expected 4 'policy <key> <value>' lines";
+      return false;
+    }
+    if (key == "t_p") {
+      loaded.policy.t_p = value;
+    } else if (key == "miv_threshold") {
+      loaded.policy.miv_threshold = value;
+    } else if (key == "classifier_threshold") {
+      loaded.policy.classifier_threshold = value;
+    } else if (key == "reorder_floor") {
+      loaded.policy.reorder_floor = value;
+    } else {
+      if (error) *error = "unknown policy key '" + key + "'";
+      return false;
+    }
+  }
+  if (!gnn::load_graph_classifier(loaded.tier.model(), is, error) ||
+      !gnn::load_node_scorer(loaded.miv.model(), is, error) ||
+      !gnn::load_graph_classifier(loaded.classifier.model(), is, error)) {
+    return false;
+  }
+  fw = std::move(loaded);
+  return true;
+}
+
+std::string framework_to_string(const TrainedFramework& fw) {
+  std::ostringstream os;
+  save_framework(fw, os);
+  return os.str();
+}
+
+bool framework_from_string(TrainedFramework& fw, const std::string& text,
+                           std::string* error) {
+  std::istringstream is(text);
+  return load_framework(fw, is, error);
+}
+
+}  // namespace m3dfl::eval

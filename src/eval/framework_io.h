@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "eval/experiments.h"
+
+namespace m3dfl::eval {
+
+/// On-disk format for a trained framework: the three GNN models plus the
+/// calibrated policy thresholds. This is what a production deployment
+/// ships to the tester floor — the paper's transferability result means
+/// one such file serves every configuration of a design.
+void save_framework(const TrainedFramework& fw, std::ostream& os);
+
+/// Loads a framework saved by save_framework. Returns false and fills
+/// `error` on malformed input.
+bool load_framework(TrainedFramework& fw, std::istream& is,
+                    std::string* error = nullptr);
+
+std::string framework_to_string(const TrainedFramework& fw);
+bool framework_from_string(TrainedFramework& fw, const std::string& text,
+                           std::string* error = nullptr);
+
+}  // namespace m3dfl::eval

@@ -1,0 +1,46 @@
+#include "gnn/adam.h"
+
+#include <cmath>
+
+namespace m3dfl::gnn {
+
+Adam::Adam(std::vector<ParamRef> params, AdamOptions opts)
+    : params_(std::move(params)), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    m_.emplace_back(p.size, 0.0f);
+    v_.emplace_back(p.size, 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(opts_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(opts_.beta2, t_);
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    ParamRef& p = params_[pi];
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (std::size_t i = 0; i < p.size; ++i) {
+      double g = p.grad[i];
+      if (opts_.weight_decay > 0.0) g += opts_.weight_decay * p.value[i];
+      m[i] = static_cast<float>(opts_.beta1 * m[i] + (1.0 - opts_.beta1) * g);
+      v[i] = static_cast<float>(opts_.beta2 * v[i] +
+                                (1.0 - opts_.beta2) * g * g);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      p.value[i] -= static_cast<float>(opts_.lr * mhat /
+                                       (std::sqrt(vhat) + opts_.eps));
+      p.grad[i] = 0.0f;
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (ParamRef& p : params_) {
+    for (std::size_t i = 0; i < p.size; ++i) p.grad[i] = 0.0f;
+  }
+}
+
+}  // namespace m3dfl::gnn

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "gnn/model.h"
+
+namespace m3dfl::gnn {
+
+/// Hyper-parameters of the Adam optimizer.
+struct AdamOptions {
+  double lr = 1e-2;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+};
+
+/// Adam optimizer over a flat list of parameter views.
+class Adam {
+ public:
+  Adam(std::vector<ParamRef> params, AdamOptions opts = {});
+
+  /// Applies one update from the accumulated gradients, then clears them.
+  void step();
+
+  /// Clears gradients without stepping.
+  void zero_grad();
+
+  const AdamOptions& options() const { return opts_; }
+  void set_lr(double lr) { opts_.lr = lr; }
+
+ private:
+  std::vector<ParamRef> params_;
+  AdamOptions opts_;
+  std::vector<std::vector<float>> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace m3dfl::gnn

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gnn/trainer.h"
+
+namespace m3dfl::gnn {
+
+struct ExplainOptions {
+  int iterations = 120;
+  double lr = 0.05;
+  /// L1 pressure on the mask (pushes useless features below 0.5).
+  double l1 = 0.02;
+  std::uint64_t seed = 23;
+};
+
+/// GNNExplainer-style feature-significance scores (paper Table II).
+///
+/// A multiplicative feature mask sigma(m) in (0,1)^F, initialized at 0.5,
+/// is optimized to keep the model's predictions (cross-entropy on the given
+/// labeled graphs) while an L1 term shrinks it: features the model relies
+/// on are pulled above 0.5 by the task gradient, unused ones are pushed
+/// below by the regularizer. The returned sigma(m) values are directly
+/// comparable to the paper's significance scores, which cluster tightly
+/// around 0.49 because every Table-II feature carries signal.
+std::vector<double> explain_feature_significance(
+    GraphClassifier& model, std::span<const LabeledGraph> data,
+    const ExplainOptions& opts = {});
+
+/// Cross-check metric: permutation importance — the accuracy drop when one
+/// feature column is shuffled across nodes within each graph.
+std::vector<double> permutation_importance(const GraphClassifier& model,
+                                           std::span<const LabeledGraph> data,
+                                           std::uint64_t seed = 29);
+
+}  // namespace m3dfl::gnn

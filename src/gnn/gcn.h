@@ -1,0 +1,82 @@
+#pragma once
+
+#include <vector>
+
+#include "gnn/matrix.h"
+#include "graphx/subgraph.h"
+
+namespace m3dfl::gnn {
+
+using graphx::SubGraph;
+
+/// Forward-pass cache of one GCN layer on one graph, kept for backprop.
+struct GcnCache {
+  Matrix agg;  ///< A_norm * H_in (aggregated inputs).
+  Matrix out;  ///< relu(agg * W + b); the ReLU mask is out > 0.
+};
+
+/// One graph-convolution layer implementing the paper's Eq. (1):
+///
+///   h_v^{l+1} = sigma( b^l + sum_{u in N(v)} h_u^l W^l / |N(v)| )
+///
+/// with N(v) taken as neighbors(v) + v itself (self-connection), the usual
+/// added-self-loop convention for GCNs on sub-graphs that may contain
+/// isolated nodes. sigma is ReLU.
+class GcnLayer {
+ public:
+  GcnLayer() = default;
+  GcnLayer(std::size_t in_dim, std::size_t out_dim, Rng& rng);
+
+  std::size_t in_dim() const { return W.rows(); }
+  std::size_t out_dim() const { return W.cols(); }
+
+  /// Mean-aggregates h_in over the graph's (undirected) adjacency with a
+  /// self-loop: agg[v] = (h[v] + sum_{u in N(v)} h[u]) / (1 + |N(v)|).
+  static Matrix aggregate(const SubGraph& g, const Matrix& h_in);
+
+  /// The transpose operation of aggregate() (A_norm is not symmetric after
+  /// row normalization, so backprop needs A_norm^T explicitly).
+  static Matrix aggregate_transpose(const SubGraph& g, const Matrix& d_agg);
+
+  /// Forward pass; fills `cache` for backward.
+  Matrix forward(const SubGraph& g, const Matrix& h_in, GcnCache* cache) const;
+
+  /// Backward pass: consumes dL/d(out), accumulates gW / gb, and returns
+  /// dL/d(h_in). `h_in` must be the same matrix passed to forward.
+  Matrix backward(const SubGraph& g, const Matrix& h_in, const GcnCache& cache,
+                  const Matrix& d_out);
+
+  void zero_grad();
+
+  Matrix W;               ///< in_dim x out_dim.
+  std::vector<float> b;   ///< out_dim.
+  Matrix gW;              ///< Gradient accumulator for W.
+  std::vector<float> gb;  ///< Gradient accumulator for b.
+};
+
+/// A stack of GCN layers (the shared representation trunk of all three
+/// models in the paper: Tier-predictor, MIV-pinpointer, Classifier).
+class GcnStack {
+ public:
+  GcnStack() = default;
+  GcnStack(std::size_t in_dim, const std::vector<std::size_t>& hidden,
+           Rng& rng);
+
+  std::size_t out_dim() const { return layers.empty() ? 0 : layers.back().out_dim(); }
+
+  /// Forward through all layers; caches one entry per layer.
+  Matrix forward(const SubGraph& g, const Matrix& x,
+                 std::vector<GcnCache>* caches) const;
+
+  /// Backward through all layers; accumulates gradients (unless frozen) and
+  /// returns dL/dX — the input-feature gradient used by the explainer.
+  Matrix backward(const SubGraph& g, const Matrix& x,
+                  const std::vector<GcnCache>& caches, const Matrix& d_out,
+                  bool accumulate_grads = true);
+
+  void zero_grad();
+
+  std::vector<GcnLayer> layers;
+};
+
+}  // namespace m3dfl::gnn

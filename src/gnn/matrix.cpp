@@ -1,0 +1,117 @@
+#include "gnn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace m3dfl::gnn {
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    float* orow = out.row(i);
+    const float* arow = a.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float av = arow[k];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.row(k);
+    const float* brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row(j);
+      float s = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      orow[j] = s;
+    }
+  }
+  return out;
+}
+
+void add_bias_rows(Matrix& m, std::span<const float> bias) {
+  assert(bias.size() == m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* row = m.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) row[j] += bias[j];
+  }
+}
+
+void relu_inplace(Matrix& m) {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = std::max(0.0f, m.data()[i]);
+  }
+}
+
+void accumulate(Matrix& dst, const Matrix& src) {
+  assert(dst.rows() == src.rows() && dst.cols() == src.cols());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst.data()[i] += src.data()[i];
+}
+
+void add_colsum(std::span<float> out, const Matrix& m) {
+  assert(out.size() == m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += row[j];
+  }
+}
+
+Matrix row_mean(const Matrix& m) {
+  Matrix out(1, m.cols());
+  if (m.rows() == 0) return out;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) out.at(0, j) += row[j];
+  }
+  const auto inv = 1.0f / static_cast<float>(m.rows());
+  for (std::size_t j = 0; j < m.cols(); ++j) out.at(0, j) *= inv;
+  return out;
+}
+
+std::vector<double> softmax(std::span<const float> logits) {
+  std::vector<double> p(logits.size());
+  double mx = -1e30;
+  for (float v : logits) mx = std::max(mx, static_cast<double>(v));
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(static_cast<double>(logits[i]) - mx);
+    sum += p[i];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+}  // namespace m3dfl::gnn

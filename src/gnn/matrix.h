@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace m3dfl::gnn {
+
+/// Dense row-major float matrix. The GNN work here is on sub-graphs of
+/// tens-to-hundreds of nodes with feature widths <= 64, so a simple dense
+/// kernel set is both sufficient and cache-friendly; no external BLAS.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float init = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  /// Glorot/Xavier-uniform initialization (the standard GCN init).
+  static Matrix xavier(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b. Shapes: (m x k) * (k x n) -> (m x n).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// out = a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n). Used for weight
+/// gradients (inputs^T * upstream).
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// out = a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n). Used to push
+/// gradients through a linear layer (upstream * W^T).
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// Adds a bias row vector to every row of m.
+void add_bias_rows(Matrix& m, std::span<const float> bias);
+
+/// In-place ReLU.
+void relu_inplace(Matrix& m);
+
+/// dst += src (same shape).
+void accumulate(Matrix& dst, const Matrix& src);
+
+/// Column-wise sum of m, accumulated into out (size m.cols()).
+void add_colsum(std::span<float> out, const Matrix& m);
+
+/// Row-wise mean of m: returns a 1 x cols matrix.
+Matrix row_mean(const Matrix& m);
+
+/// Numerically stable softmax over a single row vector.
+std::vector<double> softmax(std::span<const float> logits);
+
+}  // namespace m3dfl::gnn

@@ -1,0 +1,289 @@
+#include "gnn/model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace m3dfl::gnn {
+
+Matrix features_matrix(const SubGraph& g) {
+  Matrix x(g.num_nodes(), graphx::kNumSubgraphFeatures);
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    for (std::size_t f = 0; f < graphx::kNumSubgraphFeatures; ++f) {
+      x.at(i, f) = g.feature(i, f);
+    }
+  }
+  return x;
+}
+
+GraphClassifier::GraphClassifier(std::size_t in_dim,
+                                 const std::vector<std::size_t>& hidden,
+                                 std::size_t num_classes, std::uint64_t seed) {
+  Rng rng(seed);
+  stack = GcnStack(in_dim, hidden, rng);
+  Wo = Matrix::xavier(stack.out_dim(), num_classes, rng);
+  gWo = Matrix(stack.out_dim(), num_classes);
+  bo.assign(num_classes, 0.0f);
+  gbo.assign(num_classes, 0.0f);
+}
+
+GraphClassifier GraphClassifier::transfer_from(const GcnStack& pretrained,
+                                               std::size_t num_classes,
+                                               std::size_t head_hidden,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  GraphClassifier m;
+  m.stack = pretrained;  // Deep copy of the pre-trained representation.
+  m.stack.zero_grad();
+  m.freeze_stack = true;
+  std::size_t d = m.stack.out_dim();
+  if (head_hidden > 0) {
+    m.has_hidden_head = true;
+    m.Wh = Matrix::xavier(d, head_hidden, rng);
+    m.gWh = Matrix(d, head_hidden);
+    m.bh.assign(head_hidden, 0.0f);
+    m.gbh.assign(head_hidden, 0.0f);
+    d = head_hidden;
+  }
+  m.Wo = Matrix::xavier(d, num_classes, rng);
+  m.gWo = Matrix(d, num_classes);
+  m.bo.assign(num_classes, 0.0f);
+  m.gbo.assign(num_classes, 0.0f);
+  return m;
+}
+
+std::vector<double> GraphClassifier::predict(const SubGraph& g) const {
+  return predict_with_features(g, features_matrix(g));
+}
+
+std::vector<double> GraphClassifier::predict_with_features(
+    const SubGraph& g, const Matrix& x) const {
+  const std::size_t c = num_classes();
+  if (g.num_nodes() == 0) {
+    return std::vector<double>(c, 1.0 / static_cast<double>(c));
+  }
+  const Matrix h = stack.forward(g, x, nullptr);
+  Matrix pooled = row_mean(h);
+  if (has_hidden_head) {
+    Matrix z = matmul(pooled, Wh);
+    add_bias_rows(z, bh);
+    relu_inplace(z);
+    pooled = std::move(z);
+  }
+  Matrix logits = matmul(pooled, Wo);
+  add_bias_rows(logits, bo);
+  return softmax({logits.data(), logits.size()});
+}
+
+namespace {
+
+/// Shared forward/backward core for train_graph and input_gradient.
+struct ClassifierPass {
+  std::vector<GcnCache> caches;
+  Matrix h;        // Stack output.
+  Matrix pooled;   // Mean pool (1 x d).
+  Matrix hidden;   // Optional head activation (1 x dh).
+  Matrix logits;   // 1 x C.
+  std::vector<double> probs;
+};
+
+void forward_pass(const GraphClassifier& m, const SubGraph& g, const Matrix& x,
+                  ClassifierPass& p) {
+  p.h = m.stack.forward(g, x, &p.caches);
+  p.pooled = row_mean(p.h);
+  if (m.has_hidden_head) {
+    p.hidden = matmul(p.pooled, m.Wh);
+    add_bias_rows(p.hidden, m.bh);
+    relu_inplace(p.hidden);
+    p.logits = matmul(p.hidden, m.Wo);
+  } else {
+    p.logits = matmul(p.pooled, m.Wo);
+  }
+  add_bias_rows(p.logits, m.bo);
+  p.probs = softmax({p.logits.data(), p.logits.size()});
+}
+
+}  // namespace
+
+double GraphClassifier::train_graph(const SubGraph& g, int label,
+                                    double weight) {
+  assert(label >= 0 && static_cast<std::size_t>(label) < num_classes());
+  if (g.num_nodes() == 0) return 0.0;
+  const Matrix x = features_matrix(g);
+  ClassifierPass p;
+  forward_pass(*this, g, x, p);
+  const double loss =
+      -weight * std::log(std::max(1e-12, p.probs[static_cast<std::size_t>(label)]));
+
+  // d(loss)/d(logits) = probs - onehot.
+  Matrix d_logits(1, num_classes());
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    d_logits.at(0, c) = static_cast<float>(
+        weight * (p.probs[c] - (static_cast<int>(c) == label ? 1.0 : 0.0)));
+  }
+
+  Matrix d_pooled;
+  if (has_hidden_head) {
+    accumulate(gWo, matmul_at_b(p.hidden, d_logits));
+    add_colsum(gbo, d_logits);
+    Matrix d_hidden = matmul_a_bt(d_logits, Wo);
+    for (std::size_t i = 0; i < d_hidden.size(); ++i) {
+      if (p.hidden.data()[i] <= 0.0f) d_hidden.data()[i] = 0.0f;
+    }
+    accumulate(gWh, matmul_at_b(p.pooled, d_hidden));
+    add_colsum(gbh, d_hidden);
+    d_pooled = matmul_a_bt(d_hidden, Wh);
+  } else {
+    accumulate(gWo, matmul_at_b(p.pooled, d_logits));
+    add_colsum(gbo, d_logits);
+    d_pooled = matmul_a_bt(d_logits, Wo);
+  }
+
+  // Mean-pool backward: every node row receives d_pooled / N.
+  Matrix d_h(g.num_nodes(), stack.out_dim());
+  const float inv = 1.0f / static_cast<float>(g.num_nodes());
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    for (std::size_t j = 0; j < stack.out_dim(); ++j) {
+      d_h.at(i, j) = d_pooled.at(0, j) * inv;
+    }
+  }
+  stack.backward(g, x, p.caches, d_h, /*accumulate_grads=*/!freeze_stack);
+  return loss;
+}
+
+Matrix GraphClassifier::input_gradient(const SubGraph& g, int label,
+                                       const Matrix& x) {
+  assert(g.num_nodes() > 0);
+  ClassifierPass p;
+  forward_pass(*this, g, x, p);
+  Matrix d_logits(1, num_classes());
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    d_logits.at(0, c) = static_cast<float>(
+        p.probs[c] - (static_cast<int>(c) == label ? 1.0 : 0.0));
+  }
+  Matrix d_pooled;
+  if (has_hidden_head) {
+    Matrix d_hidden = matmul_a_bt(d_logits, Wo);
+    for (std::size_t i = 0; i < d_hidden.size(); ++i) {
+      if (p.hidden.data()[i] <= 0.0f) d_hidden.data()[i] = 0.0f;
+    }
+    d_pooled = matmul_a_bt(d_hidden, Wh);
+  } else {
+    d_pooled = matmul_a_bt(d_logits, Wo);
+  }
+  Matrix d_h(g.num_nodes(), stack.out_dim());
+  const float inv = 1.0f / static_cast<float>(g.num_nodes());
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    for (std::size_t j = 0; j < stack.out_dim(); ++j) {
+      d_h.at(i, j) = d_pooled.at(0, j) * inv;
+    }
+  }
+  return stack.backward(g, x, p.caches, d_h, /*accumulate_grads=*/false);
+}
+
+std::vector<ParamRef> GraphClassifier::params() {
+  std::vector<ParamRef> out;
+  if (!freeze_stack) {
+    for (GcnLayer& l : stack.layers) {
+      out.push_back({l.W.data(), l.gW.data(), l.W.size()});
+      out.push_back({l.b.data(), l.gb.data(), l.b.size()});
+    }
+  }
+  if (has_hidden_head) {
+    out.push_back({Wh.data(), gWh.data(), Wh.size()});
+    out.push_back({bh.data(), gbh.data(), bh.size()});
+  }
+  out.push_back({Wo.data(), gWo.data(), Wo.size()});
+  out.push_back({bo.data(), gbo.data(), bo.size()});
+  return out;
+}
+
+void GraphClassifier::zero_grad() {
+  stack.zero_grad();
+  if (has_hidden_head) {
+    gWh.zero();
+    std::fill(gbh.begin(), gbh.end(), 0.0f);
+  }
+  gWo.zero();
+  std::fill(gbo.begin(), gbo.end(), 0.0f);
+}
+
+NodeScorer::NodeScorer(std::size_t in_dim,
+                       const std::vector<std::size_t>& hidden,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  stack = GcnStack(in_dim, hidden, rng);
+  Wo = Matrix::xavier(stack.out_dim(), 1, rng);
+  gWo = Matrix(stack.out_dim(), 1);
+  bo.assign(1, 0.0f);
+  gbo.assign(1, 0.0f);
+}
+
+std::vector<double> NodeScorer::predict_miv(const SubGraph& g) const {
+  std::vector<double> scores(g.miv_local.size(), 0.0);
+  if (g.num_nodes() == 0 || g.miv_local.empty()) return scores;
+  const Matrix x = features_matrix(g);
+  const Matrix h = stack.forward(g, x, nullptr);
+  for (std::size_t k = 0; k < g.miv_local.size(); ++k) {
+    const float* row = h.row(g.miv_local[k]);
+    double z = bo[0];
+    for (std::size_t j = 0; j < stack.out_dim(); ++j) {
+      z += static_cast<double>(row[j]) * Wo.at(j, 0);
+    }
+    scores[k] = 1.0 / (1.0 + std::exp(-z));
+  }
+  return scores;
+}
+
+double NodeScorer::train_graph(const SubGraph& g, double pos_weight) {
+  if (g.num_nodes() == 0 || g.miv_local.empty()) return 0.0;
+  assert(g.miv_label.size() == g.miv_local.size());
+  const Matrix x = features_matrix(g);
+  std::vector<GcnCache> caches;
+  const Matrix h = stack.forward(g, x, &caches);
+
+  Matrix d_h(g.num_nodes(), stack.out_dim());
+  double loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(g.miv_local.size());
+  for (std::size_t k = 0; k < g.miv_local.size(); ++k) {
+    const std::uint32_t node = g.miv_local[k];
+    const float* row = h.row(node);
+    double z = bo[0];
+    for (std::size_t j = 0; j < stack.out_dim(); ++j) {
+      z += static_cast<double>(row[j]) * Wo.at(j, 0);
+    }
+    const double p = 1.0 / (1.0 + std::exp(-z));
+    const double y = g.miv_label[k];
+    const double w = y > 0.5 ? pos_weight : 1.0;
+    loss -= w * (y * std::log(std::max(1e-12, p)) +
+                 (1.0 - y) * std::log(std::max(1e-12, 1.0 - p)));
+    const auto dz = static_cast<float>(w * (p - y) * inv_n);
+    // d(z)/d(Wo_j) = h_j; d(z)/d(h_j) = Wo_j.
+    for (std::size_t j = 0; j < stack.out_dim(); ++j) {
+      gWo.at(j, 0) += dz * row[j];
+      d_h.at(node, j) += dz * Wo.at(j, 0);
+    }
+    gbo[0] += dz;
+  }
+  loss *= inv_n;
+  stack.backward(g, x, caches, d_h, /*accumulate_grads=*/true);
+  return loss;
+}
+
+std::vector<ParamRef> NodeScorer::params() {
+  std::vector<ParamRef> out;
+  for (GcnLayer& l : stack.layers) {
+    out.push_back({l.W.data(), l.gW.data(), l.W.size()});
+    out.push_back({l.b.data(), l.gb.data(), l.b.size()});
+  }
+  out.push_back({Wo.data(), gWo.data(), Wo.size()});
+  out.push_back({bo.data(), gbo.data(), bo.size()});
+  return out;
+}
+
+void NodeScorer::zero_grad() {
+  stack.zero_grad();
+  gWo.zero();
+  std::fill(gbo.begin(), gbo.end(), 0.0f);
+}
+
+}  // namespace m3dfl::gnn

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/gcn.h"
+
+namespace m3dfl::gnn {
+
+/// A view of one learnable tensor, consumed by the Adam optimizer.
+struct ParamRef {
+  float* value = nullptr;
+  float* grad = nullptr;
+  std::size_t size = 0;
+};
+
+/// Copies a sub-graph's features into a Matrix (N x kNumSubgraphFeatures).
+Matrix features_matrix(const SubGraph& g);
+
+/// Graph-classification model: GCN stack -> mean-pool readout -> (optional
+/// hidden linear) -> linear -> softmax. This is the architecture of both
+/// the Tier-predictor (2 outputs, [p_top, p_bottom]) and the transfer-
+/// learned prune/reorder Classifier (pre-trained frozen stack + trainable
+/// classification layers, paper Sec. V-C).
+class GraphClassifier {
+ public:
+  GraphClassifier() = default;
+
+  /// Fresh model: stack over `hidden` widths, then a linear readout head.
+  GraphClassifier(std::size_t in_dim, const std::vector<std::size_t>& hidden,
+                  std::size_t num_classes, std::uint64_t seed);
+
+  /// Network-based transfer (paper Sec. V-C): copies a pre-trained GCN
+  /// stack, freezes it, and attaches freshly initialized classification
+  /// layers (hidden width `head_hidden`, 0 = direct linear head).
+  static GraphClassifier transfer_from(const GcnStack& pretrained,
+                                       std::size_t num_classes,
+                                       std::size_t head_hidden,
+                                       std::uint64_t seed);
+
+  std::size_t num_classes() const { return Wo.cols(); }
+
+  /// Class probabilities for one graph. Empty graphs yield uniform output.
+  std::vector<double> predict(const SubGraph& g) const;
+
+  /// Probabilities with explicit features (used by the explainer's masked
+  /// evaluation).
+  std::vector<double> predict_with_features(const SubGraph& g,
+                                            const Matrix& x) const;
+
+  /// Forward + backward for one labeled graph; accumulates parameter
+  /// gradients (stack grads skipped when frozen) and returns the
+  /// cross-entropy loss. `weight` scales the example (class weighting).
+  double train_graph(const SubGraph& g, int label, double weight = 1.0);
+
+  /// dL/dX for one labeled graph under explicit features. Parameter
+  /// gradients are not touched. Used by the GNNExplainer-style mask
+  /// optimizer.
+  Matrix input_gradient(const SubGraph& g, int label, const Matrix& x);
+
+  std::vector<ParamRef> params();
+  void zero_grad();
+
+  GcnStack stack;
+  bool freeze_stack = false;
+
+  // Optional hidden classification layer (transfer-learned Classifier).
+  bool has_hidden_head = false;
+  Matrix Wh, gWh;
+  std::vector<float> bh, gbh;
+
+  // Output layer.
+  Matrix Wo, gWo;
+  std::vector<float> bo, gbo;
+};
+
+/// Node-classification model: GCN stack -> per-node linear -> sigmoid.
+/// This is the MIV-pinpointer: it scores each MIV node of the sub-graph
+/// with the probability that this MIV is defective (paper Sec. III-C:
+/// "node classification is used to pinpoint the set of defective MIVs").
+class NodeScorer {
+ public:
+  NodeScorer() = default;
+  NodeScorer(std::size_t in_dim, const std::vector<std::size_t>& hidden,
+             std::uint64_t seed);
+
+  /// Scores the sub-graph's MIV nodes (parallel to g.miv_local).
+  std::vector<double> predict_miv(const SubGraph& g) const;
+
+  /// Forward + backward with BCE over the graph's labeled MIV nodes;
+  /// positives weighted by pos_weight. Returns the mean loss (0 when the
+  /// graph has no MIV nodes).
+  double train_graph(const SubGraph& g, double pos_weight = 1.0);
+
+  std::vector<ParamRef> params();
+  void zero_grad();
+
+  GcnStack stack;
+  Matrix Wo, gWo;              ///< stack.out_dim() x 1.
+  std::vector<float> bo, gbo;  ///< Single bias.
+};
+
+}  // namespace m3dfl::gnn

@@ -1,0 +1,94 @@
+#include "gnn/oversample.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace m3dfl::gnn {
+
+SubGraph append_dummy_buffer(const SubGraph& g, std::uint32_t local_node) {
+  assert(local_node < g.num_nodes());
+  SubGraph out = g;
+  const std::size_t n = g.num_nodes();
+  const auto new_idx = static_cast<std::uint32_t>(n);
+
+  // The synthetic node id must stay unique and larger than existing ids so
+  // `nodes` stays sorted; it does not correspond to a physical site.
+  out.nodes.push_back(g.nodes.empty() ? 0 : g.nodes.back() + 1 +
+                                                static_cast<graphx::SiteId>(n));
+
+  // Rebuild CSR with the extra undirected edge (local_node <-> new node).
+  std::vector<std::vector<std::uint32_t>> adj(n + 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    adj[v].assign(g.col_idx.begin() + g.row_ptr[v],
+                  g.col_idx.begin() + g.row_ptr[v + 1]);
+  }
+  adj[local_node].push_back(new_idx);
+  adj[new_idx].push_back(local_node);
+  out.row_ptr.assign(n + 2, 0);
+  out.col_idx.clear();
+  for (std::size_t v = 0; v <= n; ++v) {
+    out.row_ptr[v + 1] = out.row_ptr[v] + adj[v].size();
+    out.col_idx.insert(out.col_idx.end(), adj[v].begin(), adj[v].end());
+  }
+
+  // Buffer-like features: degree 1 in/out, host's tier and Topedge stats,
+  // slightly deeper level, not a MIV, is a gate output.
+  out.features.resize((n + 1) * graphx::kNumSubgraphFeatures);
+  const float deg1 =
+      static_cast<float>(std::log1p(1.0) / std::log1p(8.0));
+  float* f = out.features.data() + n * graphx::kNumSubgraphFeatures;
+  const float* host = g.features.data() +
+                      static_cast<std::size_t>(local_node) *
+                          graphx::kNumSubgraphFeatures;
+  f[0] = deg1;            // circuit fan-in
+  f[1] = deg1;            // circuit fan-out
+  f[2] = host[2];         // Topedges connected (inherits the host's cone)
+  f[3] = host[3];         // tier
+  f[4] = std::min(1.0f, host[4] + 0.01f);  // one level deeper
+  f[5] = 1.0f;            // buffer output pin
+  f[6] = host[6];         // connects-to-MIV
+  f[7] = deg1;            // sub-graph fan-in
+  f[8] = deg1;            // sub-graph fan-out
+  f[9] = host[9];
+  f[10] = host[10];
+  f[11] = host[11];
+  f[12] = host[12];
+
+  // miv_local / miv_label indices are unaffected (new node is not a MIV).
+  return out;
+}
+
+std::vector<SubGraph> oversample_with_buffers(
+    std::span<const SubGraph* const> minority, std::size_t target,
+    std::uint64_t seed) {
+  std::vector<SubGraph> out;
+  if (minority.empty()) return out;
+  Rng rng(seed);
+  out.reserve(target);
+  // Originals first.
+  for (const SubGraph* g : minority) {
+    if (out.size() >= target) break;
+    out.push_back(*g);
+  }
+  // Then synthetic variants with 1..k consecutive buffers.
+  std::size_t k = 1;
+  while (out.size() < target) {
+    for (const SubGraph* g : minority) {
+      if (out.size() >= target) break;
+      if (g->num_nodes() == 0) continue;
+      SubGraph synth = *g;
+      for (std::size_t b = 0; b < k; ++b) {
+        const auto node = static_cast<std::uint32_t>(
+            rng.next_below(synth.num_nodes()));
+        synth = append_dummy_buffer(synth, node);
+      }
+      out.push_back(std::move(synth));
+    }
+    ++k;
+  }
+  return out;
+}
+
+}  // namespace m3dfl::gnn

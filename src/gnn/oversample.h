@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graphx/subgraph.h"
+
+namespace m3dfl::gnn {
+
+using graphx::SubGraph;
+
+/// Appends a dummy buffer node after the given local node: the new node
+/// copies the host's tier / Topedge statistics, takes buffer-like degrees,
+/// and is connected to the host in the undirected adjacency. This is the
+/// paper's graph-oversampling primitive (Sec. V-C): "we develop a novel
+/// oversampling algorithm by inserting dummy buffers into samples in the
+/// minority class ... without affecting the functionality".
+SubGraph append_dummy_buffer(const SubGraph& g, std::uint32_t local_node);
+
+/// Balances a minority class by synthesizing variants of its graphs with
+/// 1..k consecutive dummy buffers at randomly chosen nodes, until `target`
+/// synthetic + original samples exist. Labels/metadata are copied from the
+/// source graph. Deterministic under the seed.
+std::vector<SubGraph> oversample_with_buffers(
+    std::span<const SubGraph* const> minority, std::size_t target,
+    std::uint64_t seed);
+
+}  // namespace m3dfl::gnn

@@ -1,0 +1,99 @@
+#include "gnn/pca.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace m3dfl::gnn {
+
+std::array<double, 2> PcaResult::project2(std::span<const double> x) const {
+  const std::vector<double> p = project(x);
+  return {p.size() > 0 ? p[0] : 0.0, p.size() > 1 ? p[1] : 0.0};
+}
+
+std::vector<double> PcaResult::project(std::span<const double> x) const {
+  assert(x.size() == dim);
+  std::vector<double> out(components.size(), 0.0);
+  for (std::size_t k = 0; k < components.size(); ++k) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      s += (x[i] - mean[i]) * components[k][i];
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+double PcaResult::explained_variance_ratio() const {
+  if (total_variance <= 0.0) return 0.0;
+  double captured = 0.0;
+  for (double e : eigenvalues) captured += e;
+  return captured / total_variance;
+}
+
+PcaResult fit_pca(std::span<const std::vector<double>> samples, int k) {
+  PcaResult r;
+  if (samples.empty()) return r;
+  const std::size_t d = samples[0].size();
+  r.dim = d;
+  r.mean.assign(d, 0.0);
+  for (const auto& s : samples) {
+    assert(s.size() == d);
+    for (std::size_t i = 0; i < d; ++i) r.mean[i] += s[i];
+  }
+  for (double& m : r.mean) m /= static_cast<double>(samples.size());
+
+  // Covariance matrix (d x d, d is small — 13 for Table-II features).
+  std::vector<double> cov(d * d, 0.0);
+  for (const auto& s : samples) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double xi = s[i] - r.mean[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov[i * d + j] += xi * (s[j] - r.mean[j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov[i * d + j] /= static_cast<double>(samples.size());
+      cov[j * d + i] = cov[i * d + j];
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) r.total_variance += cov[i * d + i];
+
+  // Power iteration with deflation.
+  std::vector<double> work(cov);
+  for (int comp = 0; comp < k && static_cast<std::size_t>(comp) < d; ++comp) {
+    std::vector<double> v(d, 0.0);
+    v[static_cast<std::size_t>(comp) % d] = 1.0;
+    double eig = 0.0;
+    for (int it = 0; it < 500; ++it) {
+      std::vector<double> nv(d, 0.0);
+      for (std::size_t i = 0; i < d; ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < d; ++j) s += work[i * d + j] * v[j];
+        nv[i] = s;
+      }
+      double norm = 0.0;
+      for (double x : nv) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-14) break;
+      for (double& x : nv) x /= norm;
+      double delta = 0.0;
+      for (std::size_t i = 0; i < d; ++i) delta += std::abs(nv[i] - v[i]);
+      v = std::move(nv);
+      eig = norm;
+      if (delta < 1e-12) break;
+    }
+    r.components.push_back(v);
+    r.eigenvalues.push_back(eig);
+    // Deflate: work -= eig * v v^T.
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        work[i * d + j] -= eig * v[i] * v[j];
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace m3dfl::gnn

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace m3dfl::gnn {
+
+/// Principal component analysis by power iteration with deflation — used
+/// for the paper's Fig.-5 transferability visualization (graph-level
+/// feature vectors of sub-graphs from different design configurations
+/// projected onto the top two components).
+struct PcaResult {
+  std::size_t dim = 0;
+  std::vector<double> mean;                   ///< dim.
+  std::vector<std::vector<double>> components;///< k vectors of length dim.
+  std::vector<double> eigenvalues;            ///< k, descending.
+  double total_variance = 0.0;                ///< Trace of the covariance.
+
+  /// Projects a sample onto the first two components.
+  std::array<double, 2> project2(std::span<const double> x) const;
+
+  /// Projects onto all k components.
+  std::vector<double> project(std::span<const double> x) const;
+
+  /// Fraction of total variance captured by the first k components.
+  double explained_variance_ratio() const;
+};
+
+/// Fits PCA on row samples (all of length dim). k <= dim.
+PcaResult fit_pca(std::span<const std::vector<double>> samples, int k = 2);
+
+}  // namespace m3dfl::gnn

@@ -1,0 +1,213 @@
+#include "gnn/serialize.h"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace m3dfl::gnn {
+namespace {
+
+void write_floats(std::ostream& os, const char* tag, const float* data,
+                  std::size_t n) {
+  os << tag;
+  const auto old_precision = os.precision();
+  os.precision(std::numeric_limits<float>::max_digits10);
+  for (std::size_t i = 0; i < n; ++i) os << ' ' << data[i];
+  os.precision(old_precision);
+  os << '\n';
+}
+
+bool read_floats(std::istream& is, const char* tag, float* data,
+                 std::size_t n, std::string* error) {
+  std::string word;
+  if (!(is >> word) || word != tag) {
+    if (error) *error = "expected '" + std::string(tag) + "' tag";
+    return false;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> data[i])) {
+      if (error) *error = "short float payload for '" + std::string(tag) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool write_stack(std::ostream& os, const GcnStack& stack) {
+  os << "stack " << stack.layers.size() << '\n';
+  for (const GcnLayer& l : stack.layers) {
+    os << "layer " << l.in_dim() << ' ' << l.out_dim() << '\n';
+    write_floats(os, "W", l.W.data(), l.W.size());
+    write_floats(os, "b", l.b.data(), l.b.size());
+  }
+  return true;
+}
+
+bool read_stack(std::istream& is, GcnStack& stack, std::string* error) {
+  std::string word;
+  std::size_t layers = 0;
+  if (!(is >> word >> layers) || word != "stack") {
+    if (error) *error = "expected 'stack <n>'";
+    return false;
+  }
+  stack.layers.clear();
+  for (std::size_t i = 0; i < layers; ++i) {
+    std::size_t in_dim = 0, out_dim = 0;
+    if (!(is >> word >> in_dim >> out_dim) || word != "layer") {
+      if (error) *error = "expected 'layer <in> <out>'";
+      return false;
+    }
+    Rng dummy(1);
+    GcnLayer layer(in_dim, out_dim, dummy);
+    if (!read_floats(is, "W", layer.W.data(), layer.W.size(), error) ||
+        !read_floats(is, "b", layer.b.data(), layer.b.size(), error)) {
+      return false;
+    }
+    layer.zero_grad();
+    stack.layers.push_back(std::move(layer));
+  }
+  return true;
+}
+
+bool check_header(std::istream& is, const char* kind, std::string* error) {
+  std::string magic, version, k;
+  if (!(is >> magic >> version >> k) || magic != "m3dfl-model" ||
+      version != "v1" || k != kind) {
+    if (error) {
+      *error = "bad header (expected 'm3dfl-model v1 " + std::string(kind) +
+               "')";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void save_graph_classifier(const GraphClassifier& model, std::ostream& os) {
+  os << "m3dfl-model v1 graph-classifier\n";
+  write_stack(os, model.stack);
+  os << "frozen " << (model.freeze_stack ? 1 : 0) << '\n';
+  if (model.has_hidden_head) {
+    os << "head hidden " << model.Wh.cols() << '\n';
+    write_floats(os, "Wh", model.Wh.data(), model.Wh.size());
+    write_floats(os, "bh", model.bh.data(), model.bh.size());
+  } else {
+    os << "head none\n";
+  }
+  os << "out " << model.Wo.rows() << ' ' << model.Wo.cols() << '\n';
+  write_floats(os, "Wo", model.Wo.data(), model.Wo.size());
+  write_floats(os, "bo", model.bo.data(), model.bo.size());
+}
+
+bool load_graph_classifier(GraphClassifier& model, std::istream& is,
+                           std::string* error) {
+  if (!check_header(is, "graph-classifier", error)) return false;
+  GraphClassifier m;
+  if (!read_stack(is, m.stack, error)) return false;
+  std::string word;
+  int frozen = 0;
+  if (!(is >> word >> frozen) || word != "frozen") {
+    if (error) *error = "expected 'frozen <0|1>'";
+    return false;
+  }
+  m.freeze_stack = frozen != 0;
+  std::string head_kind;
+  if (!(is >> word >> head_kind) || word != "head") {
+    if (error) *error = "expected 'head <none|hidden>'";
+    return false;
+  }
+  if (head_kind == "hidden") {
+    std::size_t width = 0;
+    if (!(is >> width)) {
+      if (error) *error = "expected hidden-head width";
+      return false;
+    }
+    m.has_hidden_head = true;
+    m.Wh = Matrix(m.stack.out_dim(), width);
+    m.gWh = Matrix(m.stack.out_dim(), width);
+    m.bh.assign(width, 0.0f);
+    m.gbh.assign(width, 0.0f);
+    if (!read_floats(is, "Wh", m.Wh.data(), m.Wh.size(), error) ||
+        !read_floats(is, "bh", m.bh.data(), m.bh.size(), error)) {
+      return false;
+    }
+  } else if (head_kind != "none") {
+    if (error) *error = "unknown head kind '" + head_kind + "'";
+    return false;
+  }
+  std::size_t rows = 0, cols = 0;
+  if (!(is >> word >> rows >> cols) || word != "out") {
+    if (error) *error = "expected 'out <rows> <cols>'";
+    return false;
+  }
+  m.Wo = Matrix(rows, cols);
+  m.gWo = Matrix(rows, cols);
+  m.bo.assign(cols, 0.0f);
+  m.gbo.assign(cols, 0.0f);
+  if (!read_floats(is, "Wo", m.Wo.data(), m.Wo.size(), error) ||
+      !read_floats(is, "bo", m.bo.data(), m.bo.size(), error)) {
+    return false;
+  }
+  model = std::move(m);
+  return true;
+}
+
+void save_node_scorer(const NodeScorer& model, std::ostream& os) {
+  os << "m3dfl-model v1 node-scorer\n";
+  write_stack(os, model.stack);
+  os << "out " << model.Wo.rows() << ' ' << model.Wo.cols() << '\n';
+  write_floats(os, "Wo", model.Wo.data(), model.Wo.size());
+  write_floats(os, "bo", model.bo.data(), model.bo.size());
+}
+
+bool load_node_scorer(NodeScorer& model, std::istream& is,
+                      std::string* error) {
+  if (!check_header(is, "node-scorer", error)) return false;
+  NodeScorer m;
+  if (!read_stack(is, m.stack, error)) return false;
+  std::string word;
+  std::size_t rows = 0, cols = 0;
+  if (!(is >> word >> rows >> cols) || word != "out") {
+    if (error) *error = "expected 'out <rows> <cols>'";
+    return false;
+  }
+  m.Wo = Matrix(rows, cols);
+  m.gWo = Matrix(rows, cols);
+  m.bo.assign(cols, 0.0f);
+  m.gbo.assign(cols, 0.0f);
+  if (!read_floats(is, "Wo", m.Wo.data(), m.Wo.size(), error) ||
+      !read_floats(is, "bo", m.bo.data(), m.bo.size(), error)) {
+    return false;
+  }
+  model = std::move(m);
+  return true;
+}
+
+std::string graph_classifier_to_string(const GraphClassifier& model) {
+  std::ostringstream os;
+  save_graph_classifier(model, os);
+  return os.str();
+}
+
+bool graph_classifier_from_string(GraphClassifier& model,
+                                  const std::string& text,
+                                  std::string* error) {
+  std::istringstream is(text);
+  return load_graph_classifier(model, is, error);
+}
+
+std::string node_scorer_to_string(const NodeScorer& model) {
+  std::ostringstream os;
+  save_node_scorer(model, os);
+  return os.str();
+}
+
+bool node_scorer_from_string(NodeScorer& model, const std::string& text,
+                             std::string* error) {
+  std::istringstream is(text);
+  return load_node_scorer(model, is, error);
+}
+
+}  // namespace m3dfl::gnn

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gnn/model.h"
+
+namespace m3dfl::gnn {
+
+/// Text serialization of trained models ("train once, deploy everywhere" —
+/// the transferability workflow of the paper assumes pre-trained models are
+/// shipped to new designs without retraining, which requires an on-disk
+/// format).
+///
+/// The format is a line-oriented tagged text:
+///
+/// ```
+/// m3dfl-model v1 graph-classifier
+/// stack 2
+/// layer 13 32
+/// W <13*32 floats...>
+/// b <32 floats...>
+/// ...
+/// head hidden 16          # or: head none
+/// Wo <floats...> ...
+/// ```
+///
+/// Floats are printed with max_digits10, so save/load round-trips are
+/// bit-exact and a reloaded model produces identical predictions.
+
+void save_graph_classifier(const GraphClassifier& model, std::ostream& os);
+bool load_graph_classifier(GraphClassifier& model, std::istream& is,
+                           std::string* error = nullptr);
+
+void save_node_scorer(const NodeScorer& model, std::ostream& os);
+bool load_node_scorer(NodeScorer& model, std::istream& is,
+                      std::string* error = nullptr);
+
+// String conveniences.
+std::string graph_classifier_to_string(const GraphClassifier& model);
+bool graph_classifier_from_string(GraphClassifier& model,
+                                  const std::string& text,
+                                  std::string* error = nullptr);
+std::string node_scorer_to_string(const NodeScorer& model);
+bool node_scorer_from_string(NodeScorer& model, const std::string& text,
+                             std::string* error = nullptr);
+
+}  // namespace m3dfl::gnn

@@ -1,0 +1,114 @@
+#include "gnn/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace m3dfl::gnn {
+
+namespace {
+
+bool should_stop(const TrainOptions& opts, const std::vector<double>& losses) {
+  if (opts.patience <= 0 ||
+      losses.size() <= static_cast<std::size_t>(opts.patience)) {
+    return false;
+  }
+  // Stop when none of the last `patience` epochs improved the best loss
+  // seen before them by at least min_improvement.
+  double best_before = losses.front();
+  for (std::size_t i = 1; i + opts.patience < losses.size(); ++i) {
+    best_before = std::min(best_before, losses[i]);
+  }
+  double best_recent = losses.back();
+  for (std::size_t i = losses.size() - opts.patience; i < losses.size(); ++i) {
+    best_recent = std::min(best_recent, losses[i]);
+  }
+  return best_before - best_recent < opts.min_improvement;
+}
+
+}  // namespace
+
+TrainStats train_graph_classifier(GraphClassifier& model,
+                                  std::span<const LabeledGraph> data,
+                                  const TrainOptions& opts) {
+  TrainStats stats;
+  if (data.empty()) return stats;
+  const auto start = std::chrono::steady_clock::now();
+
+  Adam adam(model.params(),
+            {.lr = opts.lr, .weight_decay = opts.weight_decay});
+  Rng rng(opts.seed);
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t in_batch = 0;
+    for (std::size_t i : order) {
+      const LabeledGraph& ex = data[i];
+      const double w = ex.label == 1 ? opts.pos_weight : 1.0;
+      epoch_loss += model.train_graph(*ex.graph, ex.label, w);
+      if (++in_batch >= opts.batch_size) {
+        adam.step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) adam.step();
+    stats.epoch_loss.push_back(epoch_loss / static_cast<double>(data.size()));
+    stats.epochs_run = epoch + 1;
+    if (should_stop(opts, stats.epoch_loss)) break;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  stats.seconds = std::chrono::duration<double>(end - start).count();
+  return stats;
+}
+
+TrainStats train_node_scorer(NodeScorer& model,
+                             std::span<const SubGraph* const> data,
+                             const TrainOptions& opts) {
+  TrainStats stats;
+  if (data.empty()) return stats;
+  const auto start = std::chrono::steady_clock::now();
+
+  Adam adam(model.params(),
+            {.lr = opts.lr, .weight_decay = opts.weight_decay});
+  Rng rng(opts.seed);
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t in_batch = 0;
+    for (std::size_t i : order) {
+      epoch_loss += model.train_graph(*data[i], opts.pos_weight);
+      if (++in_batch >= opts.batch_size) {
+        adam.step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) adam.step();
+    stats.epoch_loss.push_back(epoch_loss / static_cast<double>(data.size()));
+    stats.epochs_run = epoch + 1;
+    if (should_stop(opts, stats.epoch_loss)) break;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  stats.seconds = std::chrono::duration<double>(end - start).count();
+  return stats;
+}
+
+double classifier_accuracy(const GraphClassifier& model,
+                           std::span<const LabeledGraph> data) {
+  if (data.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const LabeledGraph& ex : data) {
+    const std::vector<double> p = model.predict(*ex.graph);
+    const auto pred =
+        std::max_element(p.begin(), p.end()) - p.begin();
+    if (static_cast<int>(pred) == ex.label) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+}  // namespace m3dfl::gnn

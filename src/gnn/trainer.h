@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gnn/adam.h"
+#include "gnn/model.h"
+
+namespace m3dfl::gnn {
+
+/// One graph-classification training example.
+struct LabeledGraph {
+  const SubGraph* graph = nullptr;
+  int label = 0;
+};
+
+struct TrainOptions {
+  int epochs = 40;
+  std::size_t batch_size = 16;
+  double lr = 5e-3;
+  double weight_decay = 1e-5;
+  /// Extra weight applied to positive / minority-class examples
+  /// (graph classifier: label 1; node scorer: label-1 nodes).
+  double pos_weight = 1.0;
+  std::uint64_t seed = 11;
+  /// Stop early when the epoch loss improves by less than this for
+  /// `patience` consecutive epochs (0 disables).
+  double min_improvement = 0.0;
+  int patience = 0;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_loss;
+  double seconds = 0.0;
+  int epochs_run = 0;
+};
+
+/// Mini-batch training of a GraphClassifier with Adam and seeded shuffles.
+/// Per-class weights are applied so imbalanced graph-level datasets do not
+/// collapse onto the majority class.
+TrainStats train_graph_classifier(GraphClassifier& model,
+                                  std::span<const LabeledGraph> data,
+                                  const TrainOptions& opts = {});
+
+/// Mini-batch training of a NodeScorer; node labels ride inside each
+/// SubGraph (miv_label).
+TrainStats train_node_scorer(NodeScorer& model,
+                             std::span<const SubGraph* const> data,
+                             const TrainOptions& opts = {});
+
+/// Fraction of examples whose argmax prediction matches the label.
+double classifier_accuracy(const GraphClassifier& model,
+                           std::span<const LabeledGraph> data);
+
+}  // namespace m3dfl::gnn

@@ -1,0 +1,92 @@
+#include "graphx/backtrace.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace m3dfl::graphx {
+
+std::vector<SiteId> backtrace(const HeteroGraph& graph, const FailureLog& log,
+                              const ScanConfig& scan,
+                              const BacktraceOptions& opts) {
+  assert(graph.has_transitions());
+  if (log.empty()) return {};
+
+  struct Response {
+    std::uint32_t pattern;
+    std::vector<std::uint32_t> topnodes;
+  };
+  std::vector<Response> responses;
+  if (log.compacted) {
+    responses.reserve(log.cfails.size());
+    for (const FailureLog::CObs& f : log.cfails) {
+      responses.push_back({f.pattern, scan.outputs_of(f.channel, f.cycle)});
+    }
+  } else {
+    responses.reserve(log.fails.size());
+    for (const FailureLog::Obs& f : log.fails) {
+      responses.push_back({f.pattern, {f.output}});
+    }
+  }
+  if (responses.size() > opts.max_responses) {
+    std::vector<Response> sampled;
+    sampled.reserve(opts.max_responses);
+    const double stride =
+        static_cast<double>(responses.size()) / opts.max_responses;
+    for (std::size_t i = 0; i < opts.max_responses; ++i) {
+      sampled.push_back(
+          std::move(responses[static_cast<std::size_t>(i * stride)]));
+    }
+    responses = std::move(sampled);
+  }
+
+  // count[n]: responses whose suspect union contains node n; last_seen
+  // dedups per response (a node may sit in several Topnode cones).
+  std::vector<std::uint32_t> count(graph.num_nodes(), 0);
+  std::vector<std::uint32_t> last_seen(graph.num_nodes(), 0xffffffffu);
+  for (std::uint32_t r = 0; r < responses.size(); ++r) {
+    const Response& resp = responses[r];
+    for (std::uint32_t t : resp.topnodes) {
+      for (const HeteroGraph::TopEdge& te : graph.topedges_of(t)) {
+        if (last_seen[te.node] == r) continue;
+        if (!graph.transitions_at(te.node, resp.pattern)) continue;
+        last_seen[te.node] = r;
+        ++count[te.node];
+      }
+    }
+  }
+
+  const auto all = static_cast<std::uint32_t>(responses.size());
+  std::vector<SiteId> candidates;
+  for (SiteId n = 0; n < graph.num_nodes(); ++n) {
+    if (count[n] == all) candidates.push_back(n);
+  }
+  if (candidates.empty()) {
+    const auto floor_count = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(opts.relax_fraction * all));
+    for (SiteId n = 0; n < graph.num_nodes(); ++n) {
+      if (count[n] >= floor_count) candidates.push_back(n);
+    }
+  }
+  if (candidates.empty()) {
+    // Multiple defects can defeat any fixed fraction (each fault explains
+    // only its own share of the responses); keep the best-explaining nodes
+    // so the sub-graph is never empty for a non-empty log.
+    std::uint32_t best = 0;
+    for (SiteId n = 0; n < graph.num_nodes(); ++n) {
+      best = std::max(best, count[n]);
+    }
+    for (SiteId n = 0; n < graph.num_nodes() && best > 0; ++n) {
+      if (count[n] == best) candidates.push_back(n);
+    }
+  }
+  return candidates;
+}
+
+SubGraph backtrace_subgraph(const HeteroGraph& graph, const FailureLog& log,
+                            const ScanConfig& scan,
+                            const BacktraceOptions& opts) {
+  const std::vector<SiteId> nodes = backtrace(graph, log, scan, opts);
+  return extract_subgraph(graph, nodes);
+}
+
+}  // namespace m3dfl::graphx

@@ -1,0 +1,129 @@
+#include "graphx/subgraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace m3dfl::graphx {
+
+const char* subgraph_feature_name(std::size_t i) {
+  switch (i) {
+    case 0: return "circuit-fanin-edges";
+    case 1: return "circuit-fanout-edges";
+    case 2: return "topedges-connected";
+    case 3: return "tier-location";
+    case 4: return "topological-level";
+    case 5: return "is-gate-output";
+    case 6: return "connects-to-miv";
+    case 7: return "subgraph-fanin-edges";
+    case 8: return "subgraph-fanout-edges";
+    case 9: return "mean-topedge-length";
+    case 10: return "std-topedge-length";
+    case 11: return "mean-topedge-mivs";
+    case 12: return "std-topedge-mivs";
+  }
+  return "?";
+}
+
+std::int64_t SubGraph::local_of(SiteId global) const {
+  const auto it = std::lower_bound(nodes.begin(), nodes.end(), global);
+  if (it == nodes.end() || *it != global) return -1;
+  return it - nodes.begin();
+}
+
+std::vector<double> SubGraph::feature_mean() const {
+  std::vector<double> mean(kNumSubgraphFeatures, 0.0);
+  if (nodes.empty()) return mean;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t f = 0; f < kNumSubgraphFeatures; ++f) {
+      mean[f] += feature(i, f);
+    }
+  }
+  for (double& m : mean) m /= static_cast<double>(nodes.size());
+  return mean;
+}
+
+SubGraph extract_subgraph(const HeteroGraph& graph,
+                          std::span<const SiteId> node_set) {
+  SubGraph sg;
+  sg.nodes.assign(node_set.begin(), node_set.end());
+  std::sort(sg.nodes.begin(), sg.nodes.end());
+  sg.nodes.erase(std::unique(sg.nodes.begin(), sg.nodes.end()),
+                 sg.nodes.end());
+  const std::size_t n = sg.nodes.size();
+
+  // Local index lookup via binary search on the sorted node array.
+  auto local_of = [&sg](SiteId g) { return sg.local_of(g); };
+
+  // Induced directed degrees (for features 7/8) and the undirected CSR.
+  std::vector<std::uint32_t> in_deg(n, 0), out_deg(n, 0);
+  std::vector<std::vector<std::uint32_t>> undirected(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SiteId g = sg.nodes[i];
+    for (SiteId nb : graph.out_neighbors(g)) {
+      const std::int64_t j = local_of(nb);
+      if (j < 0) continue;
+      ++out_deg[i];
+      ++in_deg[static_cast<std::size_t>(j)];
+      undirected[i].push_back(static_cast<std::uint32_t>(j));
+      undirected[static_cast<std::size_t>(j)].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+  sg.row_ptr.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& adj = undirected[i];
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    sg.row_ptr[i + 1] = sg.row_ptr[i] + adj.size();
+  }
+  sg.col_idx.resize(sg.row_ptr[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(undirected[i].begin(), undirected[i].end(),
+              sg.col_idx.begin() + sg.row_ptr[i]);
+  }
+
+  // Features (Table II), scaled to ~[0, 1].
+  sg.features.assign(n * kNumSubgraphFeatures, 0.0f);
+  const double level_norm = std::max<double>(1.0, graph.max_level());
+  const double dist_norm = std::max<double>(1.0, graph.max_level() + 1);
+  const double top_norm = std::max<double>(1.0, graph.num_topnodes());
+  const auto scale_deg = [](double d) {
+    return std::log1p(d) / std::log1p(8.0);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const SiteId g = sg.nodes[i];
+    const auto& st = graph.node(g);
+    const auto& agg = graph.top_agg(g);
+    const double cnt = agg.count;
+    const double mean_d = cnt > 0 ? agg.sum_d / cnt : 0.0;
+    const double var_d =
+        cnt > 0 ? std::max(0.0, agg.sum_d2 / cnt - mean_d * mean_d) : 0.0;
+    const double mean_m = cnt > 0 ? agg.sum_m / cnt : 0.0;
+    const double var_m =
+        cnt > 0 ? std::max(0.0, agg.sum_m2 / cnt - mean_m * mean_m) : 0.0;
+
+    float* f = sg.features.data() + i * kNumSubgraphFeatures;
+    f[0] = static_cast<float>(scale_deg(graph.in_neighbors(g).size()));
+    f[1] = static_cast<float>(scale_deg(graph.out_neighbors(g).size()));
+    f[2] = static_cast<float>(cnt / top_norm);
+    f[3] = static_cast<float>(st.tier);
+    f[4] = static_cast<float>(st.level / level_norm);
+    f[5] = static_cast<float>(st.is_output_pin);
+    f[6] = static_cast<float>(st.connects_miv);
+    f[7] = static_cast<float>(scale_deg(in_deg[i]));
+    f[8] = static_cast<float>(scale_deg(out_deg[i]));
+    f[9] = static_cast<float>(mean_d / dist_norm);
+    f[10] = static_cast<float>(std::sqrt(var_d) / dist_norm);
+    f[11] = static_cast<float>(std::log1p(mean_m) / std::log1p(32.0));
+    f[12] = static_cast<float>(std::log1p(std::sqrt(var_m)) / std::log1p(32.0));
+
+    if (st.is_miv) {
+      sg.miv_local.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  sg.miv_label.assign(sg.miv_local.size(), 0.0f);
+  return sg;
+}
+
+}  // namespace m3dfl::graphx

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graphx/hetero_graph.h"
+
+namespace m3dfl::graphx {
+
+/// Number of initial node features of a sub-graph (Table II of the paper).
+inline constexpr std::size_t kNumSubgraphFeatures = 13;
+
+/// Names of the Table-II features, indexed 0..12.
+const char* subgraph_feature_name(std::size_t i);
+
+/// The homogeneous sub-graph extracted after back-tracing — the input of
+/// the GNN models. Node features follow Table II exactly:
+///   0 circuit fan-in edges        7 sub-graph fan-in edges
+///   1 circuit fan-out edges       8 sub-graph fan-out edges
+///   2 #Topedges connected         9 mean Topedge length
+///   3 tier (binary)              10 std  Topedge length
+///   4 topological level          11 mean MIVs passed by Topedges
+///   5 is gate output (binary)    12 std  MIVs passed by Topedges
+///   6 connects to MIV (binary)
+/// All features are scaled to ~[0, 1] at extraction so the GCN sees a
+/// stable input distribution across designs (part of what makes the models
+/// transferable).
+struct SubGraph {
+  std::vector<SiteId> nodes;  ///< Global node (site) ids, ascending.
+
+  /// Undirected adjacency in CSR form over local indices (no self-loops;
+  /// the GCN adds self-connections during normalization).
+  std::vector<std::uint32_t> row_ptr;
+  std::vector<std::uint32_t> col_idx;
+
+  /// Row-major features: nodes.size() x kNumSubgraphFeatures.
+  std::vector<float> features;
+
+  /// Local indices of MIV nodes (prediction targets of MIV-pinpointer).
+  std::vector<std::uint32_t> miv_local;
+
+  // -- Labels (filled by the data-generation flow) --------------------------
+  int label_tier = -1;            ///< Tier of the injected fault, or -1.
+  std::vector<float> miv_label;   ///< Parallel to miv_local: 1 = faulty MIV.
+  bool truth_in_nodes = false;    ///< Ground truth survived back-tracing.
+
+  std::size_t num_nodes() const { return nodes.size(); }
+  std::size_t num_edges() const { return col_idx.size(); }
+
+  float feature(std::size_t local, std::size_t f) const {
+    return features[local * kNumSubgraphFeatures + f];
+  }
+  float& feature(std::size_t local, std::size_t f) {
+    return features[local * kNumSubgraphFeatures + f];
+  }
+
+  /// Local index of a global node id, or -1.
+  std::int64_t local_of(SiteId global) const;
+
+  /// Graph-level descriptor: the feature mean over nodes. Used for the
+  /// PCA transferability analysis (paper Fig. 5).
+  std::vector<double> feature_mean() const;
+};
+
+/// Induces the sub-graph on the given (deduplicated) candidate node set.
+SubGraph extract_subgraph(const HeteroGraph& graph,
+                          std::span<const SiteId> nodes);
+
+}  // namespace m3dfl::graphx

@@ -1,0 +1,63 @@
+#include "m3d/miv.h"
+
+#include <cassert>
+
+namespace m3dfl::part {
+
+using netlist::Gate;
+using netlist::GateType;
+using netlist::kNoGate;
+
+MivInsertionResult insert_mivs(const Netlist& src,
+                               const PartitionResult& part) {
+  assert(part.tier_of_gate.size() == src.num_gates());
+  MivInsertionResult result;
+  Netlist& out = result.netlist;
+  result.gate_map.assign(src.num_gates(), kNoGate);
+  // miv_of[g]: the MIV gate (new id) carrying g's signal to the other tier,
+  // created lazily on first cross-tier consumer.
+  std::vector<GateId> miv_of(src.num_gates(), kNoGate);
+
+  for (GateId g : src.inputs()) {
+    const GateId ng = out.add_input();
+    out.gate(ng).tier = part.tier_of_gate[g];
+    out.gate(ng).pos = src.gate(g).pos;
+    result.gate_map[g] = ng;
+  }
+
+  std::vector<GateId> fanin;
+  for (GateId g : src.topo_order()) {
+    const Gate& gate = src.gate(g);
+    if (gate.type == GateType::kInput) continue;
+    const Tier my_tier = part.tier_of_gate[g];
+    fanin.clear();
+    for (GateId d : gate.fanin) {
+      const GateId nd = result.gate_map[d];
+      assert(nd != kNoGate);
+      if (part.tier_of_gate[d] == my_tier) {
+        fanin.push_back(nd);
+      } else {
+        // Cross-tier connection: route through this driver's MIV.
+        if (miv_of[d] == kNoGate) {
+          const GateId miv = out.add_gate(GateType::kMiv, {nd});
+          out.gate(miv).tier = my_tier;  // Lands in the consumer tier.
+          out.gate(miv).pos = src.gate(d).pos;
+          miv_of[d] = miv;
+          ++result.num_mivs;
+        }
+        fanin.push_back(miv_of[d]);
+      }
+    }
+    const GateId ng = out.add_gate(gate.type, fanin);
+    out.gate(ng).tier = my_tier;
+    out.gate(ng).pos = gate.pos;
+    result.gate_map[g] = ng;
+  }
+
+  for (GateId o : src.outputs()) out.add_output(result.gate_map[o]);
+  out.set_num_scan_cells(src.num_scan_cells());
+  assert(out.validate().empty());
+  return result;
+}
+
+}  // namespace m3dfl::part

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "m3d/partition.h"
+#include "netlist/netlist.h"
+
+namespace m3dfl::part {
+
+/// Result of stitching a partitioned 2D netlist into an M3D netlist.
+struct MivInsertionResult {
+  Netlist netlist;                 ///< M3D netlist with kMiv gates inserted.
+  std::vector<GateId> gate_map;    ///< Old gate id -> new gate id.
+  std::size_t num_mivs = 0;        ///< MIVs inserted (== cut nets).
+};
+
+/// Inserts one monolithic inter-tier via per cut net: every driver whose
+/// fanout crosses to the other tier is routed through a dedicated kMiv gate
+/// placed in the destination tier; all cross-tier consumers of that driver
+/// read the MIV output instead. Gate tiers are taken from `part`.
+///
+/// The MIV is electrically a buffer but is a first-class fault site: delay
+/// defects in MIVs (voids from inter-tier-dielectric roughness, paper
+/// Sec. I) are modeled as TDFs at the MIV stem site, and the heterogeneous
+/// graph exposes each MIV as its own node.
+MivInsertionResult insert_mivs(const Netlist& src, const PartitionResult& part);
+
+}  // namespace m3dfl::part

@@ -1,0 +1,154 @@
+#include "m3d/partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace m3dfl::part {
+namespace {
+
+using netlist::Gate;
+
+/// Gain of moving gate g to the other tier: (cross edges) - (same edges)
+/// over all incident connections. Positive gain reduces the cut.
+int move_gain(const Netlist& nl, const std::vector<Tier>& tier, GateId g) {
+  int gain = 0;
+  const Gate& gate = nl.gate(g);
+  for (GateId d : gate.fanin) gain += tier[d] != tier[g] ? 1 : -1;
+  for (GateId f : gate.fanout) gain += tier[f] != tier[g] ? 1 : -1;
+  return gain;
+}
+
+/// Greedy improvement passes: visit gates in random order, apply any
+/// positive-gain move that keeps the partition balanced. This is the
+/// classic KL/FM move loop restricted to non-negative prefixes, which is
+/// sufficient at library scale and fully deterministic under the seed.
+void refine(const Netlist& nl, std::vector<Tier>& tier, double tolerance,
+            int passes, Rng& rng) {
+  const std::size_t n = nl.num_gates();
+  std::ptrdiff_t top_count = std::count(tier.begin(), tier.end(), Tier::kTop);
+  const auto lo = static_cast<std::ptrdiff_t>((0.5 - tolerance) * n);
+  const auto hi = static_cast<std::ptrdiff_t>((0.5 + tolerance) * n);
+
+  std::vector<GateId> order(n);
+  for (GateId g = 0; g < n; ++g) order[g] = g;
+
+  for (int pass = 0; pass < passes; ++pass) {
+    rng.shuffle(order);
+    bool moved = false;
+    for (GateId g : order) {
+      if (move_gain(nl, tier, g) <= 0) continue;
+      const bool to_top = tier[g] == Tier::kBottom;
+      const std::ptrdiff_t new_top = top_count + (to_top ? 1 : -1);
+      if (new_top < lo || new_top > hi) continue;
+      tier[g] = netlist::other_tier(tier[g]);
+      top_count = new_top;
+      moved = true;
+    }
+    if (!moved) break;
+  }
+}
+
+std::vector<Tier> random_assignment(const Netlist& nl, Rng& rng) {
+  std::vector<Tier> tier(nl.num_gates(), Tier::kBottom);
+  // Exactly balanced random bisection.
+  std::vector<GateId> order(nl.num_gates());
+  for (GateId g = 0; g < order.size(); ++g) order[g] = g;
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < order.size() / 2; ++i) {
+    tier[order[i]] = Tier::kTop;
+  }
+  return tier;
+}
+
+std::vector<Tier> placement_assignment(const Netlist& nl, int stripes) {
+  // Alternating placement stripes: the 1-D analogue of the placement-driven
+  // tier partitioning of [34]. stripes == 2 is a pure median split; more
+  // stripes raise the MIV density while keeping each stripe tier-coherent.
+  std::vector<Tier> tier(nl.num_gates(), Tier::kBottom);
+  const int n = std::max(2, stripes);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const float x = std::clamp(nl.gate(g).pos, 0.0f, 0.9999f);
+    const int stripe = static_cast<int>(x * static_cast<float>(n));
+    tier[g] = (stripe % 2 == 0) ? Tier::kBottom : Tier::kTop;
+  }
+  return tier;
+}
+
+std::vector<Tier> level_assignment(const Netlist& nl) {
+  const auto& levels = nl.levels();
+  // Median level split gives a roughly balanced fold with few cut nets.
+  std::vector<std::uint32_t> sorted(levels);
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const std::uint32_t median = sorted[sorted.size() / 2];
+  std::vector<Tier> tier(nl.num_gates(), Tier::kBottom);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    tier[g] = levels[g] > median ? Tier::kTop : Tier::kBottom;
+  }
+  return tier;
+}
+
+}  // namespace
+
+const char* partition_algo_name(PartitionAlgo a) {
+  switch (a) {
+    case PartitionAlgo::kMinCut: return "min-cut";
+    case PartitionAlgo::kGreedyGain: return "greedy-gain";
+    case PartitionAlgo::kLevelDriven: return "level-driven";
+    case PartitionAlgo::kRandom: return "random";
+  }
+  return "?";
+}
+
+PartitionResult partition_netlist(const Netlist& nl,
+                                  const PartitionOptions& opts) {
+  Rng rng(opts.seed);
+  PartitionResult result;
+  switch (opts.algo) {
+    case PartitionAlgo::kRandom:
+      result.tier_of_gate = random_assignment(nl, rng);
+      break;
+    case PartitionAlgo::kLevelDriven:
+      result.tier_of_gate = level_assignment(nl);
+      break;
+    case PartitionAlgo::kMinCut:
+      result.tier_of_gate = placement_assignment(nl, opts.placement_stripes);
+      refine(nl, result.tier_of_gate, opts.balance_tolerance, opts.passes,
+             rng);
+      break;
+    case PartitionAlgo::kGreedyGain:
+      result.tier_of_gate = level_assignment(nl);
+      refine(nl, result.tier_of_gate, opts.balance_tolerance,
+             std::max(1, opts.passes / 2), rng);
+      break;
+  }
+  update_cut_stats(nl, result);
+  return result;
+}
+
+void update_cut_stats(const Netlist& nl, PartitionResult& result) {
+  assert(result.tier_of_gate.size() == nl.num_gates());
+  const auto& tier = result.tier_of_gate;
+  std::size_t cut_nets = 0;
+  std::size_t cut_conns = 0;
+  std::size_t top = 0;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    if (tier[g] == Tier::kTop) ++top;
+    bool crosses = false;
+    for (GateId f : nl.gate(g).fanout) {
+      if (tier[f] != tier[g]) {
+        crosses = true;
+        ++cut_conns;
+      }
+    }
+    if (crosses) ++cut_nets;
+  }
+  result.cut_nets = cut_nets;
+  result.cut_connections = cut_conns;
+  result.top_fraction =
+      nl.num_gates() ? static_cast<double>(top) / nl.num_gates() : 0.0;
+}
+
+}  // namespace m3dfl::part

@@ -1,0 +1,43 @@
+#include "netlist/fault_site.h"
+
+namespace m3dfl::netlist {
+
+SiteTable::SiteTable(const Netlist& nl) {
+  const std::size_t n = nl.num_gates();
+  stem_of_gate_.resize(n, kNoSite);
+  first_branch_of_gate_.resize(n, kNoSite);
+  std::size_t total = 0;
+  for (GateId g = 0; g < n; ++g) {
+    total += 1 + nl.gate(g).fanin.size();
+  }
+  sites_.reserve(total);
+  for (GateId g = 0; g < n; ++g) {
+    const Gate& gate = nl.gate(g);
+    stem_of_gate_[g] = static_cast<SiteId>(sites_.size());
+    sites_.push_back(FaultSite{g, -1, g});
+    first_branch_of_gate_[g] = static_cast<SiteId>(sites_.size());
+    for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+      sites_.push_back(
+          FaultSite{g, static_cast<std::int16_t>(k), gate.fanin[k]});
+    }
+  }
+}
+
+Tier SiteTable::tier_of(SiteId s, const Netlist& nl) const {
+  return nl.gate(sites_[s].gate).tier;
+}
+
+bool SiteTable::is_miv_site(SiteId s, const Netlist& nl) const {
+  const FaultSite& fs = sites_[s];
+  return fs.is_stem() && nl.gate(fs.gate).type == GateType::kMiv;
+}
+
+std::vector<SiteId> SiteTable::miv_sites(const Netlist& nl) const {
+  std::vector<SiteId> out;
+  for (SiteId s = 0; s < sites_.size(); ++s) {
+    if (is_miv_site(s, nl)) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace m3dfl::netlist

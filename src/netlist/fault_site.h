@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace m3dfl::netlist {
+
+/// Dense identifier of a fault site.
+using SiteId = std::uint32_t;
+
+inline constexpr SiteId kNoSite = 0xffffffffu;
+
+/// One fault site. Following the paper (Sec. III-A), *every pin of a gate*
+/// is a fault site: the output pin (stem) and each input pin (branch).
+/// MIVs contribute their stem site as the "MIV node" of the graph.
+struct FaultSite {
+  GateId gate = kNoGate;    ///< Owning gate.
+  std::int16_t pin = -1;    ///< -1: output (stem); >= 0: input pin index.
+  GateId driver = kNoGate;  ///< Signal seen at this site (gate itself for a
+                            ///< stem, gate.fanin[pin] for a branch).
+
+  bool is_stem() const { return pin < 0; }
+};
+
+/// Enumeration of all fault sites of a netlist, with O(1) lookups in both
+/// directions. Site ids are stable for a given netlist: all of the library's
+/// layers (fault simulation, diagnosis reports, heterogeneous-graph nodes)
+/// share this numbering, so a diagnosis candidate, a GNN graph node, and an
+/// injected fault refer to the same physical location by the same id.
+class SiteTable {
+ public:
+  SiteTable() = default;
+  explicit SiteTable(const Netlist& nl);
+
+  std::size_t size() const { return sites_.size(); }
+  const FaultSite& site(SiteId s) const { return sites_[s]; }
+
+  /// Stem site id of a gate.
+  SiteId stem_of(GateId g) const { return stem_of_gate_[g]; }
+
+  /// Branch site id for input pin `pin` of gate `g`.
+  SiteId branch_of(GateId g, int pin) const {
+    return first_branch_of_gate_[g] + static_cast<SiteId>(pin);
+  }
+
+  /// Tier a site belongs to: stem sites belong to their gate's tier, branch
+  /// sites to the receiving gate's tier. (MIV stem sites carry their MIV
+  /// gate's placement tier, but policy code treats MIVs as tier-less — see
+  /// the paper's Table XI discussion.)
+  Tier tier_of(SiteId s, const Netlist& nl) const;
+
+  /// True if this site is the stem of an MIV gate (an "MIV node").
+  bool is_miv_site(SiteId s, const Netlist& nl) const;
+
+  /// All MIV stem sites, ascending.
+  std::vector<SiteId> miv_sites(const Netlist& nl) const;
+
+ private:
+  std::vector<FaultSite> sites_;
+  std::vector<SiteId> stem_of_gate_;
+  std::vector<SiteId> first_branch_of_gate_;
+};
+
+}  // namespace m3dfl::netlist

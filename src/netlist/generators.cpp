@@ -1,0 +1,317 @@
+#include "netlist/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <span>
+
+#include "common/rng.h"
+
+namespace m3dfl::netlist {
+namespace {
+
+/// Picks a gate type according to the generator's mix fractions.
+GateType pick_type(const GeneratorParams& p, Rng& rng) {
+  const double r = rng.uniform();
+  if (r < p.buffer_fraction) {
+    return rng.bernoulli(0.5) ? GateType::kBuf : GateType::kInv;
+  }
+  if (r < p.buffer_fraction + p.xor_fraction) {
+    return rng.bernoulli(0.5) ? GateType::kXor : GateType::kXnor;
+  }
+  switch (rng.next_below(4)) {
+    case 0: return GateType::kAnd;
+    case 1: return GateType::kNand;
+    case 2: return GateType::kOr;
+    default: return GateType::kNor;
+  }
+}
+
+/// 64-pattern functional signature of a gate given fanin signatures —
+/// used to veto constant nets during generation (XOR(a, BUF(a)) and
+/// similar reconvergent constants would otherwise poison the fault list
+/// with untestable faults).
+std::uint64_t eval_signature(GateType t, const std::vector<std::uint64_t>& sig,
+                             std::span<const GateId> fanin) {
+  switch (t) {
+    case GateType::kInput: return 0;
+    case GateType::kBuf:
+    case GateType::kMiv:
+    case GateType::kObs: return sig[fanin[0]];
+    case GateType::kInv: return ~sig[fanin[0]];
+    case GateType::kXor: return sig[fanin[0]] ^ sig[fanin[1]];
+    case GateType::kXnor: return ~(sig[fanin[0]] ^ sig[fanin[1]]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      std::uint64_t v = sig[fanin[0]];
+      for (std::size_t k = 1; k < fanin.size(); ++k) v &= sig[fanin[k]];
+      return t == GateType::kAnd ? v : ~v;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      std::uint64_t v = sig[fanin[0]];
+      for (std::size_t k = 1; k < fanin.size(); ++k) v |= sig[fanin[k]];
+      return t == GateType::kOr ? v : ~v;
+    }
+  }
+  return 0;
+}
+
+bool is_constant_sig(std::uint64_t sig) { return sig == 0 || sig == ~0ULL; }
+
+int pick_fanin_count(GateType t, const GeneratorParams& p, Rng& rng) {
+  const FaninArity ar = fanin_arity(t);
+  if (ar.min == ar.max) return ar.min;
+  if (rng.bernoulli(p.wide_gate_fraction)) {
+    return static_cast<int>(rng.uniform_int(3, ar.max));
+  }
+  return 2;
+}
+
+}  // namespace
+
+Netlist generate_netlist(const GeneratorParams& params) {
+  assert(params.num_logic_gates > 0);
+  assert(params.num_scan_cells > 0);
+  assert(params.num_levels > 0);
+  Rng rng(params.seed);
+  Netlist nl;
+
+  // Inputs: scan-cell Q pins first, then primary inputs, spread uniformly
+  // across the placement span (scan cells are placed all over the die).
+  const std::size_t num_inputs =
+      params.num_scan_cells + params.num_primary_inputs;
+  std::vector<std::uint64_t> sig;  // Functional signature per gate.
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    const GateId g = nl.add_input();
+    nl.gate(g).pos = static_cast<float>(
+        (static_cast<double>(i) + 0.5) / static_cast<double>(num_inputs));
+    sig.push_back(rng.next());
+  }
+  // Keep input placement uncorrelated with scan index.
+  {
+    std::vector<float> xs(num_inputs);
+    for (std::size_t i = 0; i < num_inputs; ++i) xs[i] = nl.gate(nl.inputs()[i]).pos;
+    rng.shuffle(xs);
+    for (std::size_t i = 0; i < num_inputs; ++i) nl.gate(nl.inputs()[i]).pos = xs[i];
+  }
+
+  // Levelized construction. per_level[l] holds gate ids created at level l
+  // (level 0 = the inputs). unobserved tracks drivers with no fanout yet so
+  // that we can bias fanin selection toward them — this guarantees (after
+  // the collector pass below) that every gate reaches an output.
+  std::vector<std::vector<GateId>> per_level(params.num_levels + 1);
+  per_level[0].assign(nl.inputs().begin(), nl.inputs().end());
+
+  std::vector<GateId> unobserved(nl.inputs().begin(), nl.inputs().end());
+  std::vector<std::size_t> pos_in_unobserved(num_inputs + params.num_logic_gates * 3,
+                                             static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < unobserved.size(); ++i) {
+    pos_in_unobserved[unobserved[i]] = i;
+  }
+
+  auto mark_observed = [&](GateId g) {
+    const std::size_t pos = pos_in_unobserved[g];
+    if (pos == static_cast<std::size_t>(-1)) return;
+    // Swap-remove.
+    const GateId last = unobserved.back();
+    unobserved[pos] = last;
+    pos_in_unobserved[last] = pos;
+    unobserved.pop_back();
+    pos_in_unobserved[g] = static_cast<std::size_t>(-1);
+  };
+  auto mark_unobserved = [&](GateId g) {
+    pos_in_unobserved[g] = unobserved.size();
+    unobserved.push_back(g);
+  };
+
+  const std::uint32_t gates_per_level =
+      std::max<std::uint32_t>(1, params.num_logic_gates / params.num_levels);
+
+  std::uint32_t created = 0;
+  std::vector<GateId> fanin;
+  for (std::uint32_t level = 1;
+       level <= params.num_levels && created < params.num_logic_gates;
+       ++level) {
+    const std::uint32_t want =
+        (level == params.num_levels) ? (params.num_logic_gates - created)
+                                     : std::min(gates_per_level,
+                                                params.num_logic_gates - created);
+    // Window of candidate driver levels: [level - locality, level - 1].
+    const std::uint32_t lo_level =
+        level > params.locality ? level - params.locality : 0;
+    // Gates created at this level may only read drivers from previous
+    // levels, keeping the circuit depth at num_levels (intra-level chaining
+    // would otherwise create pathologically deep random logic).
+    const GateId level_start = static_cast<GateId>(nl.num_gates());
+    for (std::uint32_t i = 0; i < want; ++i) {
+      GateType type = pick_type(params, rng);
+      const auto my_pos = static_cast<float>(
+          (static_cast<double>(i) + 0.5) / static_cast<double>(want));
+      auto near = [&](GateId cand) {
+        return std::abs(nl.gate(cand).pos - my_pos) <= params.column_radius;
+      };
+      // Retry whole fanin selections that would create a constant net.
+      for (int gate_attempt = 0; gate_attempt < 8; ++gate_attempt) {
+        const int nf = pick_fanin_count(type, params, rng);
+        fanin.clear();
+        auto is_dup = [&fanin](GateId cand) {
+          return std::find(fanin.begin(), fanin.end(), cand) != fanin.end();
+        };
+        for (int k = 0; k < nf; ++k) {
+          GateId d = kNoGate;
+          if (!unobserved.empty() && rng.bernoulli(params.fresh_driver_bias)) {
+            for (int attempt = 0; attempt < 12; ++attempt) {
+              const GateId cand = unobserved[rng.pick_index(unobserved)];
+              if (cand < level_start && near(cand) && !is_dup(cand)) {
+                d = cand;
+                break;
+              }
+            }
+          }
+          if (d == kNoGate) {
+            // Pick a column-local driver from the locality window.
+            for (int attempt = 0; attempt < 16 && d == kNoGate; ++attempt) {
+              const auto l = static_cast<std::uint32_t>(
+                  rng.uniform_int(lo_level, level - 1));
+              if (per_level[l].empty()) continue;
+              const GateId cand = per_level[l][rng.pick_index(per_level[l])];
+              if (near(cand) && !is_dup(cand)) d = cand;
+            }
+          }
+          if (d == kNoGate) {
+            // Duplicate fanins are strictly forbidden: XOR(a, a) is
+            // constant and poisons everything downstream with untestable
+            // faults. Inputs are plentiful, so a distinct driver exists.
+            for (int attempt = 0; attempt < 64 && d == kNoGate; ++attempt) {
+              const GateId cand = per_level[0][rng.pick_index(per_level[0])];
+              if (!is_dup(cand)) d = cand;
+            }
+            for (GateId cand : per_level[0]) {
+              if (d != kNoGate) break;
+              if (!is_dup(cand)) d = cand;
+            }
+          }
+          assert(d != kNoGate && !is_dup(d));
+          fanin.push_back(d);
+        }
+        if (!is_constant_sig(eval_signature(type, sig, fanin))) break;
+        if (gate_attempt == 6) {
+          // Guaranteed non-constant last resort: XOR of two distinct
+          // inputs (input signatures are independent random words).
+          type = GateType::kXor;
+          fanin.clear();
+          fanin.push_back(per_level[0][rng.pick_index(per_level[0])]);
+          GateId second = fanin[0];
+          while (second == fanin[0]) {
+            second = per_level[0][rng.pick_index(per_level[0])];
+          }
+          fanin.push_back(second);
+          break;
+        }
+      }
+      GateId g = nl.add_gate(type, fanin);
+      sig.push_back(eval_signature(type, sig, fanin));
+      nl.gate(g).pos = my_pos;
+      per_level[level].push_back(g);
+      for (GateId d : fanin) mark_observed(d);
+      mark_unobserved(g);
+      ++created;
+      // Repeater chains behind buffers/inverters: every chain gate is a
+      // fault-equivalent of its driver, growing the equivalence classes
+      // that dominate diagnostic resolution.
+      if ((type == GateType::kBuf || type == GateType::kInv) &&
+          params.buffer_chain_len > 0) {
+        const auto extra = static_cast<std::uint32_t>(
+            rng.uniform_int(0, params.buffer_chain_len));
+        // Repeaters sit along a route and drift gently within the local
+        // column, so a chain's fault-equivalence class stays in one tier:
+        // a fault on the chain remains tier-predictable. (The multi-tier
+        // content of diagnosis reports comes from partial-match candidates
+        // in shared logic cones, not from cross-tier equivalences.)
+        float link_pos = my_pos;
+        const double drift = 0.5 * params.column_radius;
+        for (std::uint32_t b = 0;
+             b < extra && created < params.num_logic_gates; ++b) {
+          const GateId link = nl.add_gate(GateType::kBuf, {g});
+          sig.push_back(sig[g]);
+          link_pos = std::clamp(
+              link_pos + static_cast<float>(rng.uniform(-drift, drift)),
+              0.0f, 1.0f);
+          nl.gate(link).pos = link_pos;
+          per_level[level].push_back(link);
+          mark_observed(g);
+          mark_unobserved(link);
+          g = link;
+          ++created;
+        }
+      }
+    }
+  }
+
+  // Collector pass: reduce the unobserved set to exactly num_scan_cells
+  // signals by XOR-combining pairs (XOR preserves single-fault
+  // observability of both operands), or tap extra internal signals with
+  // buffers if there are too few.
+  std::vector<GateId> heads = unobserved;
+  // Combine position-adjacent heads so collector XOR trees stay spatially
+  // local (a scan cell observes one region of the die).
+  std::sort(heads.begin(), heads.end(), [&nl](GateId a, GateId b) {
+    if (nl.gate(a).pos != nl.gate(b).pos) return nl.gate(a).pos < nl.gate(b).pos;
+    return a < b;
+  });
+  while (heads.size() > params.num_scan_cells) {
+    // One left-to-right sweep combines `excess` adjacent pairs; each
+    // combination shrinks the list by one, so the loop always terminates.
+    // Functionally-equal adjacent heads (whose XOR would be constant) are
+    // skipped and kept as-is.
+    const std::size_t excess = heads.size() - params.num_scan_cells;
+    std::vector<GateId> next;
+    next.reserve(heads.size());
+    std::size_t combined = 0;
+    bool progressed = false;
+    for (std::size_t i = 0; i < heads.size();) {
+      if (combined < excess && i + 1 < heads.size() &&
+          !is_constant_sig(sig[heads[i]] ^ sig[heads[i + 1]])) {
+        const GateId x =
+            nl.add_gate(GateType::kXor, {heads[i], heads[i + 1]});
+        nl.gate(x).pos =
+            0.5f * (nl.gate(heads[i]).pos + nl.gate(heads[i + 1]).pos);
+        sig.push_back(sig[heads[i]] ^ sig[heads[i + 1]]);
+        next.push_back(x);
+        i += 2;
+        ++combined;
+        progressed = true;
+      } else {
+        next.push_back(heads[i]);
+        ++i;
+      }
+    }
+    heads = std::move(next);
+    if (!progressed) {
+      // Every adjacent pair is functionally equal (degenerate); fall back
+      // to buffer taps below by trimming the excess heads.
+      heads.resize(params.num_scan_cells);
+      break;
+    }
+  }
+  while (heads.size() < params.num_scan_cells) {
+    // Tap a random logic gate with a buffer to create one more output.
+    const auto g = static_cast<GateId>(
+        rng.uniform_int(static_cast<std::int64_t>(num_inputs),
+                        static_cast<std::int64_t>(nl.num_gates()) - 1));
+    const GateId buf = nl.add_gate(GateType::kBuf, {g});
+    nl.gate(buf).pos = nl.gate(g).pos;
+    sig.push_back(sig[g]);
+    heads.push_back(buf);
+  }
+
+  rng.shuffle(heads);  // Decouple scan-cell index from creation order.
+  for (GateId h : heads) nl.add_output(h);
+  nl.set_num_scan_cells(params.num_scan_cells);
+
+  assert(nl.validate().empty());
+  return nl;
+}
+
+}  // namespace m3dfl::netlist

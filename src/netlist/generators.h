@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace m3dfl::netlist {
+
+/// Parameters of the structural netlist generator.
+///
+/// The generator replaces the paper's proprietary benchmark RTL + Synopsys
+/// DC synthesis (see DESIGN.md "Substitutions"). It produces a levelized
+/// reconvergent DAG whose statistical knobs control the properties that
+/// matter for diagnosis quality:
+///  * buffer_fraction drives the size of fault-equivalence classes (more
+///    single-input gates => more indistinguishable candidates => worse
+///    diagnostic resolution, as in the paper's netcard/leon3mp);
+///  * locality controls cone depth and reconvergence;
+///  * xor_fraction controls how observable internal transitions are.
+struct GeneratorParams {
+  std::uint32_t num_logic_gates = 2000;   ///< Combinational gates to create.
+  std::uint32_t num_scan_cells = 160;     ///< Paired Q/D scan cells.
+  std::uint32_t num_primary_inputs = 8;   ///< Extra non-scan inputs.
+  std::uint32_t num_levels = 24;          ///< Target logic depth.
+  double buffer_fraction = 0.12;          ///< BUF/INV share of gates.
+  /// When a buffer/inverter is created, up to this many extra buffers are
+  /// chained behind it. Long repeater chains are what gives real designs
+  /// (and the paper's netcard/leon3mp) their large fault-equivalence
+  /// classes and poor diagnostic resolution.
+  std::uint32_t buffer_chain_len = 1;
+  double xor_fraction = 0.15;             ///< XOR/XNOR share of gates.
+  double wide_gate_fraction = 0.25;       ///< Share of 3-4 input AND/OR.
+  std::uint32_t locality = 6;             ///< Fanin window, in levels.
+  /// Column locality: fanins are drawn from drivers whose placement
+  /// coordinate lies within this radius of the new gate's. Real netlists
+  /// are spatially local after placement; this is what makes the
+  /// placement-driven tier partition produce tier-coherent logic cones
+  /// (and hence learnable tier labels, as in the paper's flow).
+  double column_radius = 0.10;
+  double fresh_driver_bias = 0.55;        ///< Probability of picking a
+                                          ///< not-yet-observed driver.
+  std::uint64_t seed = 1;
+};
+
+/// Generates a 2D (single-tier) combinational-frame netlist. Every logic
+/// gate has a structural path to at least one observed output, so the
+/// design is fully observable and TDF coverage is high (as in Table III of
+/// the paper). The result validates and has exactly
+/// params.num_scan_cells paired scan cells.
+Netlist generate_netlist(const GeneratorParams& params);
+
+}  // namespace m3dfl::netlist

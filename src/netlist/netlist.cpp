@@ -1,0 +1,222 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace m3dfl::netlist {
+
+const char* gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kBuf: return "BUF";
+    case GateType::kInv: return "INV";
+    case GateType::kAnd: return "AND";
+    case GateType::kNand: return "NAND";
+    case GateType::kOr: return "OR";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+    case GateType::kMiv: return "MIV";
+    case GateType::kObs: return "OBS";
+  }
+  return "?";
+}
+
+FaninArity fanin_arity(GateType t) {
+  switch (t) {
+    case GateType::kInput: return {0, 0};
+    case GateType::kBuf:
+    case GateType::kInv:
+    case GateType::kMiv:
+    case GateType::kObs: return {1, 1};
+    case GateType::kXor:
+    case GateType::kXnor: return {2, 2};
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor: return {2, 4};
+  }
+  return {0, 0};
+}
+
+GateId Netlist::add_input() {
+  invalidate_caches();
+  const GateId id = static_cast<GateId>(gates_.size());
+  gates_.push_back(Gate{GateType::kInput, Tier::kBottom, {}, {}});
+  inputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_gate(GateType type, std::span<const GateId> fanin) {
+  assert(type != GateType::kInput && "use add_input() for inputs");
+  invalidate_caches();
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.type = type;
+  g.fanin.assign(fanin.begin(), fanin.end());
+  gates_.push_back(std::move(g));
+  for (GateId d : fanin) {
+    assert(d < id && "fanin must reference existing gates");
+    gates_[d].fanout.push_back(id);
+  }
+  return id;
+}
+
+GateId Netlist::add_gate(GateType type, std::initializer_list<GateId> fanin) {
+  return add_gate(type, std::span<const GateId>(fanin.begin(), fanin.size()));
+}
+
+std::size_t Netlist::add_output(GateId g) {
+  assert(g < gates_.size());
+  outputs_.push_back(g);
+  return outputs_.size() - 1;
+}
+
+void Netlist::set_num_scan_cells(std::size_t n) {
+  assert(n <= inputs_.size() && n <= outputs_.size());
+  num_scan_cells_ = n;
+}
+
+std::int64_t Netlist::input_index(GateId g) const {
+  const auto it = std::find(inputs_.begin(), inputs_.end(), g);
+  if (it == inputs_.end()) return -1;
+  return it - inputs_.begin();
+}
+
+std::size_t Netlist::num_logic_gates() const {
+  return gates_.size() - inputs_.size();
+}
+
+std::size_t Netlist::num_mivs() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (g.type == GateType::kMiv) ++n;
+  }
+  return n;
+}
+
+std::vector<GateId> Netlist::miv_gates() const {
+  std::vector<GateId> out;
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    if (gates_[g].type == GateType::kMiv) out.push_back(g);
+  }
+  return out;
+}
+
+const std::vector<GateId>& Netlist::topo_order() const {
+  if (!topo_cache_.empty() || gates_.empty()) return topo_cache_;
+  // Kahn's algorithm. Gates are usually appended in topological order, but
+  // transforms may rebuild arbitrarily, so we do not rely on that.
+  std::vector<std::uint32_t> pending(gates_.size());
+  std::vector<GateId> ready;
+  ready.reserve(gates_.size());
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    pending[g] = static_cast<std::uint32_t>(gates_[g].fanin.size());
+    if (pending[g] == 0) ready.push_back(g);
+  }
+  topo_cache_.reserve(gates_.size());
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const GateId g = ready[head];
+    topo_cache_.push_back(g);
+    for (GateId f : gates_[g].fanout) {
+      if (--pending[f] == 0) ready.push_back(f);
+    }
+  }
+  assert(topo_cache_.size() == gates_.size() && "netlist contains a cycle");
+  return topo_cache_;
+}
+
+const std::vector<std::uint32_t>& Netlist::levels() const {
+  if (!level_cache_.empty() || gates_.empty()) return level_cache_;
+  level_cache_.assign(gates_.size(), 0);
+  for (GateId g : topo_order()) {
+    std::uint32_t lvl = 0;
+    for (GateId d : gates_[g].fanin) {
+      lvl = std::max(lvl, level_cache_[d] + 1);
+    }
+    level_cache_[g] = lvl;
+  }
+  return level_cache_;
+}
+
+std::uint32_t Netlist::depth() const {
+  const auto& lv = levels();
+  std::uint32_t d = 0;
+  for (auto l : lv) d = std::max(d, l);
+  return d;
+}
+
+std::string Netlist::validate() const {
+  std::ostringstream err;
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    const Gate& gate = gates_[g];
+    const FaninArity ar = fanin_arity(gate.type);
+    const int n = static_cast<int>(gate.fanin.size());
+    if (n < ar.min || n > ar.max) {
+      err << "gate " << g << " (" << gate_type_name(gate.type) << ") has "
+          << n << " fanins, expected [" << ar.min << ", " << ar.max << "]";
+      return err.str();
+    }
+    for (GateId d : gate.fanin) {
+      if (d >= gates_.size()) {
+        err << "gate " << g << " references missing fanin " << d;
+        return err.str();
+      }
+      const auto& fo = gates_[d].fanout;
+      if (std::count(fo.begin(), fo.end(), g) !=
+          std::count(gate.fanin.begin(), gate.fanin.end(), d)) {
+        err << "fanin/fanout mismatch between gates " << d << " and " << g;
+        return err.str();
+      }
+    }
+  }
+  // DAG check: topo order must cover all gates.
+  std::vector<std::uint32_t> pending(gates_.size());
+  std::vector<GateId> ready;
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    pending[g] = static_cast<std::uint32_t>(gates_[g].fanin.size());
+    if (pending[g] == 0) ready.push_back(g);
+  }
+  std::size_t seen = 0;
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    ++seen;
+    for (GateId f : gates_[ready[head]].fanout) {
+      if (--pending[f] == 0) ready.push_back(f);
+    }
+  }
+  if (seen != gates_.size()) return "netlist contains a combinational cycle";
+
+  for (GateId g : inputs_) {
+    if (gates_[g].type != GateType::kInput) {
+      err << "inputs() entry " << g << " is not a kInput gate";
+      return err.str();
+    }
+  }
+  for (GateId g : outputs_) {
+    if (g >= gates_.size()) {
+      err << "outputs() references missing gate " << g;
+      return err.str();
+    }
+  }
+  if (num_scan_cells_ > inputs_.size() || num_scan_cells_ > outputs_.size()) {
+    return "num_scan_cells exceeds input or output count";
+  }
+  return {};
+}
+
+std::vector<std::size_t> Netlist::type_histogram() const {
+  std::vector<std::size_t> hist(static_cast<std::size_t>(GateType::kObs) + 1,
+                                0);
+  for (const Gate& g : gates_) {
+    ++hist[static_cast<std::size_t>(g.type)];
+  }
+  return hist;
+}
+
+void Netlist::invalidate_caches() {
+  topo_cache_.clear();
+  level_cache_.clear();
+}
+
+}  // namespace m3dfl::netlist

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace m3dfl::netlist {
+
+/// Dense identifier of a gate within a Netlist. A gate id doubles as the id
+/// of the signal the gate drives (every gate drives exactly one signal).
+using GateId = std::uint32_t;
+
+/// Sentinel for "no gate".
+inline constexpr GateId kNoGate = 0xffffffffu;
+
+/// Device tier of an M3D design. This library demonstrates two-tier designs
+/// (as the paper does); the partitioners and models generalize by widening
+/// this enum and the Tier-predictor output vector.
+enum class Tier : std::uint8_t { kBottom = 0, kTop = 1 };
+
+inline constexpr int kNumTiers = 2;
+
+/// Returns the opposite tier.
+inline Tier other_tier(Tier t) {
+  return t == Tier::kBottom ? Tier::kTop : Tier::kBottom;
+}
+
+/// Gate/primitive types of the combinational core.
+///
+/// The netlist models the *combinational frame* of a scan design: scan-cell
+/// Q pins and primary inputs appear as kInput gates; scan-cell D pins and
+/// primary outputs are "observed" signals (see Netlist::outputs()). This is
+/// the standard reduction used by scan-based ATPG and diagnosis.
+enum class GateType : std::uint8_t {
+  kInput,  ///< Pseudo-primary input (scan-cell Q) or primary input; no fanin.
+  kBuf,    ///< 1-input buffer.
+  kInv,    ///< 1-input inverter.
+  kAnd,    ///< 2..4-input AND.
+  kNand,   ///< 2..4-input NAND.
+  kOr,     ///< 2..4-input OR.
+  kNor,    ///< 2..4-input NOR.
+  kXor,    ///< 2-input XOR.
+  kXnor,   ///< 2-input XNOR.
+  kMiv,    ///< Monolithic inter-tier via: electrically a buffer, but a
+           ///< first-class fault site and graph node (paper Sec. III-A).
+  kObs,    ///< Test-point observation buffer (TPI transform).
+};
+
+/// Human-readable gate type name ("AND", "MIV", ...).
+const char* gate_type_name(GateType t);
+
+/// Number of fanin pins a gate type accepts: {min, max}.
+struct FaninArity {
+  int min;
+  int max;
+};
+FaninArity fanin_arity(GateType t);
+
+/// One gate instance.
+struct Gate {
+  GateType type = GateType::kBuf;
+  Tier tier = Tier::kBottom;
+  /// Normalized placement coordinate in [0, 1] — the 1-D abstraction of a
+  /// placed row position. Synthesis (the generator) assigns it; the
+  /// placement-driven partitioners ([34]/[35] stand-ins) seed their cuts
+  /// from it, giving the tier-coherent regions real M3D flows produce.
+  float pos = 0.5f;
+  std::vector<GateId> fanin;   ///< Driving gates, pin order significant.
+  std::vector<GateId> fanout;  ///< Derived; gates reading this gate's output.
+};
+
+/// Gate-level netlist of the combinational frame of one scan design.
+///
+/// Invariants (checked by validate()):
+///  * the gate array forms a DAG;
+///  * kInput gates have no fanin; all others satisfy fanin_arity();
+///  * fanout lists exactly mirror fanin lists;
+///  * the first num_scan_cells() inputs pair 1:1 with the first
+///    num_scan_cells() outputs (Q of flop i / D of flop i).
+///
+/// Observed outputs beyond num_scan_cells() are observe-only scan cells
+/// (e.g. inserted test points) — captured and scanned out, Q unused.
+class Netlist {
+ public:
+  Netlist() = default;
+
+  /// Appends a primary/pseudo-primary input. Returns its gate id.
+  GateId add_input();
+
+  /// Appends a gate of the given type reading the given fanin signals.
+  /// Fanin gates must already exist. Returns the new gate id.
+  GateId add_gate(GateType type, std::span<const GateId> fanin);
+
+  /// Convenience overload.
+  GateId add_gate(GateType type, std::initializer_list<GateId> fanin);
+
+  /// Marks a signal as observed (captured into a scan cell / PO).
+  /// Returns the output index.
+  std::size_t add_output(GateId g);
+
+  /// Declares that the first n inputs pair with the first n outputs as
+  /// Q/D of scan cells. Requires n <= min(#inputs, #outputs).
+  void set_num_scan_cells(std::size_t n);
+
+  // -- Topology access ------------------------------------------------------
+
+  std::size_t num_gates() const { return gates_.size(); }
+  const Gate& gate(GateId g) const { return gates_[g]; }
+  Gate& gate(GateId g) { return gates_[g]; }
+
+  std::span<const GateId> inputs() const { return inputs_; }
+  std::span<const GateId> outputs() const { return outputs_; }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  std::size_t num_scan_cells() const { return num_scan_cells_; }
+
+  /// Index of g within inputs(), or -1 if g is not an input.
+  std::int64_t input_index(GateId g) const;
+
+  /// Count of combinational gates (everything except kInput).
+  std::size_t num_logic_gates() const;
+
+  /// Count of kMiv gates.
+  std::size_t num_mivs() const;
+
+  /// Gate ids of all kMiv gates, ascending.
+  std::vector<GateId> miv_gates() const;
+
+  // -- Derived structure ----------------------------------------------------
+
+  /// Gates in a topological order (inputs first). Cached; invalidated by
+  /// structural edits.
+  const std::vector<GateId>& topo_order() const;
+
+  /// Topological level of each gate (inputs are level 0,
+  /// level(g) = 1 + max level(fanin)). Cached.
+  const std::vector<std::uint32_t>& levels() const;
+
+  /// Maximum topological level (circuit depth).
+  std::uint32_t depth() const;
+
+  /// Checks all class invariants; returns an empty string when valid, or a
+  /// description of the first violation found.
+  std::string validate() const;
+
+  /// Per-type gate counts, indexed by GateType.
+  std::vector<std::size_t> type_histogram() const;
+
+ private:
+  void invalidate_caches();
+
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::size_t num_scan_cells_ = 0;
+
+  mutable std::vector<GateId> topo_cache_;
+  mutable std::vector<std::uint32_t> level_cache_;
+};
+
+}  // namespace m3dfl::netlist

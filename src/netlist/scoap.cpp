@@ -1,0 +1,175 @@
+#include "netlist/scoap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace m3dfl::netlist {
+namespace {
+
+using Sat = ScoapMeasures;
+
+/// Minimum over a selection of per-fanin costs.
+template <typename Cost>
+std::uint32_t min_over(const std::vector<GateId>& fanin, Cost&& cost) {
+  std::uint32_t best = 0xffffffu;
+  for (GateId d : fanin) best = std::min(best, cost(d));
+  return best;
+}
+
+/// Sum over all fanins of per-fanin costs (saturating).
+template <typename Cost>
+std::uint32_t sum_over(const std::vector<GateId>& fanin, Cost&& cost) {
+  std::uint32_t total = 0;
+  for (GateId d : fanin) total = Sat::sat_add(total, cost(d));
+  return total;
+}
+
+}  // namespace
+
+ScoapMeasures compute_scoap(const Netlist& nl) {
+  ScoapMeasures m;
+  const std::size_t n = nl.num_gates();
+  m.cc0.assign(n, 0);
+  m.cc1.assign(n, 0);
+  m.co.assign(n, 0xffffffu);
+
+  // Forward pass: controllability in topological order.
+  for (GateId g : nl.topo_order()) {
+    const Gate& gate = nl.gate(g);
+    auto c0 = [&m](GateId d) { return m.cc0[d]; };
+    auto c1 = [&m](GateId d) { return m.cc1[d]; };
+    switch (gate.type) {
+      case GateType::kInput:
+        m.cc0[g] = 1;
+        m.cc1[g] = 1;
+        break;
+      case GateType::kBuf:
+      case GateType::kMiv:
+      case GateType::kObs:
+        m.cc0[g] = Sat::sat_add(m.cc0[gate.fanin[0]], 1);
+        m.cc1[g] = Sat::sat_add(m.cc1[gate.fanin[0]], 1);
+        break;
+      case GateType::kInv:
+        m.cc0[g] = Sat::sat_add(m.cc1[gate.fanin[0]], 1);
+        m.cc1[g] = Sat::sat_add(m.cc0[gate.fanin[0]], 1);
+        break;
+      case GateType::kAnd:
+        m.cc1[g] = Sat::sat_add(sum_over(gate.fanin, c1), 1);
+        m.cc0[g] = Sat::sat_add(min_over(gate.fanin, c0), 1);
+        break;
+      case GateType::kNand:
+        m.cc0[g] = Sat::sat_add(sum_over(gate.fanin, c1), 1);
+        m.cc1[g] = Sat::sat_add(min_over(gate.fanin, c0), 1);
+        break;
+      case GateType::kOr:
+        m.cc0[g] = Sat::sat_add(sum_over(gate.fanin, c0), 1);
+        m.cc1[g] = Sat::sat_add(min_over(gate.fanin, c1), 1);
+        break;
+      case GateType::kNor:
+        m.cc1[g] = Sat::sat_add(sum_over(gate.fanin, c0), 1);
+        m.cc0[g] = Sat::sat_add(min_over(gate.fanin, c1), 1);
+        break;
+      case GateType::kXor:
+      case GateType::kXnor: {
+        const GateId a = gate.fanin[0];
+        const GateId b = gate.fanin[1];
+        // Even parity (both 0 or both 1) vs odd parity.
+        const std::uint32_t even = std::min(
+            Sat::sat_add(m.cc0[a], m.cc0[b]), Sat::sat_add(m.cc1[a], m.cc1[b]));
+        const std::uint32_t odd = std::min(
+            Sat::sat_add(m.cc0[a], m.cc1[b]), Sat::sat_add(m.cc1[a], m.cc0[b]));
+        if (gate.type == GateType::kXor) {
+          m.cc0[g] = Sat::sat_add(even, 1);
+          m.cc1[g] = Sat::sat_add(odd, 1);
+        } else {
+          m.cc0[g] = Sat::sat_add(odd, 1);
+          m.cc1[g] = Sat::sat_add(even, 1);
+        }
+        break;
+      }
+    }
+  }
+
+  // Backward pass: observability in reverse topological order. Observed
+  // outputs cost 0; a gate's CO is the best CO over its readers plus the
+  // cost of sensitizing that reader's side inputs.
+  for (GateId o : nl.outputs()) m.co[o] = 0;
+  const auto& order = nl.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const GateId g = *it;
+    for (GateId reader : nl.gate(g).fanout) {
+      const Gate& r = nl.gate(reader);
+      if (m.co[reader] == 0xffffffu) continue;
+      // Side-input sensitization cost.
+      std::uint32_t side = 0;
+      for (GateId other : r.fanin) {
+        if (other == g) continue;
+        switch (r.type) {
+          case GateType::kAnd:
+          case GateType::kNand:
+            side = Sat::sat_add(side, m.cc1[other]);
+            break;
+          case GateType::kOr:
+          case GateType::kNor:
+            side = Sat::sat_add(side, m.cc0[other]);
+            break;
+          case GateType::kXor:
+          case GateType::kXnor:
+            side = Sat::sat_add(side, std::min(m.cc0[other], m.cc1[other]));
+            break;
+          default:
+            break;
+        }
+      }
+      const std::uint32_t through =
+          Sat::sat_add(Sat::sat_add(m.co[reader], side), 1);
+      m.co[g] = std::min(m.co[g], through);
+    }
+  }
+  return m;
+}
+
+Netlist insert_test_points_scoap(const Netlist& src, double max_fraction) {
+  assert(src.num_mivs() == 0 && "TPI applies to 2D netlists");
+  const ScoapMeasures m = compute_scoap(src);
+
+  std::vector<GateId> candidates;
+  for (GateId g = 0; g < src.num_gates(); ++g) {
+    if (src.gate(g).type != GateType::kInput && m.co[g] >= 3) {
+      candidates.push_back(g);
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&m](GateId a, GateId b) { return m.co[a] > m.co[b]; });
+  const auto budget = static_cast<std::size_t>(
+      max_fraction * static_cast<double>(src.num_logic_gates()));
+  if (candidates.size() > budget) candidates.resize(budget);
+
+  Netlist out;
+  std::vector<GateId> map(src.num_gates(), kNoGate);
+  for (GateId g : src.inputs()) {
+    map[g] = out.add_input();
+    out.gate(map[g]).pos = src.gate(g).pos;
+  }
+  for (GateId g : src.topo_order()) {
+    const Gate& gate = src.gate(g);
+    if (gate.type == GateType::kInput) continue;
+    std::vector<GateId> fanin;
+    fanin.reserve(gate.fanin.size());
+    for (GateId d : gate.fanin) fanin.push_back(map[d]);
+    map[g] = out.add_gate(gate.type, fanin);
+    out.gate(map[g]).pos = gate.pos;
+  }
+  for (GateId o : src.outputs()) out.add_output(map[o]);
+  out.set_num_scan_cells(src.num_scan_cells());
+  for (GateId c : candidates) {
+    const GateId obs = out.add_gate(GateType::kObs, {map[c]});
+    out.gate(obs).pos = src.gate(c).pos;
+    out.add_output(obs);
+  }
+  assert(out.validate().empty());
+  return out;
+}
+
+}  // namespace m3dfl::netlist

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace m3dfl::netlist {
+
+/// SCOAP testability measures (Goldstein's classic controllability /
+/// observability analysis) for the combinational frame.
+///
+/// CC0(g) / CC1(g): the minimum number of input assignments needed to set
+/// signal g to 0 / 1 (inputs cost 1). CO(g): the additional effort to
+/// propagate g's value to an observed output (outputs cost 0). Large values
+/// mark hard-to-control / hard-to-observe logic — the classical criterion
+/// for test-point placement and a useful prior for diagnosis difficulty.
+struct ScoapMeasures {
+  std::vector<std::uint32_t> cc0;  ///< Per gate, controllability to 0.
+  std::vector<std::uint32_t> cc1;  ///< Per gate, controllability to 1.
+  std::vector<std::uint32_t> co;   ///< Per gate, observability.
+
+  /// Combined testability of a slow-to-rise TDF at g's output: set 0 then
+  /// 1, then observe (the launch/capture analogue of the SAF measure).
+  std::uint32_t tdf_rise(GateId g) const {
+    return sat_add(sat_add(cc0[g], cc1[g]), co[g]);
+  }
+  std::uint32_t tdf_fall(GateId g) const { return tdf_rise(g); }
+
+  /// Saturating addition (SCOAP values on redundant logic can blow up).
+  static std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) {
+    const std::uint64_t s = static_cast<std::uint64_t>(a) + b;
+    return s > 0xffffff ? 0xffffffu : static_cast<std::uint32_t>(s);
+  }
+};
+
+/// Computes SCOAP measures in two linear passes (forward controllability,
+/// backward observability).
+ScoapMeasures compute_scoap(const Netlist& nl);
+
+/// SCOAP-guided test-point insertion: observation points at the gates with
+/// the worst observability (CO), the classical alternative to the
+/// BFS-distance heuristic of insert_test_points(). Returns a rebuilt 2D
+/// netlist with at most max_fraction * num_logic_gates kObs taps appended
+/// as observe-only outputs.
+Netlist insert_test_points_scoap(const Netlist& src, double max_fraction);
+
+}  // namespace m3dfl::netlist

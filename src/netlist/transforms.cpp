@@ -1,0 +1,150 @@
+#include "netlist/transforms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "common/rng.h"
+
+namespace m3dfl::netlist {
+namespace {
+
+/// Dual type for the push-an-inverter rewrites (f -> dual + INV).
+GateType dual_type(GateType t) {
+  switch (t) {
+    case GateType::kAnd: return GateType::kNand;
+    case GateType::kNand: return GateType::kAnd;
+    case GateType::kOr: return GateType::kNor;
+    case GateType::kNor: return GateType::kOr;
+    case GateType::kXor: return GateType::kXnor;
+    case GateType::kXnor: return GateType::kXor;
+    default: return t;
+  }
+}
+
+bool has_dual(GateType t) { return dual_type(t) != t; }
+
+}  // namespace
+
+Netlist resynthesize(const Netlist& src, std::uint64_t seed,
+                     double rewrite_fraction) {
+  assert(src.num_mivs() == 0 && "resynthesis applies to 2D netlists");
+  Rng rng(seed);
+  Netlist out;
+  std::vector<GateId> map(src.num_gates(), kNoGate);
+
+  // Inputs first, preserving order (keeps scan-cell pairing intact).
+  for (GateId g : src.inputs()) {
+    map[g] = out.add_input();
+    out.gate(map[g]).pos = src.gate(g).pos;
+  }
+
+  std::vector<GateId> fanin;
+  for (GateId g : src.topo_order()) {
+    const Gate& gate = src.gate(g);
+    if (gate.type == GateType::kInput) continue;
+    fanin.clear();
+    for (GateId d : gate.fanin) {
+      assert(map[d] != kNoGate);
+      fanin.push_back(map[d]);
+    }
+    GateId ng;
+    if (has_dual(gate.type) && rng.bernoulli(rewrite_fraction)) {
+      // f(x) == INV(dual(x)).
+      const GateId d = out.add_gate(dual_type(gate.type), fanin);
+      out.gate(d).pos = gate.pos;
+      ng = out.add_gate(GateType::kInv, {d});
+    } else {
+      ng = out.add_gate(gate.type, fanin);
+    }
+    out.gate(ng).pos = gate.pos;
+    if (rng.bernoulli(rewrite_fraction * 0.3)) {
+      // Double-inverter insertion: consumers see the same function through
+      // two extra levels (changes structure, depth, and gate count).
+      const GateId i1 = out.add_gate(GateType::kInv, {ng});
+      out.gate(i1).pos = gate.pos;
+      ng = out.add_gate(GateType::kInv, {i1});
+      out.gate(ng).pos = gate.pos;
+    }
+    map[g] = ng;
+  }
+
+  for (GateId o : src.outputs()) out.add_output(map[o]);
+  out.set_num_scan_cells(src.num_scan_cells());
+  assert(out.validate().empty());
+  return out;
+}
+
+Netlist insert_test_points(const Netlist& src, double max_fraction,
+                           std::uint64_t seed) {
+  assert(src.num_mivs() == 0 && "TPI applies to 2D netlists");
+  Rng rng(seed);
+
+  // Observation distance: reverse BFS from all observed outputs. Gates that
+  // are far from every output are the hardest to observe — exactly where an
+  // ATPG tool would put observe points.
+  constexpr std::uint32_t kUnreached = 0xffffffffu;
+  std::vector<std::uint32_t> dist(src.num_gates(), kUnreached);
+  std::queue<GateId> bfs;
+  for (GateId o : src.outputs()) {
+    if (dist[o] != 0 || true) {
+      dist[o] = 0;
+      bfs.push(o);
+    }
+  }
+  while (!bfs.empty()) {
+    const GateId g = bfs.front();
+    bfs.pop();
+    for (GateId d : src.gate(g).fanin) {
+      if (dist[d] == kUnreached) {
+        dist[d] = dist[g] + 1;
+        bfs.push(d);
+      }
+    }
+  }
+
+  const auto budget = static_cast<std::size_t>(
+      max_fraction * static_cast<double>(src.num_logic_gates()));
+
+  // Rank logic gates by distance (descending), jitter ties randomly so the
+  // selection is not purely id-ordered.
+  std::vector<GateId> candidates;
+  for (GateId g = 0; g < src.num_gates(); ++g) {
+    if (src.gate(g).type != GateType::kInput && dist[g] != kUnreached &&
+        dist[g] >= 2) {
+      candidates.push_back(g);
+    }
+  }
+  rng.shuffle(candidates);
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&dist](GateId a, GateId b) { return dist[a] > dist[b]; });
+  if (candidates.size() > budget) candidates.resize(budget);
+
+  // Rebuild with kObs taps appended as observe-only outputs.
+  Netlist out;
+  std::vector<GateId> map(src.num_gates(), kNoGate);
+  for (GateId g : src.inputs()) {
+    map[g] = out.add_input();
+    out.gate(map[g]).pos = src.gate(g).pos;
+  }
+  for (GateId g : src.topo_order()) {
+    const Gate& gate = src.gate(g);
+    if (gate.type == GateType::kInput) continue;
+    std::vector<GateId> fanin;
+    fanin.reserve(gate.fanin.size());
+    for (GateId d : gate.fanin) fanin.push_back(map[d]);
+    map[g] = out.add_gate(gate.type, fanin);
+    out.gate(map[g]).pos = gate.pos;
+  }
+  for (GateId o : src.outputs()) out.add_output(map[o]);
+  out.set_num_scan_cells(src.num_scan_cells());
+  for (GateId c : candidates) {
+    const GateId obs = out.add_gate(GateType::kObs, {map[c]});
+    out.gate(obs).pos = src.gate(c).pos;
+    out.add_output(obs);  // Observe-only scan cell, no paired Q.
+  }
+  assert(out.validate().empty());
+  return out;
+}
+
+}  // namespace m3dfl::netlist

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace m3dfl::netlist {
+
+/// Function-preserving local re-synthesis (the paper's "Syn-2" design
+/// configuration, which re-synthesizes the same RTL at a different clock
+/// frequency, changing gate types and structure but not functionality).
+///
+/// Rewrites applied with probability rewrite_fraction per gate:
+///  * AND <-> NAND + INV, OR <-> NOR + INV, XOR <-> XNOR + INV;
+///  * double-inverter insertion on a driven signal.
+///
+/// The result computes the same Boolean function at every observed output
+/// and preserves input order, output order, and scan-cell pairing.
+/// Must be applied to a 2D netlist (before partitioning / MIV insertion).
+Netlist resynthesize(const Netlist& src, std::uint64_t seed,
+                     double rewrite_fraction = 0.35);
+
+/// Test-point insertion (the paper's "TPI" configuration). Adds observation
+/// test points — kObs buffers captured into observe-only scan cells — at the
+/// signals that are hardest to observe (largest reverse-BFS distance to any
+/// existing output). At most max_fraction * num_logic_gates points are
+/// added (the paper uses 1%). Must be applied to a 2D netlist.
+Netlist insert_test_points(const Netlist& src, double max_fraction,
+                           std::uint64_t seed);
+
+}  // namespace m3dfl::netlist

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace m3dfl::netlist {
+
+/// Structural-Verilog interchange for the library's netlists.
+///
+/// The dialect is the flat gate-level subset every synthesis tool can emit
+/// and most can re-read:
+///
+/// ```verilog
+/// module top (pi_0, pi_1, ..., po_0, po_1, ...);
+///   input pi_0; ...
+///   output po_0; ...
+///   wire n12; ...
+///   NAND2 g12 (.Y(n12), .A(pi_0), .B(n7));       // logic gates
+///   MIV   g40 (.Y(n40), .A(n12));                // inter-tier vias
+///   // m3dfl attributes ride in structured comments:
+///   // @m3dfl tier g12 1
+///   // @m3dfl pos  g12 0.4375
+///   // @m3dfl scan_cells 40
+/// endmodule
+/// ```
+///
+/// Cell names: BUF, INV, AND2..AND4, NAND2..NAND4, OR2..OR4, NOR2..NOR4,
+/// XOR2, XNOR2, MIV, OBS. Ports are Y (output) and A, B, C, D (inputs).
+/// Inputs are named pi_<index> in inputs() order; outputs po_<index> in
+/// outputs() order (a po_ is an `assign` alias of the observed net).
+/// Tier / placement / scan metadata is carried in `@m3dfl` comments so a
+/// plain Verilog flow can ignore it while round-trips stay lossless.
+
+/// Serializes a netlist to the dialect above.
+void write_verilog(const Netlist& nl, std::ostream& os,
+                   const std::string& module_name = "top");
+
+/// Convenience: serialize to a string.
+std::string to_verilog(const Netlist& nl,
+                       const std::string& module_name = "top");
+
+/// Parse failure diagnostics.
+struct VerilogParseError {
+  bool ok = true;
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Parses the dialect back into a Netlist. On failure returns an empty
+/// netlist and fills `error`. Unknown `@m3dfl` keys are ignored (forward
+/// compatibility); unknown cells are an error.
+Netlist read_verilog(std::istream& is, VerilogParseError* error = nullptr);
+
+/// Convenience: parse from a string.
+Netlist verilog_from_string(const std::string& text,
+                            VerilogParseError* error = nullptr);
+
+}  // namespace m3dfl::netlist

@@ -1,0 +1,112 @@
+#include "sim/failure_log.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace m3dfl::sim {
+
+std::size_t FailureLog::num_failing_patterns() const {
+  std::vector<std::uint32_t> pats;
+  if (compacted) {
+    pats.reserve(cfails.size());
+    for (const CObs& f : cfails) pats.push_back(f.pattern);
+  } else {
+    pats.reserve(fails.size());
+    for (const Obs& f : fails) pats.push_back(f.pattern);
+  }
+  std::sort(pats.begin(), pats.end());
+  pats.erase(std::unique(pats.begin(), pats.end()), pats.end());
+  return pats.size();
+}
+
+FailureLog failure_log_from_diff(std::span<const Word> diff,
+                                 std::size_t num_outputs,
+                                 std::size_t num_patterns) {
+  FailureLog log;
+  log.compacted = false;
+  const std::size_t W = words_for(num_patterns);
+  for (std::uint32_t o = 0; o < num_outputs; ++o) {
+    for (std::size_t w = 0; w < W; ++w) {
+      Word m = diff[static_cast<std::size_t>(o) * W + w];
+      while (m) {
+        const int bit = std::countr_zero(m);
+        m &= m - 1;
+        const std::size_t p = w * kWordBits + static_cast<std::size_t>(bit);
+        if (p < num_patterns) {
+          log.fails.push_back(
+              {static_cast<std::uint32_t>(p), o});
+        }
+      }
+    }
+  }
+  std::sort(log.fails.begin(), log.fails.end(),
+            [](const FailureLog::Obs& a, const FailureLog::Obs& b) {
+              return a.pattern != b.pattern ? a.pattern < b.pattern
+                                            : a.output < b.output;
+            });
+  return log;
+}
+
+std::string to_text(const FailureLog& log) {
+  std::ostringstream os;
+  os << "m3dfl-faillog v1 " << (log.compacted ? "compacted" : "bypass")
+     << "\n";
+  if (log.compacted) {
+    for (const FailureLog::CObs& f : log.cfails) {
+      os << "fail " << f.pattern << ' ' << f.channel << ' ' << f.cycle
+         << "\n";
+    }
+  } else {
+    for (const FailureLog::Obs& f : log.fails) {
+      os << "fail " << f.pattern << ' ' << f.output << "\n";
+    }
+  }
+  return os.str();
+}
+
+FailureLogParseResult failure_log_from_text(const std::string& text) {
+  FailureLogParseResult r;
+  std::istringstream is(text);
+  std::string magic, version, mode;
+  is >> magic >> version >> mode;
+  if (magic != "m3dfl-faillog" || version != "v1" ||
+      (mode != "bypass" && mode != "compacted")) {
+    r.ok = false;
+    r.message = "bad header (expected 'm3dfl-faillog v1 bypass|compacted')";
+    return r;
+  }
+  r.log.compacted = mode == "compacted";
+  std::string word;
+  while (is >> word) {
+    if (word != "fail") {
+      r.ok = false;
+      r.message = "unexpected token '" + word + "'";
+      return r;
+    }
+    if (r.log.compacted) {
+      std::uint32_t pattern = 0;
+      std::uint32_t channel = 0;
+      std::uint32_t cycle = 0;
+      if (!(is >> pattern >> channel >> cycle)) {
+        r.ok = false;
+        r.message = "malformed compacted entry";
+        return r;
+      }
+      r.log.cfails.push_back({pattern, static_cast<std::uint16_t>(channel),
+                              static_cast<std::uint16_t>(cycle)});
+    } else {
+      std::uint32_t pattern = 0;
+      std::uint32_t output = 0;
+      if (!(is >> pattern >> output)) {
+        r.ok = false;
+        r.message = "malformed bypass entry";
+        return r;
+      }
+      r.log.fails.push_back({pattern, output});
+    }
+  }
+  return r;
+}
+
+}  // namespace m3dfl::sim

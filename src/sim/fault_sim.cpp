@@ -1,0 +1,247 @@
+#include "sim/fault_sim.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace m3dfl::sim {
+
+using netlist::FaultSite;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateType;
+
+const char* polarity_name(FaultPolarity p) {
+  switch (p) {
+    case FaultPolarity::kSlowToRise: return "slow-to-rise";
+    case FaultPolarity::kSlowToFall: return "slow-to-fall";
+    case FaultPolarity::kSlow: return "slow";
+    case FaultPolarity::kStuckAt0: return "stuck-at-0";
+    case FaultPolarity::kStuckAt1: return "stuck-at-1";
+  }
+  return "?";
+}
+
+FaultSimulator::FaultSimulator(const netlist::Netlist& nl,
+                               const SiteTable& sites)
+    : nl_(&nl), sites_(&sites) {
+  obs_of_gate_.resize(nl.num_gates());
+  const auto outs = nl.outputs();
+  for (std::uint32_t o = 0; o < outs.size(); ++o) {
+    obs_of_gate_[outs[o]].push_back(o);
+  }
+}
+
+void FaultSimulator::bind(const PatternSet& v1_inputs) {
+  good_ = simulate_launch_off_capture(*nl_, v1_inputs);
+  finish_bind(v1_inputs);
+}
+
+void FaultSimulator::bind(const PatternSet& v1_inputs,
+                          const PatternSet& v2_inputs) {
+  good_ = simulate_two_vector(*nl_, v1_inputs, v2_inputs);
+  finish_bind(v1_inputs);
+}
+
+void FaultSimulator::finish_bind(const PatternSet& v1_inputs) {
+  faulty_ = good_.v2;
+  in_queue_.assign(nl_->num_gates(), 0);
+  forced_.assign(nl_->num_gates(), 0);
+  level_buckets_.assign(nl_->depth() + 1, {});
+  touched_.clear();
+  scratch_.assign(good_.num_words, 0);
+  // Keep only the valid pattern bits of the good transition masks: the
+  // inverting gates fill tail bits with garbage that must never activate a
+  // fault or count as a transition.
+  const std::size_t W = good_.num_words;
+  if (W > 0) {
+    const Word tail = v1_inputs.valid_mask(W - 1);
+    for (std::size_t g = 0; g < nl_->num_gates(); ++g) {
+      good_.transition[g * W + (W - 1)] &= tail;
+    }
+  }
+}
+
+void FaultSimulator::ensure_bound() const {
+  assert(!faulty_.empty() && "bind() must be called before simulation");
+}
+
+std::vector<Word> FaultSimulator::activation_mask(
+    const InjectedFault& fault) const {
+  ensure_bound();
+  const std::size_t W = good_.num_words;
+  const GateId driver = sites_->site(fault.site).driver;
+  std::vector<Word> act(W);
+  const std::size_t rem = good_.num_patterns % kWordBits;
+  const Word tail = rem ? (Word{1} << rem) - 1 : ~Word{0};
+  for (std::size_t w = 0; w < W; ++w) {
+    const Word v1 = good_.v1_word(driver, w);
+    const Word v2 = good_.v2_word(driver, w);
+    switch (fault.polarity) {
+      case FaultPolarity::kSlowToRise:
+        act[w] = ~v1 & v2 & good_.tr_word(driver, w);
+        break;
+      case FaultPolarity::kSlowToFall:
+        act[w] = v1 & ~v2 & good_.tr_word(driver, w);
+        break;
+      case FaultPolarity::kSlow:
+        act[w] = (v1 ^ v2) & good_.tr_word(driver, w);
+        break;
+      case FaultPolarity::kStuckAt0:
+        // Excited on every pattern whose good value is 1.
+        act[w] = v2;
+        break;
+      case FaultPolarity::kStuckAt1:
+        act[w] = ~v2;
+        break;
+    }
+    if (w + 1 == W) act[w] &= tail;
+  }
+  return act;
+}
+
+bool FaultSimulator::observed_diff(const InjectedFault& fault,
+                                   std::vector<Word>& diff,
+                                   std::vector<std::uint32_t>* touched_outputs) {
+  return observed_diff(std::span<const InjectedFault>(&fault, 1), diff,
+                       touched_outputs);
+}
+
+bool FaultSimulator::observed_diff(std::span<const InjectedFault> faults,
+                                   std::vector<Word>& diff,
+                                   std::vector<std::uint32_t>* touched_outputs) {
+  ensure_bound();
+  const std::size_t W = good_.num_words;
+  const std::size_t num_outputs = nl_->num_outputs();
+  diff.assign(num_outputs * W, 0);
+  touched_.clear();
+  if (touched_outputs) touched_outputs->clear();
+
+  const auto& levels = nl_->levels();
+  std::uint32_t min_level = 0xffffffffu;
+  std::uint32_t max_level = 0;
+
+  auto faulty_row = [this, W](GateId g) {
+    return faulty_.data() + static_cast<std::size_t>(g) * W;
+  };
+  auto good_row = [this, W](GateId g) {
+    return good_.v2.data() + static_cast<std::size_t>(g) * W;
+  };
+  auto touch = [this](GateId g) {
+    touched_.push_back(g);  // May repeat; restore is idempotent.
+  };
+  auto enqueue = [&](GateId g) {
+    if (in_queue_[g]) return;
+    in_queue_[g] = 1;
+    level_buckets_[levels[g]].push_back(g);
+    min_level = std::min(min_level, levels[g]);
+    max_level = std::max(max_level, levels[g]);
+  };
+
+  // Branch-fault overrides: (gate, pin) -> faulty value row. Small, so a
+  // flat list with linear scan is fastest.
+  struct BranchOverride {
+    GateId gate;
+    std::int16_t pin;
+    std::vector<Word> value;
+  };
+  std::vector<BranchOverride> overrides;
+
+  // Seed events from each fault.
+  for (const InjectedFault& f : faults) {
+    const FaultSite& fs = sites_->site(f.site);
+    const std::vector<Word> act = activation_mask(f);
+    bool any = false;
+    for (Word w : act) any |= w != 0;
+    if (!any) continue;
+
+    // Faulty value of the signal at the site. TDF: the late V1 value where
+    // activated; stuck-at: the forced constant.
+    std::vector<Word> fv(W);
+    for (std::size_t w = 0; w < W; ++w) {
+      const Word v2 = good_.v2_word(fs.driver, w);
+      Word forced;
+      switch (f.polarity) {
+        case FaultPolarity::kStuckAt0: forced = 0; break;
+        case FaultPolarity::kStuckAt1: forced = ~Word{0}; break;
+        default: forced = good_.v1_word(fs.driver, w); break;
+      }
+      fv[w] = (v2 & ~act[w]) | (forced & act[w]);
+    }
+
+    if (fs.is_stem()) {
+      Word changed = 0;
+      Word* row = faulty_row(fs.gate);
+      for (std::size_t w = 0; w < W; ++w) changed |= row[w] ^ fv[w];
+      if (changed == 0) continue;
+      std::copy(fv.begin(), fv.end(), row);
+      forced_[fs.gate] = 1;
+      touch(fs.gate);
+      for (GateId fo : nl_->gate(fs.gate).fanout) enqueue(fo);
+    } else {
+      overrides.push_back(BranchOverride{fs.gate, fs.pin, std::move(fv)});
+      enqueue(fs.gate);
+    }
+  }
+
+  // Propagate level by level. Fanout levels strictly exceed a gate's level,
+  // so one ascending sweep settles everything.
+  const Word* fanin_ptrs[8];
+  if (min_level != 0xffffffffu) {
+    for (std::uint32_t lvl = min_level; lvl <= max_level; ++lvl) {
+      auto& bucket = level_buckets_[lvl];
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const GateId g = bucket[i];
+        in_queue_[g] = 0;
+        if (forced_[g]) continue;  // Stem fault pins this gate's value.
+        const Gate& gate = nl_->gate(g);
+        assert(gate.fanin.size() <= 8);
+        for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+          fanin_ptrs[k] = faulty_row(gate.fanin[k]);
+        }
+        for (const BranchOverride& ov : overrides) {
+          if (ov.gate == g) fanin_ptrs[ov.pin] = ov.value.data();
+        }
+        eval_gate_words(gate, fanin_ptrs, scratch_.data(), W);
+        Word changed = 0;
+        Word* row = faulty_row(g);
+        for (std::size_t w = 0; w < W; ++w) changed |= row[w] ^ scratch_[w];
+        if (changed == 0) continue;
+        std::copy(scratch_.begin(), scratch_.end(), row);
+        touch(g);
+        for (GateId fo : gate.fanout) {
+          max_level = std::max(max_level, levels[fo]);
+          enqueue(fo);
+        }
+      }
+      bucket.clear();
+    }
+  }
+
+  // Collect observation diffs and restore the workspace.
+  bool any_fail = false;
+  const Word tail =
+      W > 0 ? ((good_.num_patterns % kWordBits)
+                   ? ((Word{1} << (good_.num_patterns % kWordBits)) - 1)
+                   : ~Word{0})
+            : 0;
+  for (GateId g : touched_) {
+    for (std::uint32_t o : obs_of_gate_[g]) {
+      if (touched_outputs) touched_outputs->push_back(o);
+      Word* drow = diff.data() + static_cast<std::size_t>(o) * W;
+      const Word* frow = faulty_row(g);
+      const Word* grow = good_row(g);
+      for (std::size_t w = 0; w < W; ++w) {
+        Word d = frow[w] ^ grow[w];
+        if (w + 1 == W) d &= tail;
+        drow[w] = d;
+        any_fail |= d != 0;
+      }
+    }
+    // Restore the persistent workspace to the good machine.
+    std::copy(good_row(g), good_row(g) + W, faulty_row(g));
+    forced_[g] = 0;
+  }
+  return any_fail;
+}
+
+}  // namespace m3dfl::sim

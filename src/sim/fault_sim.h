@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/fault_site.h"
+#include "sim/logic_sim.h"
+
+namespace m3dfl::sim {
+
+using netlist::SiteId;
+using netlist::SiteTable;
+
+/// Fault-model variants supported by the simulator. The paper's framework
+/// targets transition delay faults; the classic stuck-at models are also
+/// provided (the diagnosis engine and graph pipeline are fault-model
+/// agnostic, so the library doubles as a stuck-at diagnosis substrate).
+enum class FaultPolarity : std::uint8_t {
+  kSlowToRise,  ///< TDF: late 0->1 transition.
+  kSlowToFall,  ///< TDF: late 1->0 transition.
+  kSlow,        ///< TDF: gross delay, both transitions late.
+  kStuckAt0,    ///< Permanent 0 at the site.
+  kStuckAt1,    ///< Permanent 1 at the site.
+};
+
+const char* polarity_name(FaultPolarity p);
+
+/// True for the stuck-at variants.
+inline bool is_stuck_at(FaultPolarity p) {
+  return p == FaultPolarity::kStuckAt0 || p == FaultPolarity::kStuckAt1;
+}
+
+/// One injected fault at a fault site.
+struct InjectedFault {
+  SiteId site = netlist::kNoSite;
+  FaultPolarity polarity = FaultPolarity::kSlow;
+
+  bool operator==(const InjectedFault&) const = default;
+};
+
+/// Event-driven bit-parallel TDF fault simulator.
+///
+/// Semantics (the standard LoC surrogate model): a TDF at site s is
+/// *activated* by pattern p when the fault-free two-vector simulation
+/// launches the matching transition through s; the faulty machine then sees
+/// the V1 (late) value at s during capture, i.e. the site behaves as a
+/// conditional stuck-at of its V1 value. Effects are propagated through the
+/// V2 network event-driven (level-ordered), and the failing observation
+/// points are reported.
+///
+/// bind() runs the good-machine two-vector simulation once per pattern set;
+/// observed_diff() then costs only the faulty cone, which makes per-candidate
+/// signature matching in the diagnosis engine cheap.
+class FaultSimulator {
+ public:
+  FaultSimulator(const netlist::Netlist& nl, const SiteTable& sites);
+
+  /// Binds a V1 pattern set: runs good LoC simulation and prepares the
+  /// persistent faulty-value workspace.
+  void bind(const PatternSet& v1_inputs);
+
+  /// Binds an enhanced-scan pattern pair (independently controllable V1 and
+  /// V2 blocks of identical shape).
+  void bind(const PatternSet& v1_inputs, const PatternSet& v2_inputs);
+
+  const TwoVectorResult& good() const { return good_; }
+  std::size_t num_words() const { return good_.num_words; }
+  std::size_t num_patterns() const { return good_.num_patterns; }
+
+  /// Simulates the faulty machine for the given (possibly multiple) faults.
+  /// Fills `diff` (resized to num_outputs * num_words) with the packed
+  /// pattern mask of miscompares per observation point, and returns true if
+  /// any pattern fails. Invalid tail bits are already masked off.
+  /// If `touched_outputs` is non-null it receives the indices of the
+  /// observation points reached by the fault effect (a superset of the
+  /// failing ones); all other rows of `diff` are guaranteed zero, so
+  /// signature matching needs to scan only these rows.
+  bool observed_diff(std::span<const InjectedFault> faults,
+                     std::vector<Word>& diff,
+                     std::vector<std::uint32_t>* touched_outputs = nullptr);
+
+  /// Convenience: single fault.
+  bool observed_diff(const InjectedFault& fault, std::vector<Word>& diff,
+                     std::vector<std::uint32_t>* touched_outputs = nullptr);
+
+  /// Activation mask of a fault under the bound patterns: bit p set iff
+  /// pattern p launches the matching transition through the fault site.
+  std::vector<Word> activation_mask(const InjectedFault& fault) const;
+
+ private:
+  void ensure_bound() const;
+  void finish_bind(const PatternSet& v1_inputs);
+
+  const netlist::Netlist* nl_;
+  const SiteTable* sites_;
+  TwoVectorResult good_;
+
+  // Per-output-index lists: which observation indices read each gate.
+  std::vector<std::vector<std::uint32_t>> obs_of_gate_;
+
+  // Event-driven workspace (sized at bind()).
+  std::vector<Word> faulty_;            ///< Persistent copy of good_.v2.
+  std::vector<std::uint8_t> in_queue_;  ///< Dedup flag per gate.
+  std::vector<std::uint8_t> forced_;    ///< Stem-fault forced gates.
+  std::vector<std::vector<netlist::GateId>> level_buckets_;
+  std::vector<netlist::GateId> touched_;
+  std::vector<Word> scratch_;  ///< One gate row of scratch.
+};
+
+}  // namespace m3dfl::sim

@@ -1,0 +1,145 @@
+// Tests of the shared utilities: Rng, statistics, table formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(1), b(1), c(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(1);
+  for (int i = 0; i < 100; ++i) differs |= a2.next() != c.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(8);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    lo |= v == -3;
+    hi |= v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInHalfOpenInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(10);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, DeriveSeedDecorrelatesStreams) {
+  const auto a = derive_seed(1, 1);
+  const auto b = derive_seed(1, 2);
+  const auto c = derive_seed(2, 1);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, derive_seed(1, 1));
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, SpanHelpers) {
+  const std::vector<double> xs{2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 4.0);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(8.0 / 3.0), 1e-12);
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> anti{3.0, 2.0, 1.0};
+  EXPECT_NEAR(correlation(xs, anti), -1.0, 1e-12);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Table, RendersAlignedCells) {
+  TablePrinter t("Title");
+  t.set_header({"A", "Bee"});
+  t.add_row({"1", "22"});
+  t.add_separator();
+  t.add_row({"333"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| A   | Bee |"), std::string::npos);
+  EXPECT_NE(s.find("| 333 |     |"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(0.9932, 1), "99.3%");
+  EXPECT_EQ(fmt_delta_pct(0.329, 1), "(+32.9%)");
+  EXPECT_EQ(fmt_delta_pct(-0.004, 1), "(-0.4%)");
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,150 @@
+// Tests of the XOR spatial response compactor and the EDT-style LFSR
+// stimulus decompressor.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "compress/compactor.h"
+#include "compress/lfsr.h"
+
+namespace m3dfl::compress {
+namespace {
+
+using atpg::ScanConfig;
+using sim::FailureLog;
+using sim::Word;
+
+// --- Compactor ------------------------------------------------------------------
+
+TEST(Compactor, SingleErrorIsAlwaysVisible) {
+  const ScanConfig cfg = ScanConfig::make(40, 8, 4);  // 2 channels.
+  const ResponseCompactor compactor(cfg);
+  const std::size_t W = 1;
+  for (std::uint32_t o = 0; o < 40; ++o) {
+    std::vector<Word> diff(40 * W, 0);
+    diff[o * W] = 0b1;  // Output o fails on pattern 0.
+    const FailureLog log = compactor.failure_log_from_diff(diff, W, 10);
+    ASSERT_EQ(log.cfails.size(), 1u);
+    EXPECT_EQ(log.cfails[0].pattern, 0u);
+    EXPECT_EQ(log.cfails[0].channel, cfg.channel_of(o));
+    EXPECT_EQ(log.cfails[0].cycle, cfg.position_of(o));
+  }
+}
+
+TEST(Compactor, EvenParityAliases) {
+  const ScanConfig cfg = ScanConfig::make(40, 8, 4);
+  const ResponseCompactor compactor(cfg);
+  // Find two outputs mapping to the same (channel, cycle).
+  const auto cellmates = cfg.outputs_of(0, 0);
+  ASSERT_GE(cellmates.size(), 2u);
+  std::vector<Word> diff(40, 0);
+  diff[cellmates[0]] = 0b1;
+  diff[cellmates[1]] = 0b1;
+  const FailureLog log = compactor.failure_log_from_diff(diff, 1, 10);
+  EXPECT_TRUE(log.cfails.empty()) << "even error parity must cancel (alias)";
+}
+
+TEST(Compactor, OddParityVisible) {
+  const ScanConfig cfg = ScanConfig::make(60, 12, 4);  // 3 channels.
+  const ResponseCompactor compactor(cfg);
+  const auto cellmates = cfg.outputs_of(1, 0);
+  ASSERT_GE(cellmates.size(), 3u);
+  std::vector<Word> diff(60, 0);
+  diff[cellmates[0]] = 0b1;
+  diff[cellmates[1]] = 0b1;
+  diff[cellmates[2]] = 0b1;
+  const FailureLog log = compactor.failure_log_from_diff(diff, 1, 10);
+  ASSERT_EQ(log.cfails.size(), 1u);
+  EXPECT_EQ(log.cfails[0].channel, 1u);
+}
+
+TEST(Compactor, CompactLogMatchesCompactDiff) {
+  const ScanConfig cfg = ScanConfig::make(30, 6, 3);
+  const ResponseCompactor compactor(cfg);
+  Rng rng(5);
+  const std::size_t W = 2;
+  std::vector<Word> diff(30 * W);
+  for (auto& w : diff) w = rng.next() & rng.next() & rng.next();  // Sparse.
+  const std::size_t num_patterns = 100;
+  // Mask the tail.
+  for (std::size_t o = 0; o < 30; ++o) {
+    diff[o * W + 1] &= (Word{1} << (num_patterns - 64)) - 1;
+  }
+  const FailureLog direct =
+      compactor.failure_log_from_diff(diff, W, num_patterns);
+  const FailureLog via_log = compactor.compact_log(
+      sim::failure_log_from_diff(diff, 30, num_patterns));
+  ASSERT_EQ(direct.cfails.size(), via_log.cfails.size());
+  for (std::size_t i = 0; i < direct.cfails.size(); ++i) {
+    EXPECT_EQ(direct.cfails[i], via_log.cfails[i]);
+  }
+}
+
+TEST(Compactor, AmbiguitySetBoundedByRatio) {
+  const ScanConfig cfg = ScanConfig::make(200, 40, 20);  // 2 channels.
+  for (std::uint32_t ch = 0; ch < cfg.num_channels; ++ch) {
+    for (std::uint32_t cyc = 0; cyc < cfg.chain_length; ++cyc) {
+      EXPECT_LE(cfg.outputs_of(ch, cyc).size(), 20u);
+    }
+  }
+}
+
+// --- LFSR -----------------------------------------------------------------------
+
+TEST(Lfsr, PrimitivePolynomialHasFullPeriod) {
+  // x^16 + x^14 + x^13 + x^11 + 1 (a known primitive polynomial).
+  const std::uint64_t taps =
+      (1ULL << 16) | (1ULL << 14) | (1ULL << 13) | (1ULL << 11) | 1ULL;
+  EXPECT_EQ(Lfsr::period(taps), (1ULL << 16) - 1);
+}
+
+TEST(Lfsr, NonPrimitiveHasShorterPeriod) {
+  // x^4 + x^2 + 1 is not primitive.
+  const std::uint64_t taps = (1ULL << 4) | (1ULL << 2) | 1ULL;
+  EXPECT_LT(Lfsr::period(taps), (1ULL << 4) - 1);
+}
+
+TEST(Lfsr, ZeroSeedRemapped) {
+  Lfsr l((1ULL << 4) | (1ULL << 3) | 1ULL, 0);
+  EXPECT_NE(l.state(), 0u);
+}
+
+TEST(Lfsr, SequenceDeterministic) {
+  const std::uint64_t taps = (1ULL << 8) | (1ULL << 6) | (1ULL << 5) |
+                             (1ULL << 4) | 1ULL;
+  Lfsr a(taps, 7), b(taps, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.step(), b.step());
+}
+
+// --- EDT decompressor -------------------------------------------------------------
+
+TEST(EdtDecompressor, ExpandsChannelsToChains) {
+  EdtDecompressor edt(40, 2);
+  const auto bits = edt.expand_cycle({true, false});
+  EXPECT_EQ(bits.size(), 40u);
+}
+
+TEST(EdtDecompressor, InjectionChangesOutput) {
+  EdtDecompressor a(16, 2), b(16, 2);
+  a.reset(1);
+  b.reset(1);
+  const auto xa = a.expand_cycle({false, false});
+  const auto xb = b.expand_cycle({true, false});
+  EXPECT_NE(xa, xb) << "channel data must influence the expansion";
+}
+
+TEST(EdtDecompressor, ResetRestoresSequence) {
+  EdtDecompressor edt(8, 1);
+  edt.reset(3);
+  std::vector<std::vector<bool>> first;
+  for (int i = 0; i < 5; ++i) first.push_back(edt.expand_cycle({i % 2 == 0}));
+  edt.reset(3);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(edt.expand_cycle({i % 2 == 0}), first[i]);
+  }
+}
+
+}  // namespace
+}  // namespace m3dfl::compress

@@ -1,0 +1,194 @@
+// Cross-validation tests: independent implementations of the same
+// mathematics must agree. These catch systematic errors a single-path unit
+// test cannot (both the test and the code would share the bug).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "diagnosis/diagnoser.h"
+#include "diagnosis/dictionary.h"
+#include "gnn/gcn.h"
+#include "gnn/model.h"
+#include "netlist/generators.h"
+#include "netlist/verilog.h"
+
+namespace m3dfl {
+namespace {
+
+using netlist::GeneratorParams;
+using netlist::Netlist;
+
+// --- Dictionary vs effect-cause -----------------------------------------------
+
+TEST(CrossValidation, DictionaryAndEffectCauseAgreeOnEquivalenceClasses) {
+  GeneratorParams p;
+  p.num_logic_gates = 160;
+  p.num_scan_cells = 14;
+  p.seed = 401;
+  const Netlist nl = netlist::generate_netlist(p);
+  const netlist::SiteTable sites(nl);
+  sim::FaultSimulator fsim(nl, sites);
+  Rng rng(402);
+  auto v1 = sim::PatternSet::random(nl.num_inputs(), 96, rng);
+  auto v2 = sim::PatternSet::random(nl.num_inputs(), 96, rng);
+  fsim.bind(v1, v2);
+
+  const diag::FaultDictionary dict(nl, sites, fsim);
+  const auto scan = atpg::ScanConfig::make(
+      static_cast<std::uint32_t>(nl.num_outputs()), 7, 3);
+  diag::DiagnoserOptions opts;
+  opts.keep_score_ratio = 1.0;  // Effect-cause keeps perfect matches only.
+  opts.min_score = 0.999;
+  opts.single_fault_relax = 1.0;
+  opts.max_candidates = 64;
+  diag::Diagnoser diagnoser(nl, sites, scan, opts);
+  diagnoser.bind(fsim);
+
+  std::vector<sim::Word> diff;
+  int tested = 0;
+  for (netlist::SiteId s = 0; s < sites.size() && tested < 20; s += 29) {
+    const sim::InjectedFault f{s, sim::FaultPolarity::kSlowToRise};
+    if (!fsim.observed_diff(f, diff)) continue;
+    ++tested;
+    const auto log = sim::failure_log_from_diff(diff, nl.num_outputs(),
+                                                fsim.num_patterns());
+    const auto from_dict = dict.diagnose(log);
+    const auto from_ec = diagnoser.diagnose(log);
+
+    // Every exact-dictionary candidate must also be a perfect-score
+    // effect-cause candidate (and vice versa), i.e. the two engines agree
+    // on the fault-equivalence class.
+    std::vector<netlist::SiteId> dict_sites, ec_sites;
+    for (const auto& c : from_dict.candidates) {
+      if (c.score == 1.0) dict_sites.push_back(c.site);
+    }
+    for (const auto& c : from_ec.candidates) {
+      if (c.score == 1.0) ec_sites.push_back(c.site);
+    }
+    std::sort(dict_sites.begin(), dict_sites.end());
+    std::sort(ec_sites.begin(), ec_sites.end());
+    // The effect-cause engine caps candidates; compare up to the cap.
+    if (ec_sites.size() < opts.max_candidates) {
+      EXPECT_EQ(dict_sites, ec_sites) << "site " << s;
+    }
+  }
+  EXPECT_GE(tested, 12);
+}
+
+// --- GCN forward vs dense reference ---------------------------------------------
+
+TEST(CrossValidation, GcnForwardMatchesDenseReference) {
+  Rng rng(403);
+  // Random small graph.
+  const std::size_t n = 7;
+  graphx::SubGraph g;
+  g.nodes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) g.nodes[i] = static_cast<std::uint32_t>(i);
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(0.4)) {
+        adj[i].push_back(static_cast<std::uint32_t>(j));
+        adj[j].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  g.row_ptr.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.row_ptr[i + 1] = g.row_ptr[i] + adj[i].size();
+    for (auto v : adj[i]) g.col_idx.push_back(v);
+  }
+  g.features.resize(n * graphx::kNumSubgraphFeatures);
+  for (auto& f : g.features) f = static_cast<float>(rng.uniform());
+
+  gnn::GcnLayer layer(graphx::kNumSubgraphFeatures, 5, rng);
+  const gnn::Matrix x = gnn::features_matrix(g);
+  const gnn::Matrix out = layer.forward(g, x, nullptr);
+
+  // Dense reference: A_hat = D^-1 (A + I); H = relu(A_hat X W + b).
+  const std::size_t F = graphx::kNumSubgraphFeatures;
+  std::vector<std::vector<double>> ahat(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double deg = 1.0 + adj[i].size();
+    ahat[i][i] = 1.0 / deg;
+    for (auto j : adj[i]) ahat[i][j] = 1.0 / deg;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t o = 0; o < 5; ++o) {
+      double acc = layer.b[o];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (ahat[i][j] == 0.0) continue;
+        double dot = 0.0;
+        for (std::size_t f = 0; f < F; ++f) {
+          dot += static_cast<double>(x.at(j, f)) * layer.W.at(f, o);
+        }
+        acc += ahat[i][j] * dot;
+      }
+      const double expected = std::max(0.0, acc);
+      EXPECT_NEAR(out.at(i, o), expected, 1e-4)
+          << "node " << i << " channel " << o;
+    }
+  }
+}
+
+// --- Verilog write-parse-write fixpoint -------------------------------------------
+
+TEST(CrossValidation, VerilogSecondRoundTripIsTextuallyStable) {
+  GeneratorParams p;
+  p.num_logic_gates = 120;
+  p.num_scan_cells = 10;
+  p.seed = 404;
+  const Netlist nl = netlist::generate_netlist(p);
+  const std::string once = netlist::to_verilog(nl);
+  netlist::VerilogParseError error;
+  const Netlist back = netlist::verilog_from_string(once, &error);
+  ASSERT_TRUE(error.ok) << error.message;
+  const std::string twice = netlist::to_verilog(back);
+  // After one round trip the gate numbering is canonical, so a second trip
+  // must be the identity at the text level.
+  const Netlist back2 = netlist::verilog_from_string(twice, &error);
+  ASSERT_TRUE(error.ok) << error.message;
+  EXPECT_EQ(netlist::to_verilog(back2), twice);
+}
+
+// --- Activation masks vs detection ------------------------------------------------
+
+TEST(CrossValidation, NoDetectionWithoutActivation) {
+  GeneratorParams p;
+  p.num_logic_gates = 140;
+  p.num_scan_cells = 12;
+  p.seed = 405;
+  const Netlist nl = netlist::generate_netlist(p);
+  const netlist::SiteTable sites(nl);
+  sim::FaultSimulator fsim(nl, sites);
+  Rng rng(406);
+  auto v1 = sim::PatternSet::random(nl.num_inputs(), 64, rng);
+  auto v2 = sim::PatternSet::random(nl.num_inputs(), 64, rng);
+  fsim.bind(v1, v2);
+  std::vector<sim::Word> diff;
+  for (netlist::SiteId s = 0; s < sites.size(); s += 17) {
+    for (auto pol : {sim::FaultPolarity::kSlowToRise,
+                     sim::FaultPolarity::kSlowToFall,
+                     sim::FaultPolarity::kStuckAt0}) {
+      fsim.observed_diff({s, pol}, diff);
+      const auto act = fsim.activation_mask({s, pol});
+      // Union of failing patterns across outputs must be a subset of the
+      // activation mask: a fault can only be seen on patterns that excite
+      // it.
+      const std::size_t W = fsim.num_words();
+      for (std::size_t w = 0; w < W; ++w) {
+        sim::Word fails = 0;
+        for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+          fails |= diff[o * W + w];
+        }
+        EXPECT_EQ(fails & ~act[w], sim::Word{0})
+            << "site " << s << " " << sim::polarity_name(pol);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,295 @@
+// Tests of the effect-cause diagnosis engine (the commercial-tool stand-in)
+// and the PADRE-style baseline [11].
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/compactor.h"
+#include "diagnosis/baseline.h"
+#include "diagnosis/diagnoser.h"
+#include "netlist/generators.h"
+
+#include <algorithm>
+
+namespace m3dfl::diag {
+namespace {
+
+using netlist::GeneratorParams;
+using netlist::SiteId;
+using sim::FaultPolarity;
+using sim::InjectedFault;
+
+struct Fixture {
+  netlist::Netlist nl;
+  netlist::SiteTable sites;
+  ScanConfig scan;
+  sim::FaultSimulator fsim;
+  sim::PatternSet v1, v2;
+
+  explicit Fixture(std::uint64_t seed, std::size_t patterns = 128)
+      : nl(make(seed)), sites(nl),
+        scan(ScanConfig::make(static_cast<std::uint32_t>(nl.num_outputs()),
+                              8, 4)),
+        fsim(nl, sites) {
+    Rng rng(seed + 1);
+    v1 = sim::PatternSet::random(nl.num_inputs(), patterns, rng);
+    v2 = sim::PatternSet::random(nl.num_inputs(), patterns, rng);
+    fsim.bind(v1, v2);
+  }
+
+  static netlist::Netlist make(std::uint64_t seed) {
+    GeneratorParams p;
+    p.num_logic_gates = 300;
+    p.num_scan_cells = 24;
+    p.num_levels = 8;
+    p.seed = seed;
+    return netlist::generate_netlist(p);
+  }
+
+  Diagnoser make_diagnoser(DiagnoserOptions opts = {}) {
+    Diagnoser d(nl, sites, scan, opts);
+    d.bind(fsim);
+    return d;
+  }
+
+  /// Injects a fault and returns its failure log (empty if undetected).
+  sim::FailureLog inject(const InjectedFault& f, bool compacted = false) {
+    std::vector<sim::Word> diff;
+    if (!fsim.observed_diff(f, diff)) return {};
+    if (compacted) {
+      return compress::ResponseCompactor(scan).failure_log_from_diff(
+          diff, fsim.num_words(), fsim.num_patterns());
+    }
+    return sim::failure_log_from_diff(diff, nl.num_outputs(),
+                                      fsim.num_patterns());
+  }
+};
+
+class DiagnoserProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiagnoserProperty, InjectedFaultAlwaysTopScores) {
+  Fixture fx(GetParam());
+  Diagnoser diag = fx.make_diagnoser();
+  Rng rng(GetParam() + 5);
+  int tested = 0;
+  for (int trial = 0; trial < 40 && tested < 15; ++trial) {
+    const InjectedFault f{
+        static_cast<SiteId>(rng.next_below(fx.sites.size())),
+        rng.bernoulli(0.5) ? FaultPolarity::kSlowToRise
+                           : FaultPolarity::kSlowToFall};
+    const sim::FailureLog log = fx.inject(f);
+    if (log.empty()) continue;
+    ++tested;
+    const DiagnosisReport report = diag.diagnose(log);
+    ASSERT_FALSE(report.candidates.empty());
+    // Exact re-simulation: the injected site reproduces its own signature,
+    // so the report contains a perfect-score candidate.
+    double best = 0.0;
+    for (const Candidate& c : report.candidates) {
+      best = std::max(best, c.score);
+    }
+    EXPECT_DOUBLE_EQ(best, 1.0);
+    // The injected site appears unless crowded out by a larger-than-cap
+    // equivalence class (rare at this size).
+    EXPECT_TRUE(report.hits_any({&f.site, 1}))
+        << "site " << f.site << " missing from report";
+  }
+  EXPECT_GE(tested, 10);
+}
+
+TEST_P(DiagnoserProperty, CompactedDiagnosisStillFindsTruth) {
+  Fixture fx(GetParam() + 31);
+  Diagnoser diag = fx.make_diagnoser();
+  Rng rng(GetParam() + 6);
+  int tested = 0, hits = 0;
+  std::size_t res_sum_c = 0, res_sum_u = 0;
+  for (int trial = 0; trial < 40 && tested < 12; ++trial) {
+    const InjectedFault f{
+        static_cast<SiteId>(rng.next_below(fx.sites.size())),
+        FaultPolarity::kSlow};
+    const sim::FailureLog full = fx.inject(f, false);
+    const sim::FailureLog comp = fx.inject(f, true);
+    if (full.empty() || comp.empty()) continue;
+    ++tested;
+    const DiagnosisReport ru = diag.diagnose(full);
+    const DiagnosisReport rc = diag.diagnose(comp);
+    hits += rc.hits_any({&f.site, 1});
+    res_sum_u += ru.resolution();
+    res_sum_c += rc.resolution();
+  }
+  EXPECT_GE(tested, 8);
+  EXPECT_GE(hits, tested - 2);  // Aliasing may rarely lose the truth.
+  // Compaction increases ambiguity: resolution should not be meaningfully
+  // better overall (candidate caps allow tiny fluctuations).
+  EXPECT_GE(res_sum_c + 3, res_sum_u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiagnoserProperty,
+                         ::testing::Values(201, 202, 203));
+
+TEST(Diagnoser, EmptyLogGivesEmptyReport) {
+  Fixture fx(77);
+  Diagnoser diag = fx.make_diagnoser();
+  const DiagnosisReport r = diag.diagnose(sim::FailureLog{});
+  EXPECT_TRUE(r.candidates.empty());
+}
+
+TEST(Diagnoser, RespectsMaxCandidates) {
+  Fixture fx(78);
+  DiagnoserOptions opts;
+  opts.max_candidates = 5;
+  Diagnoser diag = fx.make_diagnoser(opts);
+  Rng rng(79);
+  for (int trial = 0; trial < 10; ++trial) {
+    const InjectedFault f{
+        static_cast<SiteId>(rng.next_below(fx.sites.size())),
+        FaultPolarity::kSlow};
+    const auto log = fx.inject(f);
+    if (log.empty()) continue;
+    EXPECT_LE(diag.diagnose(log).resolution(), 5u);
+  }
+}
+
+TEST(Diagnoser, RankedByExplainedFailuresDescending) {
+  Fixture fx(80);
+  Diagnoser diag = fx.make_diagnoser();
+  Rng rng(81);
+  for (int trial = 0; trial < 10; ++trial) {
+    const InjectedFault f{
+        static_cast<SiteId>(rng.next_below(fx.sites.size())),
+        FaultPolarity::kSlow};
+    const auto log = fx.inject(f);
+    if (log.empty()) continue;
+    const DiagnosisReport r = diag.diagnose(log);
+    for (std::size_t i = 1; i < r.candidates.size(); ++i) {
+      EXPECT_GE(r.candidates[i - 1].matched, r.candidates[i].matched);
+    }
+  }
+}
+
+TEST(Diagnoser, MultiFaultModeFindsAllInjected) {
+  Fixture fx(82);
+  DiagnoserOptions opts;
+  opts.multifault = true;
+  opts.max_candidates = 64;
+  Diagnoser diag = fx.make_diagnoser(opts);
+  Rng rng(83);
+  int tested = 0, all_found = 0;
+  for (int trial = 0; trial < 30 && tested < 10; ++trial) {
+    // Two faults with disjoint-ish sites.
+    const InjectedFault faults[2] = {
+        {static_cast<SiteId>(rng.next_below(fx.sites.size())),
+         FaultPolarity::kSlow},
+        {static_cast<SiteId>(rng.next_below(fx.sites.size())),
+         FaultPolarity::kSlow}};
+    if (faults[0].site == faults[1].site) continue;
+    std::vector<sim::Word> diff;
+    if (!fx.fsim.observed_diff(faults, diff)) continue;
+    const auto log = sim::failure_log_from_diff(diff, fx.nl.num_outputs(),
+                                                fx.fsim.num_patterns());
+    if (log.empty()) continue;
+    ++tested;
+    const DiagnosisReport r = diag.diagnose(log);
+    const SiteId truth[2] = {faults[0].site, faults[1].site};
+    all_found += r.hits_all(truth);
+  }
+  EXPECT_GE(tested, 6);
+  EXPECT_GE(all_found, tested / 2) << "multi-fault accuracy collapsed";
+}
+
+// --- Report metrics -----------------------------------------------------------
+
+TEST(Report, FirstHitIndexAndSingleTier) {
+  DiagnosisReport r;
+  Candidate a;
+  a.site = 5;
+  a.tier = netlist::Tier::kTop;
+  Candidate b;
+  b.site = 9;
+  b.tier = netlist::Tier::kTop;
+  Candidate m;
+  m.site = 7;
+  m.tier = netlist::Tier::kBottom;
+  m.is_miv = true;
+  r.candidates = {a, m, b};
+  const SiteId truth[] = {9};
+  EXPECT_EQ(r.first_hit_index(truth), 3u);
+  EXPECT_TRUE(r.hits_any(truth));
+  EXPECT_FALSE(r.hits_all(std::vector<SiteId>{9, 11}));
+  netlist::Tier t;
+  EXPECT_TRUE(r.single_tier(&t));  // MIV candidates are tier-exempt.
+  EXPECT_EQ(t, netlist::Tier::kTop);
+  r.candidates[0].tier = netlist::Tier::kBottom;
+  EXPECT_FALSE(r.single_tier());
+}
+
+// --- Baseline [11] ---------------------------------------------------------------
+
+TEST(Baseline, TrainedFilterKeepsTruthAndPrunes) {
+  Fixture fx(90);
+  Diagnoser diag = fx.make_diagnoser();
+  Rng rng(91);
+
+  // Collect labeled training reports.
+  std::vector<DiagnosisReport> reports;
+  std::vector<std::vector<SiteId>> truths;
+  while (reports.size() < 40) {
+    const InjectedFault f{
+        static_cast<SiteId>(rng.next_below(fx.sites.size())),
+        FaultPolarity::kSlow};
+    const auto log = fx.inject(f);
+    if (log.empty()) continue;
+    reports.push_back(diag.diagnose(log));
+    truths.push_back({f.site});
+  }
+  std::vector<BaselineTrainingSample> train;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    train.push_back({&reports[i], truths[i]});
+  }
+  const BaselineModel model = train_baseline(train, fx.nl, fx.sites);
+
+  // Apply on fresh reports: resolution must not grow; accuracy loss small.
+  std::size_t kept_hits = 0, total = 0;
+  std::size_t res_before = 0, res_after = 0;
+  while (total < 25) {
+    const InjectedFault f{
+        static_cast<SiteId>(rng.next_below(fx.sites.size())),
+        FaultPolarity::kSlow};
+    const auto log = fx.inject(f);
+    if (log.empty()) continue;
+    const DiagnosisReport before = diag.diagnose(log);
+    if (!before.hits_any({&f.site, 1})) continue;
+    ++total;
+    const DiagnosisReport after =
+        apply_baseline(before, model, fx.nl, fx.sites);
+    EXPECT_LE(after.resolution(), before.resolution());
+    EXPECT_GE(after.resolution(), 1u);
+    res_before += before.resolution();
+    res_after += after.resolution();
+    kept_hits += after.hits_any({&f.site, 1});
+  }
+  EXPECT_GE(kept_hits, total - 2) << "baseline lost too much accuracy";
+  EXPECT_LT(res_after, res_before) << "baseline never pruned anything";
+}
+
+TEST(Baseline, FeatureVectorShape) {
+  Candidate c;
+  c.site = 0;
+  c.score = 0.8;
+  c.matched = 8;
+  c.mispredicted = 2;
+  c.missed = 2;
+  Fixture fx(92);
+  const BaselineFeatures f = baseline_features(c, 1, 10, fx.nl, fx.sites);
+  EXPECT_DOUBLE_EQ(f.x[0], 0.8);
+  EXPECT_NEAR(f.x[1], 0.8, 1e-9);
+  EXPECT_NEAR(f.x[2], 0.2, 1e-9);
+  for (int i = 0; i < BaselineFeatures::kNum; ++i) {
+    EXPECT_GE(f.x[i], 0.0);
+    EXPECT_LE(f.x[i], 1.0);
+    EXPECT_NE(BaselineFeatures::name(i), std::string("?"));
+  }
+}
+
+}  // namespace
+}  // namespace m3dfl::diag

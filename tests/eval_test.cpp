@@ -1,0 +1,283 @@
+// Integration tests of the evaluation harness: design building, dataset
+// generation, framework training, and every experiment driver at tiny
+// scale. These are the end-to-end guarantees behind the bench binaries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "eval/experiments.h"
+
+namespace m3dfl::eval {
+namespace {
+
+const RunScale& tiny() {
+  static const RunScale s = RunScale::tiny();
+  return s;
+}
+
+// --- Design building ----------------------------------------------------------
+
+TEST(Design, BuildsEveryConfiguration) {
+  const BenchmarkSpec spec = tiny_spec();
+  for (Config config : eval_configs()) {
+    const Design& d = cached_design(spec, config);
+    EXPECT_TRUE(d.nl.validate().empty());
+    EXPECT_GT(d.nl.num_mivs(), 0u);
+    EXPECT_GT(d.patterns.num_patterns(), 0u);
+    EXPECT_GT(d.graph->num_nodes(), 0u);
+    EXPECT_TRUE(d.graph->has_transitions());
+    EXPECT_GT(d.atpg_coverage, 0.7) << config_name(config);
+    EXPECT_GE(d.test_coverage, d.atpg_coverage);
+  }
+}
+
+TEST(Design, ConfigurationsDifferStructurally) {
+  const BenchmarkSpec spec = tiny_spec();
+  const Design& syn1 = cached_design(spec, Config::kSyn1);
+  const Design& syn2 = cached_design(spec, Config::kSyn2);
+  const Design& tpi = cached_design(spec, Config::kTPI);
+  EXPECT_NE(syn1.nl.num_gates(), syn2.nl.num_gates());
+  EXPECT_GT(tpi.nl.num_outputs(), syn1.nl.num_outputs());
+}
+
+TEST(Design, CacheReturnsSameInstance) {
+  const BenchmarkSpec spec = tiny_spec();
+  const Design& a = cached_design(spec, Config::kSyn1);
+  const Design& b = cached_design(spec, Config::kSyn1);
+  EXPECT_EQ(&a, &b);
+  const Design& r1 = cached_design(spec, Config::kRandomPart, 1);
+  const Design& r2 = cached_design(spec, Config::kRandomPart, 2);
+  EXPECT_NE(&r1, &r2);
+  EXPECT_NE(r1.part.tier_of_gate, r2.part.tier_of_gate);
+}
+
+// --- Dataset generation --------------------------------------------------------
+
+class DatagenMode : public ::testing::TestWithParam<FaultMode> {};
+
+TEST_P(DatagenMode, SamplesAreWellFormed) {
+  const Design& d = cached_design(tiny_spec(), Config::kSyn1);
+  DatagenOptions o;
+  o.mode = GetParam();
+  o.num_samples = 15;
+  o.seed = 555;
+  const Dataset ds = generate_dataset(d, o);
+  ASSERT_GT(ds.size(), 10u);
+  for (const Sample& s : ds.samples) {
+    EXPECT_FALSE(s.log.empty());
+    EXPECT_FALSE(s.faults.empty());
+    EXPECT_EQ(s.truth_sites.size(), s.faults.size());
+    EXPECT_GE(s.fault_tier, 0);
+    EXPECT_LE(s.fault_tier, 1);
+    EXPECT_GT(s.sub.num_nodes(), 0u);
+    EXPECT_EQ(s.sub.label_tier, s.fault_tier);
+    // Uncompacted single-fault back-tracing always keeps the truth.
+    if (GetParam() == FaultMode::kSingleSite) {
+      EXPECT_TRUE(s.sub.truth_in_nodes);
+    }
+    if (GetParam() == FaultMode::kSingleMiv) {
+      EXPECT_TRUE(s.truth_is_miv);
+      // The faulty MIV is labeled in the sub-graph.
+      const float labeled = std::count(s.sub.miv_label.begin(),
+                                       s.sub.miv_label.end(), 1.0f);
+      EXPECT_GE(labeled, 1.0f);
+    }
+    if (GetParam() == FaultMode::kMultiSameTier) {
+      EXPECT_GE(s.faults.size(), 2u);
+      EXPECT_LE(s.faults.size(), 5u);
+      for (netlist::SiteId site : s.truth_sites) {
+        EXPECT_EQ(static_cast<int>(d.sites.tier_of(site, d.nl)),
+                  s.fault_tier);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DatagenMode,
+                         ::testing::Values(FaultMode::kSingleSite,
+                                           FaultMode::kSingleMiv,
+                                           FaultMode::kMultiSameTier));
+
+TEST(Datagen, CompactedLogsAreCompacted) {
+  const Design& d = cached_design(tiny_spec(), Config::kSyn1);
+  DatagenOptions o;
+  o.compacted = true;
+  o.num_samples = 8;
+  o.seed = 556;
+  const Dataset ds = generate_dataset(d, o);
+  for (const Sample& s : ds.samples) {
+    EXPECT_TRUE(s.log.compacted);
+    EXPECT_FALSE(s.log.cfails.empty());
+  }
+}
+
+TEST(Datagen, DeterministicUnderSeed) {
+  const Design& d = cached_design(tiny_spec(), Config::kSyn1);
+  DatagenOptions o;
+  o.num_samples = 6;
+  o.seed = 557;
+  const Dataset a = generate_dataset(d, o);
+  const Dataset b = generate_dataset(d, o);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.samples[i].truth_sites, b.samples[i].truth_sites);
+    EXPECT_EQ(a.samples[i].log.fails, b.samples[i].log.fails);
+  }
+}
+
+// --- Framework training --------------------------------------------------------
+
+TEST(Framework, TrainsAndExceedsChanceEverywhere) {
+  const TrainingBundle bundle =
+      build_training_bundle(tiny_spec(), false, tiny());
+  const TrainedFramework fw = train_framework(bundle, tiny());
+  EXPECT_GT(fw.train_tier_accuracy, 0.6);
+  EXPECT_GT(fw.policy.t_p, 0.4);
+  EXPECT_LE(fw.policy.t_p, 1.0 + 1e-9);
+  EXPECT_GT(fw.gnn_train_seconds, 0.0);
+
+  // The classifier must produce valid probabilities on unseen graphs.
+  DatagenOptions o;
+  o.num_samples = 5;
+  o.seed = 600;
+  const Dataset test = generate_dataset(*bundle.syn1, o);
+  for (const Sample& s : test.samples) {
+    const double p = fw.classifier.prune_probability(s.sub);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+// --- Experiment drivers ---------------------------------------------------------
+
+TEST(Experiments, AtpgQualityRowsCoverAllConfigs) {
+  const auto rows = run_atpg_quality(tiny_spec(), false, tiny());
+  ASSERT_EQ(rows.size(), 4u);
+  std::set<std::string> configs;
+  for (const auto& r : rows) {
+    configs.insert(r.config);
+    EXPECT_GT(r.atpg.accuracy, 0.8);
+    EXPECT_GE(r.atpg.mean_res, 1.0);
+    EXPECT_GE(r.atpg.mean_fhi, 1.0);
+    EXPECT_LE(r.atpg.mean_fhi, r.atpg.mean_res + 1e-9);
+  }
+  EXPECT_EQ(configs.size(), 4u);
+}
+
+TEST(Experiments, EffectivenessInvariants) {
+  const auto rows = run_effectiveness(tiny_spec(), false, tiny());
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& r : rows) {
+    // The baseline and GNN never grow the candidate list.
+    EXPECT_LE(r.baseline.mean_res, r.atpg.mean_res + 1e-9);
+    EXPECT_LE(r.gnn.mean_res, r.atpg.mean_res + 1e-9);
+    EXPECT_LE(r.gnn_plus.mean_res, r.gnn.mean_res + 1e-9);
+    // Accuracy losses stay bounded (tiny-scale models are noisy, so the
+    // bound is loose; the bench scale tightens it).
+    EXPECT_GT(r.baseline.accuracy, r.atpg.accuracy - 0.15);
+    EXPECT_GT(r.gnn.accuracy, r.atpg.accuracy - 0.15);
+    // Tier localization is reported for baseline and GNN.
+    EXPECT_GE(r.baseline.tier_loc, 0.0);
+    EXPECT_GE(r.gnn.tier_loc, 0.0);
+  }
+}
+
+TEST(Experiments, EffectivenessCompactedRuns) {
+  const auto rows = run_effectiveness(tiny_spec(), true, tiny());
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.atpg.accuracy, 0.7);
+    EXPECT_LE(r.gnn.mean_res, r.atpg.mean_res + 1e-9);
+  }
+}
+
+TEST(Experiments, Fig6ComparesDedicatedAndTransferred) {
+  const auto rows = run_fig6(tiny_spec(), tiny());
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.dedicated_tier, 0.5);
+    EXPECT_GT(r.transferred_tier, 0.5);
+    EXPECT_GE(r.dedicated_miv, 0.0);
+    EXPECT_GE(r.transferred_miv, 0.0);
+  }
+}
+
+TEST(Experiments, Fig5CloudsOverlap) {
+  const auto result = run_fig5(tiny_spec(), tiny());
+  EXPECT_GT(result.points.size(), 40u);
+  EXPECT_GT(result.explained_variance, 0.3);
+  // The transferability claim: configuration centroids sit within the
+  // intra-configuration spread.
+  EXPECT_LT(result.separation_ratio, 1.5);
+}
+
+TEST(Experiments, FeatureSignificanceShape) {
+  const auto r = run_feature_significance(tiny_spec(), tiny());
+  ASSERT_EQ(r.significance.size(), graphx::kNumSubgraphFeatures);
+  ASSERT_EQ(r.perm_importance.size(), graphx::kNumSubgraphFeatures);
+  for (double s : r.significance) {
+    EXPECT_GT(s, 0.1);
+    EXPECT_LT(s, 0.9);
+  }
+}
+
+TEST(Experiments, DesignMatrixCoversAllBenchmarks) {
+  // Uses the full benchmark specs (cached across the process; the heavy
+  // part is the one-off ATPG per design).
+  const auto rows = run_design_matrix();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].design, "aes");
+  EXPECT_EQ(rows[3].design, "leon3mp");
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].gates, rows[i - 1].gates) << "size ordering broken";
+  }
+  for (const auto& r : rows) {
+    EXPECT_GT(r.test_coverage, 0.9) << r.design;
+    EXPECT_GT(r.mivs, 100u);
+  }
+}
+
+TEST(Experiments, MultiFaultRowWellFormed) {
+  const auto rows = run_multifault(tiny_spec(), tiny());
+  ASSERT_EQ(rows.size(), 1u);
+  const auto& r = rows.front();
+  EXPECT_GT(r.atpg.mean_res, 0.0);
+  EXPECT_GE(r.framework.tier_loc, 0.0);
+  EXPECT_LE(r.framework.mean_res, r.atpg.mean_res + 1e-9);
+}
+
+TEST(Experiments, AblationHasFourMethods) {
+  const auto rows = run_ablation(tiny_spec(), tiny());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].method, "ATPG only");
+  // No method may grow the report.
+  for (const auto& r : rows) {
+    EXPECT_LE(r.cell.mean_res, rows[0].cell.mean_res + 1e-9);
+  }
+  // MIV-pinpointer standalone never changes the candidate set, only the
+  // order — resolution must match ATPG exactly.
+  EXPECT_DOUBLE_EQ(rows[2].cell.mean_res, rows[0].cell.mean_res);
+  EXPECT_DOUBLE_EQ(rows[2].cell.accuracy, rows[0].cell.accuracy);
+}
+
+TEST(Experiments, RuntimeRowsPositive) {
+  // run_runtime covers all four full-size benchmarks; at tiny test scale
+  // it is still the most expensive driver, so keep the sample count low.
+  RunScale s = tiny();
+  s.test_samples = 10;
+  const auto rows = run_runtime(s);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.feature_seconds, 0.0);
+    EXPECT_GT(r.train_seconds, 0.0);
+    EXPECT_GT(r.t_atpg, 0.0);
+    EXPECT_GT(r.t_gnn, 0.0);
+    EXPECT_GE(r.t_update, 0.0);
+    EXPECT_GT(r.t_atpg, r.t_update) << "update must be cheap vs diagnosis";
+  }
+}
+
+}  // namespace
+}  // namespace m3dfl::eval

@@ -1,0 +1,274 @@
+// Tests of the interchange formats: structural Verilog (netlists), the
+// failure-log text format, model serialization, and framework files.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "eval/framework_io.h"
+#include "gnn/serialize.h"
+#include "m3d/miv.h"
+#include "m3d/partition.h"
+#include "netlist/generators.h"
+#include "netlist/verilog.h"
+#include "sim/failure_log.h"
+#include "sim/logic_sim.h"
+
+namespace m3dfl {
+namespace {
+
+using netlist::GateId;
+using netlist::GeneratorParams;
+using netlist::Netlist;
+
+// --- Verilog ----------------------------------------------------------------
+
+Netlist make_m3d(std::uint64_t seed, std::uint32_t gates = 200) {
+  GeneratorParams p;
+  p.num_logic_gates = gates;
+  p.num_scan_cells = 16;
+  p.seed = seed;
+  const Netlist flat = netlist::generate_netlist(p);
+  part::PartitionOptions opts;
+  opts.seed = seed;
+  const auto partition = part::partition_netlist(flat, opts);
+  return part::insert_mivs(flat, partition).netlist;
+}
+
+class VerilogRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VerilogRoundTrip, PreservesStructureAndMetadata) {
+  const Netlist original = make_m3d(GetParam());
+  netlist::VerilogParseError error;
+  const Netlist reparsed =
+      netlist::verilog_from_string(netlist::to_verilog(original), &error);
+  ASSERT_TRUE(error.ok) << error.message << " at line " << error.line;
+
+  ASSERT_EQ(reparsed.num_gates(), original.num_gates());
+  ASSERT_EQ(reparsed.num_inputs(), original.num_inputs());
+  ASSERT_EQ(reparsed.num_outputs(), original.num_outputs());
+  EXPECT_EQ(reparsed.num_scan_cells(), original.num_scan_cells());
+  EXPECT_EQ(reparsed.num_mivs(), original.num_mivs());
+  // Tier and placement metadata survive for every gate. Gate ids may be
+  // renumbered; compare via the type histogram plus per-tier counts.
+  EXPECT_EQ(reparsed.type_histogram(), original.type_histogram());
+  std::size_t top_orig = 0, top_new = 0;
+  for (GateId g = 0; g < original.num_gates(); ++g) {
+    top_orig += original.gate(g).tier == netlist::Tier::kTop;
+    top_new += reparsed.gate(g).tier == netlist::Tier::kTop;
+  }
+  EXPECT_EQ(top_new, top_orig);
+}
+
+TEST_P(VerilogRoundTrip, PreservesFunction) {
+  const Netlist original = make_m3d(GetParam() + 10, 120);
+  netlist::VerilogParseError error;
+  const Netlist reparsed =
+      netlist::verilog_from_string(netlist::to_verilog(original), &error);
+  ASSERT_TRUE(error.ok) << error.message;
+
+  Rng rng(GetParam());
+  const sim::PatternSet inputs =
+      sim::PatternSet::random(original.num_inputs(), 128, rng);
+  const auto va = sim::LogicSimulator(original).run(inputs);
+  const auto vb = sim::LogicSimulator(reparsed).run(inputs);
+  const std::size_t W = inputs.num_words();
+  for (std::size_t o = 0; o < original.num_outputs(); ++o) {
+    for (std::size_t w = 0; w < W; ++w) {
+      const sim::Word mask = inputs.valid_mask(w);
+      ASSERT_EQ(va[original.outputs()[o] * W + w] & mask,
+                vb[reparsed.outputs()[o] * W + w] & mask)
+          << "output " << o;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerilogRoundTrip,
+                         ::testing::Values(1, 2, 3));
+
+TEST(Verilog, RejectsUnknownCell) {
+  const std::string text =
+      "module t (pi_0, po_0);\n  input pi_0;\n  output po_0;\n"
+      "  FOO g1 (.Y(n1), .A(pi_0));\n  assign po_0 = n1;\nendmodule\n";
+  netlist::VerilogParseError error;
+  netlist::verilog_from_string(text, &error);
+  EXPECT_FALSE(error.ok);
+  EXPECT_NE(error.message.find("unknown cell"), std::string::npos);
+}
+
+TEST(Verilog, RejectsUndrivenNet) {
+  const std::string text =
+      "module t (pi_0, po_0);\n  input pi_0;\n  output po_0;\n"
+      "  BUF g1 (.Y(n1), .A(n_missing));\n  assign po_0 = n1;\nendmodule\n";
+  netlist::VerilogParseError error;
+  netlist::verilog_from_string(text, &error);
+  EXPECT_FALSE(error.ok);
+}
+
+TEST(Verilog, AcceptsInstancesInAnyOrder) {
+  // g2 consumes g1's net but appears first.
+  const std::string text =
+      "module t (pi_0, po_0);\n  input pi_0;\n  output po_0;\n"
+      "  INV g2 (.Y(n2), .A(n1));\n"
+      "  BUF g1 (.Y(n1), .A(pi_0));\n"
+      "  assign po_0 = n2;\nendmodule\n";
+  netlist::VerilogParseError error;
+  const Netlist nl = netlist::verilog_from_string(text, &error);
+  ASSERT_TRUE(error.ok) << error.message;
+  EXPECT_EQ(nl.num_gates(), 3u);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+// --- Failure log text ------------------------------------------------------------
+
+TEST(FailureLogText, BypassRoundTrip) {
+  sim::FailureLog log;
+  log.fails = {{0, 3}, {17, 5}, {200, 0}};
+  const auto parsed = sim::failure_log_from_text(sim::to_text(log));
+  ASSERT_TRUE(parsed.ok) << parsed.message;
+  EXPECT_FALSE(parsed.log.compacted);
+  EXPECT_EQ(parsed.log.fails, log.fails);
+}
+
+TEST(FailureLogText, CompactedRoundTrip) {
+  sim::FailureLog log;
+  log.compacted = true;
+  log.cfails = {{4, 1, 9}, {77, 0, 2}};
+  const auto parsed = sim::failure_log_from_text(sim::to_text(log));
+  ASSERT_TRUE(parsed.ok) << parsed.message;
+  EXPECT_TRUE(parsed.log.compacted);
+  EXPECT_EQ(parsed.log.cfails, log.cfails);
+}
+
+TEST(FailureLogText, RejectsBadHeaderAndBody) {
+  EXPECT_FALSE(sim::failure_log_from_text("nonsense v1 bypass").ok);
+  EXPECT_FALSE(
+      sim::failure_log_from_text("m3dfl-faillog v2 bypass").ok);
+  EXPECT_FALSE(
+      sim::failure_log_from_text("m3dfl-faillog v1 bypass\nfial 1 2").ok);
+  EXPECT_FALSE(
+      sim::failure_log_from_text("m3dfl-faillog v1 compacted\nfail 1 2").ok);
+}
+
+// --- Model serialization -----------------------------------------------------------
+
+TEST(ModelSerialize, GraphClassifierRoundTripIsBitExact) {
+  gnn::GraphClassifier model(graphx::kNumSubgraphFeatures, {16, 8}, 2, 7);
+  const std::string text = gnn::graph_classifier_to_string(model);
+  gnn::GraphClassifier loaded;
+  std::string error;
+  ASSERT_TRUE(gnn::graph_classifier_from_string(loaded, text, &error))
+      << error;
+  ASSERT_EQ(loaded.stack.layers.size(), model.stack.layers.size());
+  for (std::size_t l = 0; l < model.stack.layers.size(); ++l) {
+    const auto& a = model.stack.layers[l];
+    const auto& b = loaded.stack.layers[l];
+    for (std::size_t i = 0; i < a.W.size(); ++i) {
+      ASSERT_EQ(a.W.data()[i], b.W.data()[i]);
+    }
+    EXPECT_EQ(a.b, b.b);
+  }
+  // Identical predictions on a random graph.
+  Rng rng(8);
+  graphx::SubGraph g;
+  g.nodes = {0, 1, 2};
+  g.row_ptr = {0, 1, 2, 2};
+  g.col_idx = {1, 0};
+  g.features.resize(3 * graphx::kNumSubgraphFeatures);
+  for (auto& f : g.features) f = static_cast<float>(rng.uniform());
+  const auto pa = model.predict(g);
+  const auto pb = loaded.predict(g);
+  EXPECT_DOUBLE_EQ(pa[0], pb[0]);
+  EXPECT_DOUBLE_EQ(pa[1], pb[1]);
+}
+
+TEST(ModelSerialize, HiddenHeadAndFreezeSurvive) {
+  gnn::GraphClassifier base(graphx::kNumSubgraphFeatures, {8}, 2, 9);
+  gnn::GraphClassifier transfer =
+      gnn::GraphClassifier::transfer_from(base.stack, 2, 4, 10);
+  gnn::GraphClassifier loaded;
+  std::string error;
+  ASSERT_TRUE(gnn::graph_classifier_from_string(
+      loaded, gnn::graph_classifier_to_string(transfer), &error))
+      << error;
+  EXPECT_TRUE(loaded.freeze_stack);
+  EXPECT_TRUE(loaded.has_hidden_head);
+  EXPECT_EQ(loaded.Wh.cols(), 4u);
+}
+
+TEST(ModelSerialize, NodeScorerRoundTrip) {
+  gnn::NodeScorer model(graphx::kNumSubgraphFeatures, {12}, 11);
+  gnn::NodeScorer loaded;
+  std::string error;
+  ASSERT_TRUE(gnn::node_scorer_from_string(
+      loaded, gnn::node_scorer_to_string(model), &error))
+      << error;
+  Rng rng(12);
+  graphx::SubGraph g;
+  g.nodes = {0, 1};
+  g.row_ptr = {0, 1, 2};
+  g.col_idx = {1, 0};
+  g.features.resize(2 * graphx::kNumSubgraphFeatures);
+  for (auto& f : g.features) f = static_cast<float>(rng.uniform());
+  g.miv_local = {0, 1};
+  g.miv_label = {0.0f, 0.0f};
+  const auto sa = model.predict_miv(g);
+  const auto sb = loaded.predict_miv(g);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa[i], sb[i]);
+  }
+}
+
+TEST(ModelSerialize, RejectsCorruptPayload) {
+  gnn::GraphClassifier model(graphx::kNumSubgraphFeatures, {8}, 2, 13);
+  std::string text = gnn::graph_classifier_to_string(model);
+  text.resize(text.size() / 2);  // Truncate.
+  gnn::GraphClassifier loaded;
+  std::string error;
+  EXPECT_FALSE(gnn::graph_classifier_from_string(loaded, text, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --- Framework files ---------------------------------------------------------------
+
+TEST(FrameworkIo, RoundTripPreservesPolicyAndPredictions) {
+  const eval::RunScale scale = eval::RunScale::tiny();
+  const eval::TrainingBundle bundle =
+      eval::build_training_bundle(eval::tiny_spec(), false, scale);
+  const eval::TrainedFramework fw = eval::train_framework(bundle, scale);
+
+  eval::TrainedFramework loaded;
+  std::string error;
+  ASSERT_TRUE(eval::framework_from_string(
+      loaded, eval::framework_to_string(fw), &error))
+      << error;
+  EXPECT_DOUBLE_EQ(loaded.policy.t_p, fw.policy.t_p);
+  EXPECT_DOUBLE_EQ(loaded.policy.miv_threshold, fw.policy.miv_threshold);
+
+  // Identical behaviour on real sub-graphs.
+  eval::DatagenOptions o;
+  o.num_samples = 5;
+  o.seed = 14;
+  const eval::Dataset ds = eval::generate_dataset(*bundle.syn1, o);
+  for (const eval::Sample& s : ds.samples) {
+    const auto a = fw.tier.predict(s.sub);
+    const auto b = loaded.tier.predict(s.sub);
+    EXPECT_DOUBLE_EQ(a.p_top, b.p_top);
+    EXPECT_DOUBLE_EQ(a.p_bottom, b.p_bottom);
+    EXPECT_EQ(fw.miv.scores(s.sub), loaded.miv.scores(s.sub));
+    EXPECT_DOUBLE_EQ(fw.classifier.prune_probability(s.sub),
+                     loaded.classifier.prune_probability(s.sub));
+  }
+}
+
+TEST(FrameworkIo, RejectsBadHeader) {
+  eval::TrainedFramework fw;
+  std::string error;
+  EXPECT_FALSE(eval::framework_from_string(fw, "garbage", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace m3dfl

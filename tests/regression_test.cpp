@@ -1,0 +1,238 @@
+// Regression and edge-case tests for behaviours added during development:
+// PODEM untestability proofs, placement propagation through transforms,
+// constant-free generation, ranking semantics of diagnosis reports, the
+// policy's reordering floor, and trainer early stopping.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "atpg/patterns.h"
+#include "atpg/podem.h"
+#include "common/rng.h"
+#include "diagnosis/diagnoser.h"
+#include "eval/experiments.h"
+#include "gnn/trainer.h"
+#include "netlist/generators.h"
+#include "netlist/transforms.h"
+#include "sim/logic_sim.h"
+
+namespace m3dfl {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::GeneratorParams;
+using netlist::Netlist;
+
+// --- Generator: constants and placement ----------------------------------------
+
+class GeneratorHygiene : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorHygiene, NoConstantNets) {
+  GeneratorParams p;
+  p.num_logic_gates = 400;
+  p.num_scan_cells = 24;
+  p.buffer_chain_len = 4;
+  p.seed = GetParam();
+  const Netlist nl = netlist::generate_netlist(p);
+  Rng rng(GetParam() + 1);
+  const sim::PatternSet ps =
+      sim::PatternSet::random(nl.num_inputs(), 256, rng);
+  const auto vals = sim::LogicSimulator(nl).run(ps);
+  const std::size_t W = ps.num_words();
+  std::size_t constants = 0;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    bool all0 = true, all1 = true;
+    for (std::size_t w = 0; w < W; ++w) {
+      const sim::Word m = ps.valid_mask(w);
+      if ((vals[g * W + w] & m) != 0) all0 = false;
+      if ((vals[g * W + w] & m) != m) all1 = false;
+    }
+    constants += all0 || all1;
+  }
+  // The signature veto rejects true constants at generation time; what
+  // remains are rare low-activity nets that merely LOOK constant under a
+  // finite random sample (P(toggle) << 1/256). Bound their share.
+  EXPECT_LE(constants, nl.num_gates() / 50)
+      << constants << " constant-looking nets of " << nl.num_gates();
+}
+
+TEST_P(GeneratorHygiene, NoDuplicateFanins) {
+  GeneratorParams p;
+  p.num_logic_gates = 300;
+  p.num_scan_cells = 20;
+  p.seed = GetParam();
+  const Netlist nl = netlist::generate_netlist(p);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    auto fanin = nl.gate(g).fanin;
+    std::sort(fanin.begin(), fanin.end());
+    EXPECT_EQ(std::adjacent_find(fanin.begin(), fanin.end()), fanin.end())
+        << "gate " << g << " has duplicate fanins";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorHygiene,
+                         ::testing::Values(71, 72, 73));
+
+TEST(Transforms, PlacementSurvivesResynthesisAndTpi) {
+  GeneratorParams p;
+  p.num_logic_gates = 200;
+  p.num_scan_cells = 16;
+  p.seed = 81;
+  const Netlist base = netlist::generate_netlist(p);
+  const Netlist re = netlist::resynthesize(base, 82);
+  const Netlist tpi = netlist::insert_test_points(base, 0.02, 83);
+  // Inputs keep their exact coordinates (same order in both).
+  for (std::size_t i = 0; i < base.num_inputs(); ++i) {
+    EXPECT_FLOAT_EQ(re.gate(re.inputs()[i]).pos,
+                    base.gate(base.inputs()[i]).pos);
+    EXPECT_FLOAT_EQ(tpi.gate(tpi.inputs()[i]).pos,
+                    base.gate(base.inputs()[i]).pos);
+  }
+  // All placements remain normalized.
+  for (GateId g = 0; g < re.num_gates(); ++g) {
+    EXPECT_GE(re.gate(g).pos, 0.0f);
+    EXPECT_LE(re.gate(g).pos, 1.0f);
+  }
+}
+
+// --- PODEM: untestability proofs -------------------------------------------------
+
+TEST(Podem, ProvesRedundantFaultUntestable) {
+  // OR(a, INV(a)) == 1: a slow-to-rise on the OR output can never be
+  // observed because the good machine never produces the 0 needed at V1...
+  // actually the transition 0->1 needs V1 = 0, which is unsatisfiable.
+  Netlist nl;
+  const GateId a = nl.add_input();
+  const GateId inv = nl.add_gate(GateType::kInv, {a});
+  const GateId orr = nl.add_gate(GateType::kOr, {a, inv});
+  const GateId buf = nl.add_gate(GateType::kBuf, {orr});
+  nl.add_output(buf);
+  nl.set_num_scan_cells(1);
+  const netlist::SiteTable sites(nl);
+  atpg::Podem podem(nl, sites);
+  const auto r = podem.generate(
+      {sites.stem_of(orr), sim::FaultPolarity::kSlowToRise});
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.untestable) << "constant-1 net cannot launch a rising edge";
+}
+
+TEST(Podem, FrameReuseIsStateless) {
+  // Repeated generate() calls on one Podem instance (which reuses its
+  // internal frames) must match fresh instances.
+  GeneratorParams p;
+  p.num_logic_gates = 150;
+  p.num_scan_cells = 12;
+  p.seed = 91;
+  const Netlist nl = netlist::generate_netlist(p);
+  const netlist::SiteTable sites(nl);
+  atpg::Podem reused(nl, sites);
+  for (netlist::SiteId s = 3; s < sites.size(); s += 97) {
+    atpg::Podem fresh(nl, sites);
+    const auto a = reused.generate({s, sim::FaultPolarity::kSlowToFall});
+    const auto b = fresh.generate({s, sim::FaultPolarity::kSlowToFall});
+    EXPECT_EQ(a.success, b.success) << "site " << s;
+    if (a.success) {
+      EXPECT_EQ(a.v1_inputs, b.v1_inputs);
+      EXPECT_EQ(a.v2_inputs, b.v2_inputs);
+    }
+  }
+}
+
+// --- Diagnosis ranking semantics -------------------------------------------------
+
+TEST(Diagnoser, TopTieGroupContainsPerfectMatch) {
+  const eval::Design& d =
+      eval::cached_design(eval::tiny_spec(), eval::Config::kSyn1);
+  diag::Diagnoser diagnoser = d.make_diagnoser();
+  eval::DatagenOptions o;
+  o.num_samples = 10;
+  o.seed = 92;
+  const eval::Dataset ds = eval::generate_dataset(d, o);
+  for (const eval::Sample& s : ds.samples) {
+    const diag::DiagnosisReport r = diagnoser.diagnose(s.log);
+    ASSERT_FALSE(r.candidates.empty());
+    // The first candidate explains at least as many failures as any other,
+    // and some candidate in its tie group is a perfect match.
+    const auto top_matched = r.candidates.front().matched;
+    bool perfect_in_top_group = false;
+    for (const diag::Candidate& c : r.candidates) {
+      if (c.matched != top_matched) break;
+      perfect_in_top_group |= c.score == 1.0;
+    }
+    EXPECT_TRUE(perfect_in_top_group);
+  }
+}
+
+// --- Trainer early stopping -------------------------------------------------------
+
+TEST(Trainer, EarlyStoppingHaltsBeforeEpochBudget) {
+  Rng rng(93);
+  // Trivial task: loss collapses immediately, so patience triggers.
+  std::vector<graphx::SubGraph> graphs;
+  std::vector<gnn::LabeledGraph> data;
+  for (int i = 0; i < 16; ++i) {
+    graphx::SubGraph g;
+    g.nodes = {0, 1};
+    g.row_ptr = {0, 1, 2};
+    g.col_idx = {1, 0};
+    g.features.assign(2 * graphx::kNumSubgraphFeatures,
+                      i % 2 ? 1.0f : 0.0f);
+    graphs.push_back(std::move(g));
+  }
+  for (int i = 0; i < 16; ++i) data.push_back({&graphs[i], i % 2});
+  gnn::GraphClassifier model(graphx::kNumSubgraphFeatures, {8}, 2, 94);
+  gnn::TrainOptions opts;
+  opts.epochs = 200;
+  opts.lr = 1e-2;
+  // The plateau criterion: stop once 3 consecutive epochs improve the best
+  // loss by less than 0.02 — reached long before the epoch budget here.
+  opts.min_improvement = 0.02;
+  opts.patience = 3;
+  const gnn::TrainStats stats = gnn::train_graph_classifier(model, data, opts);
+  EXPECT_LT(stats.epochs_run, 200);
+  EXPECT_GT(gnn::classifier_accuracy(model, data), 0.9);
+}
+
+// --- Policy timing and backup dictionary -------------------------------------------
+
+TEST(Policy, MeasuresUpdateTime) {
+  const eval::Design& d =
+      eval::cached_design(eval::tiny_spec(), eval::Config::kSyn1);
+  const eval::RunScale scale = eval::RunScale::tiny();
+  const eval::TrainingBundle bundle =
+      eval::build_training_bundle(eval::tiny_spec(), false, scale);
+  const eval::TrainedFramework fw = eval::train_framework(bundle, scale);
+
+  diag::Diagnoser diagnoser = d.make_diagnoser();
+  eval::DatagenOptions o;
+  o.num_samples = 3;
+  o.seed = 95;
+  const eval::Dataset ds = eval::generate_dataset(d, o);
+  for (const eval::Sample& s : ds.samples) {
+    const auto report = diagnoser.diagnose(s.log);
+    const auto outcome =
+        core::apply_policy(report, s.sub, fw.models(), fw.policy);
+    EXPECT_GE(outcome.seconds, 0.0);
+    EXPECT_LT(outcome.seconds, 1.0);  // The update step must be cheap.
+    // Backup dictionary restores full ATPG accuracy: union of final +
+    // backup contains everything the ATPG report contained.
+    for (const diag::Candidate& c : report.candidates) {
+      const bool in_final =
+          std::any_of(outcome.report.candidates.begin(),
+                      outcome.report.candidates.end(),
+                      [&](const diag::Candidate& x) {
+                        return x.site == c.site;
+                      });
+      const bool in_backup = std::any_of(
+          outcome.backup.begin(), outcome.backup.end(),
+          [&](const diag::Candidate& x) { return x.site == c.site; });
+      EXPECT_TRUE(in_final || in_backup);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,213 @@
+// Tests of the SCOAP testability measures, SCOAP-guided test-point
+// insertion, and the fault-dictionary diagnosis engine.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "diagnosis/dictionary.h"
+#include "netlist/generators.h"
+#include "netlist/scoap.h"
+
+namespace m3dfl {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::ScoapMeasures;
+
+// --- SCOAP ------------------------------------------------------------------
+
+TEST(Scoap, TextbookValuesOnTinyCircuit) {
+  // c = AND(a, b); observed: c.
+  Netlist nl;
+  const GateId a = nl.add_input();
+  const GateId b = nl.add_input();
+  const GateId c = nl.add_gate(GateType::kAnd, {a, b});
+  nl.add_output(c);
+  nl.set_num_scan_cells(1);
+  const ScoapMeasures m = netlist::compute_scoap(nl);
+  EXPECT_EQ(m.cc0[a], 1u);
+  EXPECT_EQ(m.cc1[a], 1u);
+  // AND: CC1 = CC1(a) + CC1(b) + 1 = 3; CC0 = min(CC0) + 1 = 2.
+  EXPECT_EQ(m.cc1[c], 3u);
+  EXPECT_EQ(m.cc0[c], 2u);
+  // c is observed directly.
+  EXPECT_EQ(m.co[c], 0u);
+  // Observing a requires b = 1 through the AND: CO(a) = CO(c)+CC1(b)+1 = 2.
+  EXPECT_EQ(m.co[a], 2u);
+  EXPECT_EQ(m.co[b], 2u);
+}
+
+TEST(Scoap, InverterSwapsControllability) {
+  Netlist nl;
+  const GateId a = nl.add_input();
+  const GateId inv = nl.add_gate(GateType::kInv, {a});
+  nl.add_output(inv);
+  nl.set_num_scan_cells(1);
+  const ScoapMeasures m = netlist::compute_scoap(nl);
+  EXPECT_EQ(m.cc0[inv], m.cc1[a] + 1);
+  EXPECT_EQ(m.cc1[inv], m.cc0[a] + 1);
+}
+
+TEST(Scoap, XorParityControllability) {
+  Netlist nl;
+  const GateId a = nl.add_input();
+  const GateId b = nl.add_input();
+  const GateId x = nl.add_gate(GateType::kXor, {a, b});
+  nl.add_output(x);
+  nl.set_num_scan_cells(1);
+  const ScoapMeasures m = netlist::compute_scoap(nl);
+  // XOR=1 needs odd parity: min(1+1, 1+1)+1 = 3; XOR=0 likewise.
+  EXPECT_EQ(m.cc1[x], 3u);
+  EXPECT_EQ(m.cc0[x], 3u);
+}
+
+class ScoapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScoapProperty, AllMeasuresFiniteOnGeneratedCircuits) {
+  netlist::GeneratorParams p;
+  p.num_logic_gates = 300;
+  p.num_scan_cells = 24;
+  p.seed = GetParam();
+  const Netlist nl = netlist::generate_netlist(p);
+  const ScoapMeasures m = netlist::compute_scoap(nl);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    EXPECT_GT(m.cc0[g], 0u);
+    EXPECT_GT(m.cc1[g], 0u);
+    // Full observability: every gate has a finite CO.
+    EXPECT_LT(m.co[g], 0xffffffu) << "gate " << g << " unobservable";
+  }
+  // Depth correlates with controllability cost.
+  const auto& lv = nl.levels();
+  double shallow = 0, deep = 0;
+  std::size_t ns = 0, nd = 0;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const double c = 0.5 * (m.cc0[g] + m.cc1[g]);
+    if (lv[g] <= 2) {
+      shallow += c;
+      ++ns;
+    } else if (lv[g] >= nl.depth() - 2) {
+      deep += c;
+      ++nd;
+    }
+  }
+  ASSERT_GT(ns, 0u);
+  ASSERT_GT(nd, 0u);
+  EXPECT_LT(shallow / ns, deep / nd);
+}
+
+TEST_P(ScoapProperty, ScoapTpiTargetsWorstObservability) {
+  netlist::GeneratorParams p;
+  p.num_logic_gates = 250;
+  p.num_scan_cells = 20;
+  p.seed = GetParam() + 5;
+  const Netlist base = netlist::generate_netlist(p);
+  const ScoapMeasures before = netlist::compute_scoap(base);
+  const Netlist tpi = netlist::insert_test_points_scoap(base, 0.03);
+  EXPECT_GT(tpi.num_outputs(), base.num_outputs());
+  EXPECT_TRUE(tpi.validate().empty());
+  // Observability of the worst gates improves.
+  const ScoapMeasures after = netlist::compute_scoap(tpi);
+  std::uint32_t worst_before = 0, worst_after = 0;
+  for (GateId g = 0; g < base.num_gates(); ++g) {
+    worst_before = std::max(worst_before, before.co[g]);
+  }
+  for (GateId g = 0; g < tpi.num_gates(); ++g) {
+    worst_after = std::max(worst_after, after.co[g]);
+  }
+  EXPECT_LE(worst_after, worst_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoapProperty, ::testing::Values(61, 62));
+
+// --- Fault dictionary --------------------------------------------------------------
+
+struct DictFixture {
+  Netlist nl;
+  netlist::SiteTable sites;
+  sim::FaultSimulator fsim;
+
+  explicit DictFixture(std::uint64_t seed)
+      : nl(make(seed)), sites(nl), fsim(nl, sites) {
+    Rng rng(seed + 1);
+    auto v1 = sim::PatternSet::random(nl.num_inputs(), 96, rng);
+    auto v2 = sim::PatternSet::random(nl.num_inputs(), 96, rng);
+    fsim.bind(v1, v2);
+  }
+
+  static Netlist make(std::uint64_t seed) {
+    netlist::GeneratorParams p;
+    p.num_logic_gates = 150;
+    p.num_scan_cells = 12;
+    p.seed = seed;
+    return netlist::generate_netlist(p);
+  }
+};
+
+TEST(FaultDictionary, ExactLookupFindsInjectedFault) {
+  DictFixture fx(71);
+  const diag::FaultDictionary dict(fx.nl, fx.sites, fx.fsim);
+  EXPECT_GT(dict.num_entries(), fx.sites.size());  // Most faults detectable.
+  EXPECT_GT(dict.signature_bytes(), 0u);
+
+  Rng rng(72);
+  std::vector<sim::Word> diff;
+  int tested = 0;
+  while (tested < 15) {
+    const auto site =
+        static_cast<netlist::SiteId>(rng.next_below(fx.sites.size()));
+    const sim::InjectedFault f{site, rng.bernoulli(0.5)
+                                         ? sim::FaultPolarity::kSlowToRise
+                                         : sim::FaultPolarity::kSlowToFall};
+    if (!fx.fsim.observed_diff(f, diff)) continue;
+    ++tested;
+    const auto log = sim::failure_log_from_diff(diff, fx.nl.num_outputs(),
+                                                fx.fsim.num_patterns());
+    const diag::DiagnosisReport report = dict.diagnose(log);
+    ASSERT_FALSE(report.candidates.empty());
+    // Exact lookup: every candidate has a perfect score and the injected
+    // site is among them.
+    for (const auto& c : report.candidates) {
+      EXPECT_DOUBLE_EQ(c.score, 1.0);
+    }
+    EXPECT_TRUE(report.hits_any({&site, 1}));
+  }
+}
+
+TEST(FaultDictionary, NearestSignatureFallback) {
+  DictFixture fx(73);
+  const diag::FaultDictionary dict(fx.nl, fx.sites, fx.fsim);
+  // A corrupted log (one observation dropped) no longer matches exactly;
+  // the nearest-signature path must still rank the true fault highly.
+  Rng rng(74);
+  std::vector<sim::Word> diff;
+  int tested = 0, hits = 0;
+  while (tested < 10) {
+    const auto site =
+        static_cast<netlist::SiteId>(rng.next_below(fx.sites.size()));
+    const sim::InjectedFault f{site, sim::FaultPolarity::kSlow};
+    if (!fx.fsim.observed_diff(f, diff)) continue;
+    auto log = sim::failure_log_from_diff(diff, fx.nl.num_outputs(),
+                                          fx.fsim.num_patterns());
+    if (log.fails.size() < 3) continue;
+    ++tested;
+    log.fails.pop_back();  // Corrupt: drop the last miscompare.
+    const diag::DiagnosisReport report = dict.diagnose(log);
+    ASSERT_FALSE(report.candidates.empty());
+    hits += report.hits_any({&site, 1});
+  }
+  EXPECT_GE(hits, tested - 2);
+}
+
+TEST(FaultDictionary, RejectsCompactedLogs) {
+  DictFixture fx(75);
+  const diag::FaultDictionary dict(fx.nl, fx.sites, fx.fsim);
+  sim::FailureLog log;
+  log.compacted = true;
+  log.cfails = {{0, 0, 0}};
+  EXPECT_TRUE(dict.diagnose(log).candidates.empty());
+}
+
+}  // namespace
+}  // namespace m3dfl

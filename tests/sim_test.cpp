@@ -1,0 +1,430 @@
+// Tests of the bit-parallel logic simulator, launch-off-capture semantics,
+// the event-driven TDF fault simulator, and failure-log construction.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.h"
+#include "netlist/generators.h"
+#include "sim/failure_log.h"
+#include "sim/fault_sim.h"
+#include "sim/logic_sim.h"
+
+namespace m3dfl::sim {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SiteTable;
+
+// --- PatternSet --------------------------------------------------------------
+
+TEST(PatternSet, BitAccessRoundTrips) {
+  PatternSet ps(3, 130);
+  ps.set_bit(0, 0, true);
+  ps.set_bit(1, 64, true);
+  ps.set_bit(2, 129, true);
+  EXPECT_TRUE(ps.bit(0, 0));
+  EXPECT_FALSE(ps.bit(0, 1));
+  EXPECT_TRUE(ps.bit(1, 64));
+  EXPECT_TRUE(ps.bit(2, 129));
+  ps.set_bit(2, 129, false);
+  EXPECT_FALSE(ps.bit(2, 129));
+}
+
+TEST(PatternSet, ValidMaskCoversExactlyThePatterns) {
+  PatternSet ps(1, 70);
+  EXPECT_EQ(ps.num_words(), 2u);
+  EXPECT_EQ(ps.valid_mask(0), ~Word{0});
+  EXPECT_EQ(ps.valid_mask(1), (Word{1} << 6) - 1);
+  PatternSet full(1, 128);
+  EXPECT_EQ(full.valid_mask(1), ~Word{0});
+}
+
+TEST(PatternSet, RandomIsDeterministicAndTailClean) {
+  Rng a(42), b(42);
+  const PatternSet x = PatternSet::random(4, 100, a);
+  const PatternSet y = PatternSet::random(4, 100, b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t w = 0; w < x.num_words(); ++w) {
+      EXPECT_EQ(x.word(i, w), y.word(i, w));
+    }
+    EXPECT_EQ(x.word(i, 1) & ~x.valid_mask(1), Word{0});
+  }
+}
+
+// --- Logic simulation ---------------------------------------------------------
+
+/// Scalar reference evaluation of one gate.
+bool eval_ref(GateType t, const std::vector<bool>& in) {
+  switch (t) {
+    case GateType::kBuf:
+    case GateType::kMiv:
+    case GateType::kObs: return in[0];
+    case GateType::kInv: return !in[0];
+    case GateType::kXor: return in[0] != in[1];
+    case GateType::kXnor: return in[0] == in[1];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool v = true;
+      for (bool b : in) v = v && b;
+      return t == GateType::kAnd ? v : !v;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool v = false;
+      for (bool b : in) v = v || b;
+      return t == GateType::kOr ? v : !v;
+    }
+    case GateType::kInput: return false;
+  }
+  return false;
+}
+
+/// Property: packed simulation equals per-pattern scalar simulation.
+class PackedVsScalar : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PackedVsScalar, Agree) {
+  netlist::GeneratorParams p;
+  p.num_logic_gates = 180;
+  p.num_scan_cells = 14;
+  p.num_levels = 7;
+  p.seed = GetParam();
+  const Netlist nl = generate_netlist(p);
+  Rng rng(GetParam() + 1);
+  const PatternSet inputs = PatternSet::random(nl.num_inputs(), 70, rng);
+  const std::vector<Word> packed = LogicSimulator(nl).run(inputs);
+  const std::size_t W = inputs.num_words();
+
+  for (std::size_t pat : {std::size_t{0}, std::size_t{13}, std::size_t{69}}) {
+    // Scalar reference.
+    std::vector<bool> val(nl.num_gates(), false);
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+      val[nl.inputs()[i]] = inputs.bit(i, pat);
+    }
+    for (GateId g : nl.topo_order()) {
+      const auto& gate = nl.gate(g);
+      if (gate.type == GateType::kInput) continue;
+      std::vector<bool> in;
+      for (GateId d : gate.fanin) in.push_back(val[d]);
+      val[g] = eval_ref(gate.type, in);
+    }
+    for (GateId g = 0; g < nl.num_gates(); ++g) {
+      const bool packed_bit =
+          (packed[g * W + pat / kWordBits] >> (pat % kWordBits)) & 1;
+      EXPECT_EQ(packed_bit, val[g]) << "gate " << g << " pattern " << pat;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackedVsScalar,
+                         ::testing::Values(1, 2, 3, 10, 77));
+
+TEST(LaunchOffCapture, V2ScanStateIsV1Capture) {
+  netlist::GeneratorParams p;
+  p.num_logic_gates = 120;
+  p.num_scan_cells = 10;
+  p.seed = 4;
+  const Netlist nl = generate_netlist(p);
+  Rng rng(5);
+  const PatternSet v1 = PatternSet::random(nl.num_inputs(), 64, rng);
+  const TwoVectorResult r = simulate_launch_off_capture(nl, v1);
+  const std::size_t W = r.num_words;
+  // Scan cell i's V2 input value equals output i's V1 value.
+  for (std::size_t i = 0; i < nl.num_scan_cells(); ++i) {
+    const GateId q = nl.inputs()[i];
+    const GateId d = nl.outputs()[i];
+    for (std::size_t w = 0; w < W; ++w) {
+      EXPECT_EQ(r.v2[q * W + w] & v1.valid_mask(w),
+                r.v1[d * W + w] & v1.valid_mask(w));
+    }
+  }
+  // Non-scan primary inputs are held.
+  for (std::size_t i = nl.num_scan_cells(); i < nl.num_inputs(); ++i) {
+    const GateId g = nl.inputs()[i];
+    for (std::size_t w = 0; w < W; ++w) {
+      EXPECT_EQ(r.v2[g * W + w], r.v1[g * W + w]);
+    }
+  }
+}
+
+TEST(TwoVector, TransitionIsXorOfFrames) {
+  netlist::GeneratorParams p;
+  p.num_logic_gates = 100;
+  p.num_scan_cells = 8;
+  p.seed = 6;
+  const Netlist nl = generate_netlist(p);
+  Rng rng(7);
+  const PatternSet v1 = PatternSet::random(nl.num_inputs(), 64, rng);
+  const PatternSet v2 = PatternSet::random(nl.num_inputs(), 64, rng);
+  const TwoVectorResult r = simulate_two_vector(nl, v1, v2);
+  for (std::size_t i = 0; i < r.v1.size(); ++i) {
+    EXPECT_EQ(r.transition[i], r.v1[i] ^ r.v2[i]);
+  }
+}
+
+// --- Fault simulation ---------------------------------------------------------
+
+struct FaultSimFixture {
+  Netlist nl;
+  SiteTable sites;
+  FaultSimulator fsim;
+  PatternSet v1, v2;
+
+  explicit FaultSimFixture(std::uint64_t seed, std::size_t patterns = 96)
+      : nl(make(seed)), sites(nl), fsim(nl, sites) {
+    Rng rng(seed + 100);
+    v1 = PatternSet::random(nl.num_inputs(), patterns, rng);
+    v2 = PatternSet::random(nl.num_inputs(), patterns, rng);
+    fsim.bind(v1, v2);
+  }
+
+  static Netlist make(std::uint64_t seed) {
+    netlist::GeneratorParams p;
+    p.num_logic_gates = 160;
+    p.num_scan_cells = 16;
+    p.num_levels = 7;
+    p.seed = seed;
+    return generate_netlist(p);
+  }
+};
+
+/// Reference faulty simulation: full re-simulation with the site's value
+/// overridden by the TDF surrogate model.
+std::vector<Word> reference_diff(const Netlist& nl, const SiteTable& sites,
+                                 const TwoVectorResult& good,
+                                 const InjectedFault& f) {
+  const std::size_t W = good.num_words;
+  const auto& site = sites.site(f.site);
+
+  // Activation mask (tail-masked).
+  const std::size_t rem = good.num_patterns % kWordBits;
+  const Word tail = rem ? (Word{1} << rem) - 1 : ~Word{0};
+  std::vector<Word> faulty(nl.num_gates() * W);
+  // Copy V2 inputs.
+  for (GateId g : nl.topo_order()) {
+    const auto& gate = nl.gate(g);
+    if (gate.type == GateType::kInput) {
+      for (std::size_t w = 0; w < W; ++w) {
+        faulty[g * W + w] = good.v2[g * W + w];
+      }
+      if (site.is_stem() && site.gate == g) {
+        for (std::size_t w = 0; w < W; ++w) {
+          Word act = good.v1[g * W + w] ^ good.v2[g * W + w];
+          if (f.polarity == FaultPolarity::kSlowToRise) {
+            act &= ~good.v1[g * W + w];
+          } else if (f.polarity == FaultPolarity::kSlowToFall) {
+            act &= good.v1[g * W + w];
+          }
+          if (w + 1 == W) act &= tail;
+          faulty[g * W + w] =
+              (good.v2[g * W + w] & ~act) | (good.v1[g * W + w] & act);
+        }
+      }
+      continue;
+    }
+    // Gather fanin values with branch override.
+    for (std::size_t w = 0; w < W; ++w) {
+      std::vector<Word> ins;
+      for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+        Word v = faulty[gate.fanin[k] * W + w];
+        if (!site.is_stem() && site.gate == g &&
+            static_cast<std::int16_t>(k) == site.pin) {
+          const GateId drv = site.driver;
+          Word act = good.v1[drv * W + w] ^ good.v2[drv * W + w];
+          if (f.polarity == FaultPolarity::kSlowToRise) {
+            act &= ~good.v1[drv * W + w];
+          } else if (f.polarity == FaultPolarity::kSlowToFall) {
+            act &= good.v1[drv * W + w];
+          }
+          if (w + 1 == W) act &= tail;
+          // The branch sees V1 where activated, downstream-faulty V2 else.
+          v = (v & ~act) | (good.v1[drv * W + w] & act);
+        }
+        ins.push_back(v);
+      }
+      Word out = 0;
+      switch (gate.type) {
+        case GateType::kBuf:
+        case GateType::kMiv:
+        case GateType::kObs: out = ins[0]; break;
+        case GateType::kInv: out = ~ins[0]; break;
+        case GateType::kXor: out = ins[0] ^ ins[1]; break;
+        case GateType::kXnor: out = ~(ins[0] ^ ins[1]); break;
+        case GateType::kAnd:
+        case GateType::kNand:
+          out = ins[0];
+          for (std::size_t k = 1; k < ins.size(); ++k) out &= ins[k];
+          if (gate.type == GateType::kNand) out = ~out;
+          break;
+        case GateType::kOr:
+        case GateType::kNor:
+          out = ins[0];
+          for (std::size_t k = 1; k < ins.size(); ++k) out |= ins[k];
+          if (gate.type == GateType::kNor) out = ~out;
+          break;
+        case GateType::kInput: break;
+      }
+      faulty[g * W + w] = out;
+    }
+    if (site.is_stem() && site.gate == g) {
+      for (std::size_t w = 0; w < W; ++w) {
+        Word act = good.tr_word(g, w);
+        if (f.polarity == FaultPolarity::kSlowToRise) {
+          act &= ~good.v1[g * W + w];
+        } else if (f.polarity == FaultPolarity::kSlowToFall) {
+          act &= good.v1[g * W + w];
+        }
+        faulty[g * W + w] =
+            (faulty[g * W + w] & ~act) | (good.v1[g * W + w] & act);
+      }
+    }
+  }
+
+  std::vector<Word> diff(nl.num_outputs() * W, 0);
+  for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+    const GateId g = nl.outputs()[o];
+    for (std::size_t w = 0; w < W; ++w) {
+      Word d = faulty[g * W + w] ^ good.v2[g * W + w];
+      if (w + 1 == W) d &= tail;
+      diff[o * W + w] = d;
+    }
+  }
+  return diff;
+}
+
+class EventDrivenVsReference : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(EventDrivenVsReference, StemFaultDiffsAgree) {
+  FaultSimFixture fx(GetParam());
+  Rng rng(GetParam() + 9);
+  std::vector<Word> diff;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto site = static_cast<netlist::SiteId>(
+        rng.next_below(fx.sites.size()));
+    if (!fx.sites.site(site).is_stem()) continue;
+    const InjectedFault f{
+        site, rng.bernoulli(0.5) ? FaultPolarity::kSlowToRise
+                                 : FaultPolarity::kSlowToFall};
+    fx.fsim.observed_diff(f, diff);
+    const auto ref = reference_diff(fx.nl, fx.sites, fx.fsim.good(), f);
+    ASSERT_EQ(diff.size(), ref.size());
+    for (std::size_t i = 0; i < diff.size(); ++i) {
+      ASSERT_EQ(diff[i], ref[i]) << "site " << site << " index " << i;
+    }
+  }
+}
+
+TEST_P(EventDrivenVsReference, BranchFaultDiffsAgree) {
+  FaultSimFixture fx(GetParam() + 1000);
+  Rng rng(GetParam() + 19);
+  std::vector<Word> diff;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto site = static_cast<netlist::SiteId>(
+        rng.next_below(fx.sites.size()));
+    if (fx.sites.site(site).is_stem()) continue;
+    const InjectedFault f{
+        site, rng.bernoulli(0.5) ? FaultPolarity::kSlowToRise
+                                 : FaultPolarity::kSlowToFall};
+    fx.fsim.observed_diff(f, diff);
+    const auto ref = reference_diff(fx.nl, fx.sites, fx.fsim.good(), f);
+    for (std::size_t i = 0; i < diff.size(); ++i) {
+      ASSERT_EQ(diff[i], ref[i]) << "site " << site << " index " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventDrivenVsReference,
+                         ::testing::Values(21, 22, 23, 24));
+
+TEST(FaultSimulator, WorkspaceRestoredBetweenCalls) {
+  FaultSimFixture fx(31);
+  std::vector<Word> d1, d2, d3;
+  const InjectedFault a{fx.sites.stem_of(20), FaultPolarity::kSlow};
+  const InjectedFault b{fx.sites.stem_of(40), FaultPolarity::kSlow};
+  fx.fsim.observed_diff(a, d1);
+  fx.fsim.observed_diff(b, d2);
+  fx.fsim.observed_diff(a, d3);
+  EXPECT_EQ(d1, d3);  // No state leaks from simulating b.
+}
+
+TEST(FaultSimulator, SlowCoversBothPolarities) {
+  FaultSimFixture fx(32);
+  std::vector<Word> both, rise, fall;
+  for (netlist::SiteId s = 0; s < fx.sites.size(); s += 17) {
+    fx.fsim.observed_diff({s, FaultPolarity::kSlow}, both);
+    fx.fsim.observed_diff({s, FaultPolarity::kSlowToRise}, rise);
+    fx.fsim.observed_diff({s, FaultPolarity::kSlowToFall}, fall);
+    // Activation of kSlow is the union of the polarities, so any pattern
+    // failing under a single polarity must also fail under kSlow at the
+    // same observation point... unless downstream interaction cancels it;
+    // at minimum the activation masks satisfy the union property.
+    const auto am_both = fx.fsim.activation_mask({s, FaultPolarity::kSlow});
+    const auto am_rise =
+        fx.fsim.activation_mask({s, FaultPolarity::kSlowToRise});
+    const auto am_fall =
+        fx.fsim.activation_mask({s, FaultPolarity::kSlowToFall});
+    for (std::size_t w = 0; w < am_both.size(); ++w) {
+      EXPECT_EQ(am_both[w], am_rise[w] | am_fall[w]);
+      EXPECT_EQ(am_rise[w] & am_fall[w], Word{0});
+    }
+  }
+}
+
+TEST(FaultSimulator, MultipleFaultsProduceUnionOfCones) {
+  FaultSimFixture fx(33);
+  std::vector<Word> da, db, dab;
+  const InjectedFault a{fx.sites.stem_of(10), FaultPolarity::kSlow};
+  const InjectedFault b{fx.sites.stem_of(90), FaultPolarity::kSlow};
+  const bool fa = fx.fsim.observed_diff(a, da);
+  const bool fb = fx.fsim.observed_diff(b, db);
+  const InjectedFault faults[] = {a, b};
+  const bool fab = fx.fsim.observed_diff(faults, dab);
+  if (fa || fb) {
+    EXPECT_TRUE(fab || !(fa && fb));
+  }
+  // Any output untouched by either fault alone stays clean.
+  for (std::size_t i = 0; i < dab.size(); ++i) {
+    if (da[i] == 0 && db[i] == 0) {
+      // Interaction can only occur where at least one fault reaches.
+      // (With disjoint cones this is exact.)
+      continue;
+    }
+  }
+}
+
+// --- Failure log ---------------------------------------------------------------
+
+TEST(FailureLog, FromDiffListsEverySetBit) {
+  std::vector<Word> diff(2 * 2, 0);  // 2 outputs, 2 words.
+  diff[0] = 0b101;              // output 0: patterns 0, 2.
+  diff[2 * 1 + 1] = 0b1;        // output 1: pattern 64.
+  const FailureLog log = failure_log_from_diff(diff, 2, 100);
+  ASSERT_EQ(log.fails.size(), 3u);
+  EXPECT_EQ(log.fails[0].pattern, 0u);
+  EXPECT_EQ(log.fails[0].output, 0u);
+  EXPECT_EQ(log.fails[1].pattern, 2u);
+  EXPECT_EQ(log.fails[2].pattern, 64u);
+  EXPECT_EQ(log.fails[2].output, 1u);
+  EXPECT_EQ(log.num_failing_patterns(), 3u);
+}
+
+TEST(FailureLog, IgnoresBitsBeyondPatternCount) {
+  std::vector<Word> diff(1, ~Word{0});
+  const FailureLog log = failure_log_from_diff(diff, 1, 10);
+  EXPECT_EQ(log.fails.size(), 10u);
+}
+
+TEST(FailureLog, EmptyDetection) {
+  FailureLog log;
+  EXPECT_TRUE(log.empty());
+  log.fails.push_back({0, 0});
+  EXPECT_FALSE(log.empty());
+  EXPECT_EQ(log.size(), 1u);
+}
+
+}  // namespace
+}  // namespace m3dfl::sim

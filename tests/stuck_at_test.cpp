@@ -1,0 +1,158 @@
+// Tests of the stuck-at fault model: simulation semantics, PODEM test
+// generation, and end-to-end diagnosis (the fault-model-agnostic pipeline
+// working outside the paper's TDF setting).
+
+#include <gtest/gtest.h>
+
+#include "atpg/coverage.h"
+#include "atpg/podem.h"
+#include "common/rng.h"
+#include "diagnosis/diagnoser.h"
+#include "netlist/generators.h"
+
+namespace m3dfl {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SiteTable;
+using sim::FaultPolarity;
+using sim::InjectedFault;
+
+struct Fixture {
+  Netlist nl;
+  SiteTable sites;
+  sim::FaultSimulator fsim;
+
+  explicit Fixture(std::uint64_t seed) : nl(make(seed)), sites(nl),
+                                         fsim(nl, sites) {
+    Rng rng(seed + 1);
+    auto v1 = sim::PatternSet::random(nl.num_inputs(), 96, rng);
+    auto v2 = sim::PatternSet::random(nl.num_inputs(), 96, rng);
+    fsim.bind(v1, v2);
+  }
+
+  static Netlist make(std::uint64_t seed) {
+    netlist::GeneratorParams p;
+    p.num_logic_gates = 200;
+    p.num_scan_cells = 16;
+    p.seed = seed;
+    return netlist::generate_netlist(p);
+  }
+};
+
+TEST(StuckAt, ActivationCoversExactlyTheOppositeValue) {
+  Fixture fx(301);
+  const auto& good = fx.fsim.good();
+  const std::size_t W = good.num_words;
+  for (netlist::SiteId s = 0; s < fx.sites.size(); s += 37) {
+    const GateId drv = fx.sites.site(s).driver;
+    const auto a0 = fx.fsim.activation_mask({s, FaultPolarity::kStuckAt0});
+    const auto a1 = fx.fsim.activation_mask({s, FaultPolarity::kStuckAt1});
+    const std::size_t rem = good.num_patterns % sim::kWordBits;
+    const sim::Word tail = rem ? (sim::Word{1} << rem) - 1 : ~sim::Word{0};
+    for (std::size_t w = 0; w < W; ++w) {
+      const sim::Word mask = w + 1 == W ? tail : ~sim::Word{0};
+      EXPECT_EQ(a0[w], good.v2_word(drv, w) & mask);
+      EXPECT_EQ(a1[w], ~good.v2_word(drv, w) & mask);
+      EXPECT_EQ(a0[w] & a1[w], sim::Word{0});
+      EXPECT_EQ((a0[w] | a1[w]) & mask, mask)
+          << "SA0 and SA1 activation must tile every pattern";
+    }
+  }
+}
+
+TEST(StuckAt, StuckSiteIsEasierToDetectThanTdf) {
+  Fixture fx(302);
+  std::vector<sim::Word> diff;
+  std::size_t saf_detected = 0, tdf_detected = 0, n = 0;
+  for (netlist::SiteId s = 0; s < fx.sites.size(); s += 11) {
+    ++n;
+    saf_detected += fx.fsim.observed_diff({s, FaultPolarity::kStuckAt0}, diff);
+    tdf_detected +=
+        fx.fsim.observed_diff({s, FaultPolarity::kSlowToFall}, diff);
+  }
+  // SA0 is activated by every good-1 pattern, the slow-to-fall TDF only by
+  // falling transitions — strictly fewer activations, so coverage by the
+  // same pattern set cannot be higher.
+  EXPECT_GE(saf_detected, tdf_detected);
+  EXPECT_GT(saf_detected, n / 2);
+}
+
+TEST(StuckAt, EnumerationCoversBothValuesPerSite) {
+  Fixture fx(303);
+  const auto faults = atpg::enumerate_stuck_at_faults(fx.sites);
+  EXPECT_EQ(faults.size(), 2 * fx.sites.size());
+  EXPECT_EQ(faults[0].polarity, FaultPolarity::kStuckAt0);
+  EXPECT_EQ(faults[1].polarity, FaultPolarity::kStuckAt1);
+}
+
+TEST(StuckAt, PodemGeneratesSingleFrameTests) {
+  Fixture fx(304);
+  atpg::Podem podem(fx.nl, fx.sites);
+  Rng rng(305);
+  int generated = 0;
+  for (int trial = 0; trial < 30 && generated < 12; ++trial) {
+    const auto site =
+        static_cast<netlist::SiteId>(rng.next_below(fx.sites.size()));
+    const InjectedFault fault{site, rng.bernoulli(0.5)
+                                        ? FaultPolarity::kStuckAt0
+                                        : FaultPolarity::kStuckAt1};
+    const auto r = podem.generate(fault);
+    if (!r.success) continue;
+    ++generated;
+    // V1 is unconstrained for stuck-at faults.
+    for (const atpg::V3 v : r.v1_inputs) EXPECT_EQ(v, atpg::V3::kX);
+    // The generated V2 detects the fault.
+    sim::PatternSet v1(fx.nl.num_inputs(), 1), v2(fx.nl.num_inputs(), 1);
+    for (std::size_t i = 0; i < fx.nl.num_inputs(); ++i) {
+      const bool b2 = r.v2_inputs[i] == atpg::V3::kX
+                          ? rng.bernoulli(0.5)
+                          : r.v2_inputs[i] == atpg::V3::k1;
+      v1.set_bit(i, 0, rng.bernoulli(0.5));
+      v2.set_bit(i, 0, b2);
+    }
+    sim::FaultSimulator fsim(fx.nl, fx.sites);
+    fsim.bind(v1, v2);
+    std::vector<sim::Word> diff;
+    EXPECT_TRUE(fsim.observed_diff(fault, diff))
+        << "PODEM stuck-at pattern must detect, site " << site;
+  }
+  EXPECT_GE(generated, 10);
+}
+
+TEST(StuckAt, DiagnosisLocatesStuckSites) {
+  // With include_stuck_at the engine hypothesizes SA0/SA1 alongside the
+  // TDF polarities and lifts the suspect transition requirement, so
+  // stuck-at failure logs are diagnosed natively.
+  Fixture fx(306);
+  const atpg::ScanConfig scan = atpg::ScanConfig::make(
+      static_cast<std::uint32_t>(fx.nl.num_outputs()), 8, 4);
+  diag::DiagnoserOptions opts;
+  opts.include_stuck_at = true;
+  diag::Diagnoser diagnoser(fx.nl, fx.sites, scan, opts);
+  diagnoser.bind(fx.fsim);
+
+  Rng rng(307);
+  std::vector<sim::Word> diff;
+  int tested = 0, hits = 0;
+  for (int trial = 0; trial < 40 && tested < 12; ++trial) {
+    const auto site =
+        static_cast<netlist::SiteId>(rng.next_below(fx.sites.size()));
+    const InjectedFault fault{site, FaultPolarity::kStuckAt0};
+    if (!fx.fsim.observed_diff(fault, diff)) continue;
+    ++tested;
+    const auto log = sim::failure_log_from_diff(diff, fx.nl.num_outputs(),
+                                                fx.fsim.num_patterns());
+    const auto report = diagnoser.diagnose(log);
+    hits += report.hits_any({&site, 1});
+  }
+  EXPECT_GE(tested, 8);
+  // With the stuck-at hypotheses enabled the injected site reproduces its
+  // signature exactly and must be found essentially always.
+  EXPECT_GE(hits + 1, tested);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,254 @@
+// m3dfl — command-line driver for the library's deployment workflow.
+//
+// Subcommands:
+//   gen       --benchmark aes|tate|netcard|leon3mp|tiny --config Syn-1|TPI|
+//             Syn-2|Par [--out design.v]
+//             Generate an M3D benchmark netlist and write it as Verilog.
+//   train     --benchmark <name> [--out framework.m3dfl] [--compacted]
+//             Train Tier-predictor / MIV-pinpointer / Classifier on Syn-1 +
+//             two random partitions and save the framework.
+//   inject    --benchmark <name> --config <cfg> [--seed N] [--compacted]
+//             [--out chip.faillog]
+//             Inject a random TDF, simulate the tester, write the failure
+//             log (and print the ground truth for reference).
+//   diagnose  --benchmark <name> --config <cfg> --faillog chip.faillog
+//             [--framework framework.m3dfl]
+//             Run ATPG-style diagnosis; with a framework, also apply the
+//             GNN candidate pruning & reordering policy.
+//
+// The benchmark/config pair pins the netlist + pattern set (both are
+// regenerated deterministically from the spec seeds, standing in for the
+// design database a real flow would load).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "eval/framework_io.h"
+#include "netlist/verilog.h"
+
+namespace m3dfl {
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: m3dfl <gen|train|inject|diagnose> [options]\n"
+      "  gen      --benchmark B --config C [--out design.v]\n"
+      "  train    --benchmark B [--compacted] [--out framework.m3dfl]\n"
+      "  inject   --benchmark B --config C [--seed N] [--compacted]\n"
+      "           [--out chip.faillog]\n"
+      "  diagnose --benchmark B --config C --faillog F\n"
+      "           [--framework framework.m3dfl]\n"
+      "benchmarks: aes tate netcard leon3mp tiny\n"
+      "configs:    Syn-1 TPI Syn-2 Par\n",
+      stderr);
+  return 2;
+}
+
+std::optional<eval::BenchmarkSpec> spec_by_name(const std::string& name) {
+  if (name == "aes") return eval::aes_spec();
+  if (name == "tate") return eval::tate_spec();
+  if (name == "netcard") return eval::netcard_spec();
+  if (name == "leon3mp") return eval::leon3mp_spec();
+  if (name == "tiny") return eval::tiny_spec();
+  return std::nullopt;
+}
+
+std::optional<eval::Config> config_by_name(const std::string& name) {
+  for (eval::Config c : eval::eval_configs()) {
+    if (name == eval::config_name(c)) return c;
+  }
+  return std::nullopt;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (key == "compacted") {
+      flags[key] = "1";
+    } else if (i + 1 < argc) {
+      flags[key] = argv[++i];
+    }
+  }
+  return flags;
+}
+
+int cmd_gen(const std::map<std::string, std::string>& flags) {
+  const auto spec = spec_by_name(flags.count("benchmark")
+                                     ? flags.at("benchmark")
+                                     : "");
+  const auto config = config_by_name(
+      flags.count("config") ? flags.at("config") : "Syn-1");
+  if (!spec || !config) return usage();
+  const eval::Design& d = eval::cached_design(*spec, *config);
+
+  const std::string out =
+      flags.count("out") ? flags.at("out") : spec->name + ".v";
+  std::ofstream os(out);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  netlist::write_verilog(d.nl, os, spec->name);
+  std::printf("wrote %s: %zu logic gates, %zu MIVs, %zu scan cells, "
+              "test coverage %.1f%%\n",
+              out.c_str(), d.nl.num_logic_gates(), d.nl.num_mivs(),
+              d.nl.num_scan_cells(), 100.0 * d.test_coverage);
+  return 0;
+}
+
+int cmd_train(const std::map<std::string, std::string>& flags) {
+  const auto spec = spec_by_name(flags.count("benchmark")
+                                     ? flags.at("benchmark")
+                                     : "");
+  if (!spec) return usage();
+  const bool compacted = flags.count("compacted") > 0;
+  eval::RunScale scale;
+  if (spec->name == "tiny") scale = eval::RunScale::tiny();
+
+  std::printf("training on %s (Syn-1 + 2 random partitions, %s)...\n",
+              spec->name.c_str(), compacted ? "compacted" : "bypass");
+  const eval::TrainingBundle bundle =
+      eval::build_training_bundle(*spec, compacted, scale);
+  const eval::TrainedFramework fw = eval::train_framework(bundle, scale);
+  std::printf("tier training accuracy %.1f%%, T_p = %.3f, %.1f s\n",
+              100 * fw.train_tier_accuracy, fw.policy.t_p,
+              fw.gnn_train_seconds);
+
+  const std::string out =
+      flags.count("out") ? flags.at("out") : spec->name + ".m3dfl";
+  std::ofstream os(out);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  eval::save_framework(fw, os);
+  std::printf("saved framework to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_inject(const std::map<std::string, std::string>& flags) {
+  const auto spec = spec_by_name(flags.count("benchmark")
+                                     ? flags.at("benchmark")
+                                     : "");
+  const auto config = config_by_name(
+      flags.count("config") ? flags.at("config") : "Syn-1");
+  if (!spec || !config) return usage();
+  const eval::Design& d = eval::cached_design(*spec, *config);
+
+  eval::DatagenOptions opts;
+  opts.num_samples = 1;
+  opts.compacted = flags.count("compacted") > 0;
+  opts.seed = flags.count("seed") ? std::stoull(flags.at("seed")) : 1;
+  const eval::Dataset ds = eval::generate_dataset(d, opts);
+  if (ds.samples.empty()) {
+    std::fputs("drew no detectable fault; try another --seed\n", stderr);
+    return 1;
+  }
+  const eval::Sample& chip = ds.samples.front();
+
+  const std::string out =
+      flags.count("out") ? flags.at("out") : "chip.faillog";
+  std::ofstream os(out);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  os << sim::to_text(chip.log);
+  std::printf("wrote %s: %zu failing observations\n", out.c_str(),
+              chip.log.size());
+  std::printf("ground truth (for reference): site %u, %s tier%s\n",
+              chip.truth_sites.front(),
+              chip.fault_tier == 1 ? "top" : "bottom",
+              chip.truth_is_miv ? " [MIV]" : "");
+  return 0;
+}
+
+int cmd_diagnose(const std::map<std::string, std::string>& flags) {
+  const auto spec = spec_by_name(flags.count("benchmark")
+                                     ? flags.at("benchmark")
+                                     : "");
+  const auto config = config_by_name(
+      flags.count("config") ? flags.at("config") : "Syn-1");
+  if (!spec || !config || !flags.count("faillog")) return usage();
+  const eval::Design& d = eval::cached_design(*spec, *config);
+
+  std::ifstream is(flags.at("faillog"));
+  if (!is) {
+    std::fprintf(stderr, "cannot read %s\n", flags.at("faillog").c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  const sim::FailureLogParseResult parsed =
+      sim::failure_log_from_text(buffer.str());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "bad failure log: %s\n", parsed.message.c_str());
+    return 1;
+  }
+
+  diag::Diagnoser diagnoser = d.make_diagnoser();
+  const diag::DiagnosisReport report = diagnoser.diagnose(parsed.log);
+  std::printf("ATPG diagnosis: %zu candidates in %.1f ms\n",
+              report.resolution(), 1e3 * report.seconds);
+
+  diag::DiagnosisReport final_report = report;
+  if (flags.count("framework")) {
+    std::ifstream fs(flags.at("framework"));
+    if (!fs) {
+      std::fprintf(stderr, "cannot read %s\n",
+                   flags.at("framework").c_str());
+      return 1;
+    }
+    eval::TrainedFramework fw;
+    std::string error;
+    if (!eval::load_framework(fw, fs, &error)) {
+      std::fprintf(stderr, "bad framework file: %s\n", error.c_str());
+      return 1;
+    }
+    const graphx::SubGraph sub =
+        graphx::backtrace_subgraph(*d.graph, parsed.log, d.scan);
+    const core::PolicyOutcome outcome =
+        core::apply_policy(report, sub, fw.models(), fw.policy);
+    std::printf("tier prediction: %s (confidence %.3f) — report %s, "
+                "%zu candidates moved to the backup dictionary\n",
+                outcome.predicted_tier == netlist::Tier::kTop ? "TOP"
+                                                              : "BOTTOM",
+                outcome.confidence, outcome.pruned ? "pruned" : "reordered",
+                outcome.backup.size());
+    final_report = outcome.report;
+  }
+
+  std::puts("rank  site      tier    score   (MIV)");
+  for (std::size_t i = 0; i < final_report.candidates.size(); ++i) {
+    const diag::Candidate& c = final_report.candidates[i];
+    std::printf("%4zu  %-8u  %-6s  %.3f   %s\n", i + 1, c.site,
+                c.tier == netlist::Tier::kTop ? "top" : "bottom", c.score,
+                c.is_miv ? "MIV" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace m3dfl
+
+int main(int argc, char** argv) {
+  using namespace m3dfl;
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (cmd == "gen") return cmd_gen(flags);
+  if (cmd == "train") return cmd_train(flags);
+  if (cmd == "inject") return cmd_inject(flags);
+  if (cmd == "diagnose") return cmd_diagnose(flags);
+  return usage();
+}
