@@ -1,0 +1,166 @@
+// Throughput comparison of the two deployment shapes of the diagnosis
+// flow: single-request sequential diagnosis (the `m3dfl diagnose` path,
+// one failure log at a time) versus the concurrent batched serving
+// subsystem (src/serve/: micro-batcher + thread-pool executor + sub-graph
+// LRU cache). Prints requests/sec and latency percentiles for both, and
+// emits BENCH_serve_throughput.json (google-benchmark JSON schema) so CI
+// trend tooling can ingest the record.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <vector>
+
+#include "bench/table_common.h"
+#include "eval/datagen.h"
+#include "serve/model_registry.h"
+#include "serve/service.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace m3dfl;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double percentile(std::vector<double> v, double pct) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = pct / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+struct Run {
+  const char* name = "";
+  std::size_t requests = 0;
+  double wall_seconds = 0.0;
+  std::vector<double> latencies;  ///< Per-request seconds.
+
+  double rps() const {
+    return wall_seconds > 0.0 ? static_cast<double>(requests) / wall_seconds
+                              : 0.0;
+  }
+};
+
+void add_run_row(TablePrinter& t, const Run& r) {
+  t.add_row({r.name, std::to_string(r.requests), fmt(r.wall_seconds, 3),
+             fmt(r.rps(), 1), fmt(percentile(r.latencies, 50) * 1e3, 2),
+             fmt(percentile(r.latencies, 95) * 1e3, 2),
+             fmt(percentile(r.latencies, 99) * 1e3, 2)});
+}
+
+void json_run(std::ofstream& os, const Run& r, bool last) {
+  os << "    {\n"
+     << "      \"name\": \"" << r.name << "\",\n"
+     << "      \"run_type\": \"iteration\",\n"
+     << "      \"iterations\": " << r.requests << ",\n"
+     << "      \"real_time\": " << r.wall_seconds * 1e3 << ",\n"
+     << "      \"time_unit\": \"ms\",\n"
+     << "      \"requests_per_second\": " << r.rps() << ",\n"
+     << "      \"p50_ms\": " << percentile(r.latencies, 50) * 1e3 << ",\n"
+     << "      \"p95_ms\": " << percentile(r.latencies, 95) * 1e3 << ",\n"
+     << "      \"p99_ms\": " << percentile(r.latencies, 99) * 1e3 << "\n"
+     << "    }" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Serve throughput: sequential diagnosis vs concurrent serving");
+  std::puts("(same failure logs, same trained framework; served results are");
+  std::puts(" bit-identical to sequential — tests/serve_test.cpp asserts it)\n");
+
+  const eval::RunScale scale = bench::bench_scale();
+  const bool fast = std::getenv("M3DFL_FAST") != nullptr;
+  const std::size_t num_logs = fast ? 8 : 24;
+  const int repeat = fast ? 2 : 4;
+
+  const eval::BenchmarkSpec spec = eval::tiny_spec();
+  const eval::TrainedFramework fw = eval::train_framework(
+      eval::build_training_bundle(spec, false, scale), scale);
+  const eval::Design& design = eval::cached_design(spec, eval::Config::kSyn2);
+
+  eval::DatagenOptions dopts;
+  dopts.num_samples = num_logs;
+  dopts.seed = 2026;
+  const eval::Dataset ds = eval::generate_dataset(design, dopts);
+
+  // Sequential: one request at a time, the plain `m3dfl diagnose` path.
+  Run seq;
+  seq.name = "sequential";
+  {
+    const auto t0 = Clock::now();
+    for (int r = 0; r < repeat; ++r) {
+      for (const eval::Sample& s : ds.samples) {
+        const auto t1 = Clock::now();
+        const auto resp =
+            serve::DiagnosisService::diagnose_direct(design, fw, s.log);
+        seq.latencies.push_back(seconds_since(t1));
+        seq.requests += resp.ok;
+      }
+    }
+    seq.wall_seconds = seconds_since(t0);
+  }
+
+  // Served: all requests in flight at once through the batched service.
+  Run served;
+  served.name = "served (4 threads, batched)";
+  {
+    serve::ModelRegistry registry;
+    registry.publish("default", fw, "bench");
+    serve::ServiceOptions opts;
+    opts.num_threads = 4;
+    serve::DiagnosisService service(registry, opts);
+    service.register_design(design);
+
+    const auto t0 = Clock::now();
+    std::vector<std::future<serve::DiagnosisResponse>> futures;
+    futures.reserve(ds.samples.size() * static_cast<std::size_t>(repeat));
+    for (int r = 0; r < repeat; ++r) {
+      for (const eval::Sample& s : ds.samples) {
+        futures.push_back(service.submit(design, s.log));
+      }
+    }
+    for (auto& f : futures) {
+      const serve::DiagnosisResponse resp = f.get();
+      served.latencies.push_back(resp.seconds);
+      served.requests += resp.ok;
+    }
+    served.wall_seconds = seconds_since(t0);
+
+    const serve::MetricsSnapshot m = service.metrics().snapshot();
+    std::printf("service: %llu batches (mean %.2f items), cache hit rate %.1f%%\n\n",
+                static_cast<unsigned long long>(m.batches), m.mean_batch,
+                m.cache_hit_rate * 100.0);
+  }
+
+  TablePrinter t;
+  t.set_header({"Mode", "Requests", "Wall (s)", "Req/s", "p50 (ms)",
+                "p95 (ms)", "p99 (ms)"});
+  add_run_row(t, seq);
+  add_run_row(t, served);
+  t.print();
+  std::printf("\nThroughput: served = %.2fx sequential\n",
+              seq.rps() > 0.0 ? served.rps() / seq.rps() : 0.0);
+  std::puts("(served per-request latency includes micro-batching wait and");
+  std::puts(" queueing — the trade the batcher makes for throughput)");
+
+  std::ofstream os("BENCH_serve_throughput.json");
+  os << "{\n  \"context\": {\n"
+     << "    \"executable\": \"bench_serve_throughput\",\n"
+     << "    \"num_logs\": " << num_logs << ",\n"
+     << "    \"repeat\": " << repeat << "\n  },\n"
+     << "  \"benchmarks\": [\n";
+  json_run(os, seq, false);
+  json_run(os, served, true);
+  os << "  ]\n}\n";
+  std::puts("\nwrote BENCH_serve_throughput.json");
+  return 0;
+}

@@ -1,5 +1,8 @@
 #include "eval/framework_io.h"
 
+#include <cmath>
+#include <cstdint>
+#include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -8,6 +11,14 @@
 #include "gnn/serialize.h"
 
 namespace m3dfl::eval {
+namespace {
+
+// Every policy knob is a probability-like threshold; anything outside
+// [0, 1] (or non-finite, e.g. a corrupted exponent) is a broken file, and
+// accepting it would silently disable pruning or prune everything.
+bool valid_policy_value(double v) { return std::isfinite(v) && v >= 0.0 && v <= 1.0; }
+
+}  // namespace
 
 void save_framework(const TrainedFramework& fw, std::ostream& os) {
   os << "m3dfl-framework v1\n";
@@ -40,6 +51,12 @@ bool load_framework(TrainedFramework& fw, std::istream& is,
       if (error) *error = "expected 4 'policy <key> <value>' lines";
       return false;
     }
+    if (!valid_policy_value(value)) {
+      if (error) {
+        *error = "policy value for '" + key + "' outside [0, 1]";
+      }
+      return false;
+    }
     if (key == "t_p") {
       loaded.policy.t_p = value;
     } else if (key == "miv_threshold") {
@@ -60,6 +77,27 @@ bool load_framework(TrainedFramework& fw, std::istream& is,
   }
   fw = std::move(loaded);
   return true;
+}
+
+bool load_framework_file(TrainedFramework& fw, const std::string& path,
+                         std::string* error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    if (error) *error = "cannot read " + path;
+    return false;
+  }
+  is.seekg(0, std::ios::end);
+  const auto bytes = is.tellg();
+  if (bytes < 0 ||
+      static_cast<std::uint64_t>(bytes) > kMaxFrameworkFileBytes) {
+    if (error) {
+      *error = path + " is implausibly large for a framework file (" +
+               std::to_string(bytes) + " bytes)";
+    }
+    return false;
+  }
+  is.seekg(0, std::ios::beg);
+  return load_framework(fw, is, error);
 }
 
 std::string framework_to_string(const TrainedFramework& fw) {

@@ -14,9 +14,23 @@ namespace m3dfl::eval {
 void save_framework(const TrainedFramework& fw, std::ostream& os);
 
 /// Loads a framework saved by save_framework. Returns false and fills
-/// `error` on malformed input.
+/// `error` on malformed input. Robust against hostile bytes: truncation,
+/// mutation, out-of-range policy values, and size-inflated tensor shapes
+/// all fail cleanly with `fw` untouched (see gnn/serialize.h; fuzzed by
+/// tests/io_test.cpp).
 bool load_framework(TrainedFramework& fw, std::istream& is,
                     std::string* error = nullptr);
+
+/// Upper bound on a plausible framework file. The text format stores ~10^4
+/// parameters at <= 16 bytes each; anything near this limit is corrupt or
+/// hostile, and refusing it up front keeps a bad deployment artifact from
+/// tying up the loader.
+inline constexpr std::size_t kMaxFrameworkFileBytes = 64u << 20;
+
+/// Opens, size-checks (kMaxFrameworkFileBytes) and parses a framework
+/// file. Returns false + error on unreadable, over-sized, or corrupt input.
+bool load_framework_file(TrainedFramework& fw, const std::string& path,
+                         std::string* error = nullptr);
 
 std::string framework_to_string(const TrainedFramework& fw);
 bool framework_from_string(TrainedFramework& fw, const std::string& text,

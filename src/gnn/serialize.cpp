@@ -1,5 +1,6 @@
 #include "gnn/serialize.h"
 
+#include <cmath>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -7,6 +8,29 @@
 
 namespace m3dfl::gnn {
 namespace {
+
+// Hard ceilings on declared shapes. A corrupted or malicious size field
+// must produce a clean load failure, never a multi-gigabyte allocation:
+// load_* is fed with files shipped to tester floors and with bytes handed
+// to the serving layer, so a flipped digit in "layer 13 32" cannot be
+// allowed to take the process down. The real models are ~10^4 parameters;
+// these bounds leave two orders of magnitude of headroom.
+constexpr std::size_t kMaxLayers = 64;
+constexpr std::size_t kMaxDim = 1u << 16;
+constexpr std::size_t kMaxTensorElems = 1u << 24;
+
+bool check_dims(std::size_t rows, std::size_t cols, const char* what,
+                std::string* error) {
+  if (rows == 0 || cols == 0 || rows > kMaxDim || cols > kMaxDim ||
+      rows * cols > kMaxTensorElems) {
+    if (error) {
+      *error = "implausible " + std::string(what) + " shape " +
+               std::to_string(rows) + "x" + std::to_string(cols);
+    }
+    return false;
+  }
+  return true;
+}
 
 void write_floats(std::ostream& os, const char* tag, const float* data,
                   std::size_t n) {
@@ -30,6 +54,12 @@ bool read_floats(std::istream& is, const char* tag, float* data,
       if (error) *error = "short float payload for '" + std::string(tag) + "'";
       return false;
     }
+    if (!std::isfinite(data[i])) {
+      if (error) {
+        *error = "non-finite weight in '" + std::string(tag) + "' payload";
+      }
+      return false;
+    }
   }
   return true;
 }
@@ -51,6 +81,12 @@ bool read_stack(std::istream& is, GcnStack& stack, std::string* error) {
     if (error) *error = "expected 'stack <n>'";
     return false;
   }
+  if (layers == 0 || layers > kMaxLayers) {
+    if (error) {
+      *error = "implausible stack depth " + std::to_string(layers);
+    }
+    return false;
+  }
   stack.layers.clear();
   for (std::size_t i = 0; i < layers; ++i) {
     std::size_t in_dim = 0, out_dim = 0;
@@ -58,6 +94,7 @@ bool read_stack(std::istream& is, GcnStack& stack, std::string* error) {
       if (error) *error = "expected 'layer <in> <out>'";
       return false;
     }
+    if (!check_dims(in_dim, out_dim, "layer", error)) return false;
     Rng dummy(1);
     GcnLayer layer(in_dim, out_dim, dummy);
     if (!read_floats(is, "W", layer.W.data(), layer.W.size(), error) ||
@@ -124,6 +161,9 @@ bool load_graph_classifier(GraphClassifier& model, std::istream& is,
       if (error) *error = "expected hidden-head width";
       return false;
     }
+    if (!check_dims(m.stack.out_dim(), width, "hidden head", error)) {
+      return false;
+    }
     m.has_hidden_head = true;
     m.Wh = Matrix(m.stack.out_dim(), width);
     m.gWh = Matrix(m.stack.out_dim(), width);
@@ -142,6 +182,7 @@ bool load_graph_classifier(GraphClassifier& model, std::istream& is,
     if (error) *error = "expected 'out <rows> <cols>'";
     return false;
   }
+  if (!check_dims(rows, cols, "output head", error)) return false;
   m.Wo = Matrix(rows, cols);
   m.gWo = Matrix(rows, cols);
   m.bo.assign(cols, 0.0f);
@@ -173,6 +214,7 @@ bool load_node_scorer(NodeScorer& model, std::istream& is,
     if (error) *error = "expected 'out <rows> <cols>'";
     return false;
   }
+  if (!check_dims(rows, cols, "output head", error)) return false;
   m.Wo = Matrix(rows, cols);
   m.gWo = Matrix(rows, cols);
   m.bo.assign(cols, 0.0f);

@@ -27,6 +27,12 @@ namespace m3dfl::gnn {
 ///
 /// Floats are printed with max_digits10, so save/load round-trips are
 /// bit-exact and a reloaded model produces identical predictions.
+///
+/// The loaders are safe on hostile input: truncated, mutated, or
+/// size-inflated files produce `false` plus an error message — never a
+/// crash, an unbounded allocation, a non-finite weight, or a partially
+/// overwritten model (the output object is only assigned after a fully
+/// successful parse). tests/io_test.cpp fuzzes this contract.
 
 void save_graph_classifier(const GraphClassifier& model, std::ostream& os);
 bool load_graph_classifier(GraphClassifier& model, std::istream& is,

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace m3dfl::serve {
+
+/// Micro-batcher: accumulates pushed items and hands them to a flush
+/// callback in batches, whichever comes first of
+///  * the batch reaching max_batch items, or
+///  * max_wait elapsing since the first item of the batch arrived
+///    (the latency deadline — a lone request never waits longer than this).
+///
+/// push() is thread-safe and cheap (one lock, one notify). The flush
+/// callback runs on the batcher's own thread; it should dispatch real work
+/// elsewhere (the diagnosis service fans items out across an Executor).
+/// The destructor flushes whatever is pending, so no pushed item is lost.
+template <typename Item>
+class Batcher {
+ public:
+  struct Options {
+    std::size_t max_batch = 8;
+    std::chrono::microseconds max_wait{2000};
+  };
+  using FlushFn = std::function<void(std::vector<Item>&&)>;
+
+  Batcher(Options opts, FlushFn flush)
+      : opts_(opts), flush_(std::move(flush)) {
+    if (opts_.max_batch == 0) opts_.max_batch = 1;
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~Batcher() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  void push(Item item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.empty()) {
+        deadline_ = std::chrono::steady_clock::now() + opts_.max_wait;
+      }
+      pending_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  std::uint64_t batches_flushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batches_;
+  }
+
+  const Options& options() const { return opts_; }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (pending_.empty()) {
+        if (stop_) return;
+        cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+        continue;
+      }
+      if (pending_.size() < opts_.max_batch && !stop_) {
+        // Either the batch fills up (predicate) or the deadline passes
+        // (timeout) — both fall through to the flush below.
+        cv_.wait_until(lock, deadline_, [this] {
+          return stop_ || pending_.size() >= opts_.max_batch;
+        });
+      }
+      std::vector<Item> batch;
+      if (pending_.size() <= opts_.max_batch) {
+        batch.swap(pending_);
+      } else {
+        // More arrived while we slept than one batch may carry: peel off
+        // max_batch and restart the deadline for the remainder.
+        const auto split =
+            pending_.begin() + static_cast<std::ptrdiff_t>(opts_.max_batch);
+        batch.assign(std::make_move_iterator(pending_.begin()),
+                     std::make_move_iterator(split));
+        pending_.erase(pending_.begin(), split);
+        deadline_ = std::chrono::steady_clock::now() + opts_.max_wait;
+      }
+      ++batches_;
+      lock.unlock();
+      flush_(std::move(batch));
+      lock.lock();
+    }
+  }
+
+  Options opts_;
+  FlushFn flush_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Item> pending_;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::uint64_t batches_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace m3dfl::serve

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace m3dfl::serve {
+
+/// Thread-safe LRU cache of immutable values. Values are handed out as
+/// shared_ptr<const Value>, so an entry evicted while a request still holds
+/// it stays alive until that request drops the reference — eviction never
+/// invalidates a reader.
+///
+/// The diagnosis service keys it by (design, failure-log fingerprint) and
+/// caches back-traced sub-graphs: repeat diagnoses of the same chip (retest,
+/// model A/B comparison, hot-swap re-runs) skip the back-trace and feature
+/// extraction entirely.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Returns the cached value (promoting it to most-recently-used), or an
+  /// empty pointer on miss. Counts a hit or a miss.
+  std::shared_ptr<const Value> get(const Key& key) {
+    if (capacity_ == 0) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used one
+  /// when over capacity.
+  void put(const Key& key, std::shared_ptr<const Value> value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  double hit_rate() const {
+    const std::uint64_t h = hits(), m = misses();
+    return h + m ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0;
+  }
+
+ private:
+  using Entry = std::pair<Key, std::shared_ptr<const Value>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// FNV-1a, the fingerprint primitive for cache keys.
+inline std::uint64_t fnv1a64(const void* data, std::size_t len,
+                             std::uint64_t seed = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace m3dfl::serve

@@ -1,0 +1,154 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.h"
+
+namespace m3dfl::serve {
+namespace {
+
+constexpr double kBase_us = 1.0;   ///< Upper bound of bucket 0.
+constexpr double kGrowth = 1.5;
+
+std::size_t bucket_of(double seconds) {
+  const double us = seconds * 1e6;
+  if (us <= kBase_us) return 0;
+  const std::size_t i =
+      static_cast<std::size_t>(std::ceil(std::log(us / kBase_us) /
+                                         std::log(kGrowth)));
+  return std::min(i, LatencyHistogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+double LatencyHistogram::bucket_upper_seconds(std::size_t i) {
+  return kBase_us * std::pow(kGrowth, static_cast<double>(i)) * 1e-6;
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (seconds < 0.0 || !std::isfinite(seconds)) seconds = 0.0;
+  buckets_[bucket_of(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::mean_seconds() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
+         (1e9 * static_cast<double>(n));
+}
+
+double LatencyHistogram::percentile_seconds(double pct) const {
+  std::array<std::uint64_t, kNumBuckets> snap;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0.0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  const double target = pct / 100.0 * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (snap[i] == 0) continue;
+    const double lo = i == 0 ? 0.0 : bucket_upper_seconds(i - 1);
+    const double hi = bucket_upper_seconds(i);
+    if (static_cast<double>(cum + snap[i]) >= target) {
+      const double within =
+          (target - static_cast<double>(cum)) / static_cast<double>(snap[i]);
+      return lo + std::clamp(within, 0.0, 1.0) * (hi - lo);
+    }
+    cum += snap[i];
+  }
+  return bucket_upper_seconds(kNumBuckets - 1);
+}
+
+void ServiceMetrics::on_request() {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::on_batch(std::size_t items) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_items_.fetch_add(items, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::on_cache(bool hit) {
+  (hit ? cache_hits_ : cache_misses_).fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::on_model_version(std::uint64_t version) {
+  // Counts upward version transitions; concurrent observers may both claim
+  // the same swap, which over-counts by at most the worker count per swap —
+  // fine for a visibility gauge.
+  std::uint64_t seen = last_version_.load(std::memory_order_relaxed);
+  while (version > seen) {
+    if (last_version_.compare_exchange_weak(seen, version,
+                                            std::memory_order_relaxed)) {
+      if (seen != 0) {
+        hot_swaps_observed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+}
+
+void ServiceMetrics::on_complete(double seconds, bool ok) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) errors_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  latency_.record(seconds);
+}
+
+MetricsSnapshot ServiceMetrics::snapshot() const {
+  MetricsSnapshot s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batch_items = batch_items_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.hot_swaps_observed = hot_swaps_observed_.load(std::memory_order_relaxed);
+  s.mean_batch = s.batches ? static_cast<double>(s.batch_items) /
+                                 static_cast<double>(s.batches)
+                           : 0.0;
+  const std::uint64_t lookups = s.cache_hits + s.cache_misses;
+  s.cache_hit_rate = lookups ? static_cast<double>(s.cache_hits) /
+                                   static_cast<double>(lookups)
+                             : 0.0;
+  s.mean_latency_ms = 1e3 * latency_.mean_seconds();
+  s.p50_ms = 1e3 * latency_.percentile_seconds(50.0);
+  s.p95_ms = 1e3 * latency_.percentile_seconds(95.0);
+  s.p99_ms = 1e3 * latency_.percentile_seconds(99.0);
+  return s;
+}
+
+std::string ServiceMetrics::render(const std::string& title) const {
+  const MetricsSnapshot s = snapshot();
+  TablePrinter table(title);
+  table.set_header({"metric", "value"});
+  table.add_row({"requests", std::to_string(s.requests)});
+  table.add_row({"completed", std::to_string(s.completed)});
+  table.add_row({"errors", std::to_string(s.errors)});
+  table.add_row({"in flight", std::to_string(s.in_flight)});
+  table.add_row({"batches", std::to_string(s.batches)});
+  table.add_row({"mean batch size", fmt(s.mean_batch, 2)});
+  table.add_row({"cache hit rate", fmt_pct(s.cache_hit_rate)});
+  table.add_row({"hot swaps observed", std::to_string(s.hot_swaps_observed)});
+  table.add_row({"mean latency (ms)", fmt(s.mean_latency_ms, 3)});
+  table.add_row({"p50 latency (ms)", fmt(s.p50_ms, 3)});
+  table.add_row({"p95 latency (ms)", fmt(s.p95_ms, 3)});
+  table.add_row({"p99 latency (ms)", fmt(s.p99_ms, 3)});
+  return table.to_string();
+}
+
+}  // namespace m3dfl::serve

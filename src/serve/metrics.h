@@ -1,0 +1,91 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace m3dfl::serve {
+
+/// Lock-free latency histogram with geometrically spaced buckets
+/// (1 us * 1.5^i, ~48 buckets spanning 1 us .. ~4 minutes). record() is a
+/// single relaxed fetch_add on the matching bucket, so the request hot path
+/// never serializes on the metrics layer; percentiles are computed from a
+/// snapshot with linear interpolation inside the winning bucket.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 48;
+
+  void record(double seconds);
+
+  std::uint64_t count() const;
+  double mean_seconds() const;
+  /// pct in [0, 100]. Returns 0 when empty.
+  double percentile_seconds(double pct) const;
+
+  /// Upper bound of bucket i, in seconds (test hook).
+  static double bucket_upper_seconds(std::size_t i);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_nanos_{0};
+};
+
+/// One coherent reading of every service counter (taken with relaxed loads;
+/// individual counters are exact, cross-counter relations are approximate
+/// while requests are in flight and exact once the service is drained).
+struct MetricsSnapshot {
+  std::uint64_t requests = 0;    ///< Accepted by submit().
+  std::uint64_t completed = 0;   ///< Responses delivered (ok or error).
+  std::uint64_t errors = 0;      ///< Responses with ok == false.
+  std::uint64_t in_flight = 0;   ///< Accepted, response not yet delivered.
+  std::uint64_t batches = 0;     ///< Micro-batches flushed.
+  std::uint64_t batch_items = 0; ///< Sum of flushed batch sizes.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t hot_swaps_observed = 0;  ///< Requests served by a model
+                                         ///< version newer than the last one
+                                         ///< this counter saw.
+  double mean_batch = 0.0;
+  double cache_hit_rate = 0.0;   ///< hits / (hits + misses), 0 when idle.
+  double mean_latency_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Counters + latency histogram for the diagnosis service. All mutators are
+/// thread-safe and wait-free (atomic increments).
+class ServiceMetrics {
+ public:
+  void on_request();                       ///< requests++, in-flight++.
+  void on_batch(std::size_t items);        ///< One micro-batch flushed.
+  void on_cache(bool hit);
+  void on_model_version(std::uint64_t version);
+  /// completed++, in-flight--, latency recorded; errors++ when !ok.
+  void on_complete(double seconds, bool ok);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Renders the snapshot as a fixed-width table (common/table).
+  std::string render(const std::string& title = "serve metrics") const;
+
+  const LatencyHistogram& latency() const { return latency_; }
+
+ private:
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batch_items_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> hot_swaps_observed_{0};
+  std::atomic<std::uint64_t> last_version_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace m3dfl::serve

@@ -1,0 +1,82 @@
+#include "serve/model_registry.h"
+
+#include <istream>
+#include <utility>
+
+namespace m3dfl::serve {
+
+ModelRegistry::Handle::Entry* ModelRegistry::entry_of(
+    const std::string& name) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Handle::Entry>();
+  return it->second.get();
+}
+
+std::uint64_t ModelRegistry::publish_locked(Handle::Entry* entry,
+                                            eval::TrainedFramework fw,
+                                            std::string source) {
+  auto next = std::make_unique<Published>();
+  next->framework = std::move(fw);
+  next->version = entry->history.size() + 1;
+  next->source = std::move(source);
+  const Published* raw = next.get();
+  entry->history.push_back(std::move(next));
+  entry->current.store(raw, std::memory_order_release);
+  return raw->version;
+}
+
+std::uint64_t ModelRegistry::publish(const std::string& name,
+                                     eval::TrainedFramework fw,
+                                     std::string source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return publish_locked(entry_of(name), std::move(fw), std::move(source));
+}
+
+std::uint64_t ModelRegistry::publish_stream(const std::string& name,
+                                            std::istream& is,
+                                            std::string source,
+                                            std::string* error) {
+  eval::TrainedFramework fw;
+  if (!eval::load_framework(fw, is, error)) return 0;
+  return publish(name, std::move(fw), std::move(source));
+}
+
+std::uint64_t ModelRegistry::rollback(const std::string& name,
+                                      std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return 0;
+  Handle::Entry* entry = it->second.get();
+  if (version == 0 || version > entry->history.size()) return 0;
+  const Published& old = *entry->history[version - 1];
+  return publish_locked(entry, old.framework,
+                        "rollback of v" + std::to_string(version));
+}
+
+ModelRegistry::Handle ModelRegistry::handle(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Handle(entry_of(name));
+}
+
+const ModelRegistry::Published* ModelRegistry::current(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  return it->second->current.load(std::memory_order_acquire);
+}
+
+std::uint64_t ModelRegistry::version(const std::string& name) const {
+  const Published* p = current(name);
+  return p ? p->version : 0;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace m3dfl::serve

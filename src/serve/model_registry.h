@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "eval/framework_io.h"
+
+namespace m3dfl::serve {
+
+/// Versioned store of trained frameworks (Tier-predictor + MIV-pinpointer +
+/// Classifier + policy), supporting lock-free hot-swap under load.
+///
+/// Publishing is serialized by a mutex (it is rare — a model upgrade), but
+/// the request hot path never takes a lock: a Handle resolves the entry
+/// once, and each request does a single acquire-load of a raw atomic
+/// pointer. Every published snapshot is retained in the entry's version
+/// history for the registry's lifetime, so a pointer obtained before a
+/// hot-swap stays valid for as long as the request that holds it runs (or
+/// longer) — models can be upgraded while ≥ N threads are mid-inference
+/// with no quiescing, and any historical version can be rolled back to
+/// instantly. (A raw atomic pointer is used deliberately instead of
+/// std::atomic<shared_ptr>: the latter is a spin-lock in libstdc++ — not
+/// lock-free — and its relaxed internal unlock trips ThreadSanitizer.
+/// Retention cost: one framework, ~10^4 parameters, per publish.)
+class ModelRegistry {
+ public:
+  /// An immutable published framework plus its registry version. Weights
+  /// and version travel in one atomically swapped object, so a reader can
+  /// never observe version N with the weights of version N±1.
+  struct Published {
+    eval::TrainedFramework framework;
+    std::uint64_t version = 0;   ///< 1-based, monotonic per name.
+    std::string source;          ///< Provenance (file name, "trained", ...).
+  };
+
+  /// Lock-free accessor for one model name. Obtain once (handle()), then
+  /// call current() per request.
+  class Handle {
+   public:
+    Handle() = default;
+
+    /// Acquire-loads the live framework; null when nothing has been
+    /// published yet. The snapshot remains valid for the registry's
+    /// lifetime (it is owned by the entry's version history).
+    const Published* current() const {
+      return entry_ ? entry_->current.load(std::memory_order_acquire)
+                    : nullptr;
+    }
+    explicit operator bool() const { return entry_ != nullptr; }
+
+   private:
+    friend class ModelRegistry;
+    struct Entry {
+      std::atomic<const Published*> current{nullptr};
+      /// Owns every snapshot ever published under this name, in version
+      /// order. Guarded by the registry mutex; `current` always points
+      /// into it.
+      std::vector<std::unique_ptr<const Published>> history;
+    };
+    explicit Handle(const Entry* entry) : entry_(entry) {}
+    const Entry* entry_ = nullptr;
+  };
+
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Publishes (or hot-swaps) the framework under `name`; returns the new
+  /// version number.
+  std::uint64_t publish(const std::string& name, eval::TrainedFramework fw,
+                        std::string source = "published");
+
+  /// Parses a framework file (framework_io text format) and publishes it.
+  /// Returns 0 and fills `error` on malformed input; the previously
+  /// published version (if any) stays live.
+  std::uint64_t publish_stream(const std::string& name, std::istream& is,
+                               std::string source, std::string* error);
+
+  /// Re-publishes historical snapshot `version` of `name` as a new version
+  /// (instant model rollback, no file round-trip). Returns the new version
+  /// number, or 0 when the name or version does not exist.
+  std::uint64_t rollback(const std::string& name, std::uint64_t version);
+
+  /// Stable lock-free accessor for `name`. Creating the handle registers
+  /// the name (with no published framework yet) if needed, so handles can
+  /// be resolved before the first publish.
+  Handle handle(const std::string& name);
+
+  /// One-shot lookup (takes the registry mutex; prefer Handle on hot paths).
+  const Published* current(const std::string& name) const;
+
+  /// Latest version of `name`, 0 when never published.
+  std::uint64_t version(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  Handle::Entry* entry_of(const std::string& name);
+  std::uint64_t publish_locked(Handle::Entry* entry,
+                               eval::TrainedFramework fw, std::string source);
+
+  mutable std::mutex mu_;  ///< Guards the map shape + histories, not reads.
+  /// node-based map: Entry addresses are stable across inserts, which is
+  /// what makes long-lived Handles safe.
+  std::map<std::string, std::unique_ptr<Handle::Entry>> entries_;
+};
+
+}  // namespace m3dfl::serve

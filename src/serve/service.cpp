@@ -1,0 +1,219 @@
+#include "serve/service.h"
+
+#include <exception>
+#include <type_traits>
+#include <utility>
+
+#include "diagnosis/diagnoser.h"
+#include "graphx/backtrace.h"
+
+namespace m3dfl::serve {
+
+std::uint64_t failure_log_fingerprint(const sim::FailureLog& log) {
+  static_assert(
+      std::has_unique_object_representations_v<sim::FailureLog::Obs> &&
+          std::has_unique_object_representations_v<sim::FailureLog::CObs>,
+      "failure-log entries must be padding-free to hash raw bytes");
+  std::uint64_t h = fnv1a64(&log.compacted, sizeof(log.compacted));
+  const std::uint64_t counts[2] = {log.fails.size(), log.cfails.size()};
+  h = fnv1a64(counts, sizeof(counts), h);
+  if (!log.fails.empty()) {
+    h = fnv1a64(log.fails.data(),
+                log.fails.size() * sizeof(sim::FailureLog::Obs), h);
+  }
+  if (!log.cfails.empty()) {
+    h = fnv1a64(log.cfails.data(),
+                log.cfails.size() * sizeof(sim::FailureLog::CObs), h);
+  }
+  return h;
+}
+
+/// Stateful per-task diagnosis machinery. The Diagnoser mutates scratch
+/// buffers and its FaultSimulator's faulty-machine workspace during
+/// diagnose(), so contexts are never shared between concurrent tasks; the
+/// design's own shared simulator (design.fsim) is left untouched by the
+/// service.
+struct DiagnosisService::WorkerContext {
+  std::unique_ptr<sim::FaultSimulator> fsim;
+  std::unique_ptr<diag::Diagnoser> diagnoser;
+
+  explicit WorkerContext(const eval::Design& d) {
+    fsim = std::make_unique<sim::FaultSimulator>(d.nl, d.sites);
+    if (d.spec.enhanced_scan) {
+      fsim->bind(d.patterns, d.patterns_v2);
+    } else {
+      fsim->bind(d.patterns);
+    }
+    // Mirrors Design::make_diagnoser(false) but binds a private simulator,
+    // which is what makes concurrent diagnosis of one design legal.
+    diag::DiagnoserOptions opts = d.spec.diag;
+    opts.multifault = false;
+    diagnoser = std::make_unique<diag::Diagnoser>(d.nl, d.sites, d.scan, opts);
+    diagnoser->bind(*fsim);
+  }
+};
+
+struct DiagnosisService::DesignState {
+  const eval::Design* design = nullptr;
+  std::mutex mu;
+  std::vector<std::unique_ptr<WorkerContext>> idle;
+};
+
+DiagnosisService::DiagnosisService(ModelRegistry& registry,
+                                   ServiceOptions opts)
+    : opts_(opts),
+      model_(registry.handle(opts.model_name)),
+      subgraph_cache_(opts.cache_capacity),
+      executor_(opts.num_threads),
+      batcher_({opts.max_batch, opts.max_wait},
+               [this](std::vector<Pending>&& batch) {
+                 flush_batch(std::move(batch));
+               }) {}
+
+DiagnosisService::~DiagnosisService() = default;
+
+void DiagnosisService::register_design(const eval::Design& design) {
+  // Touch the netlist's lazily built mutable caches while single-threaded;
+  // afterwards workers only ever read them.
+  design.nl.topo_order();
+  design.nl.levels();
+  design.nl.depth();
+
+  auto state = std::make_unique<DesignState>();
+  state->design = &design;
+  // First context built eagerly: its bind() runs the good-machine
+  // simulation once, so the first request pays only diagnosis.
+  state->idle.push_back(std::make_unique<WorkerContext>(design));
+  std::lock_guard<std::mutex> lock(designs_mu_);
+  designs_.emplace(&design, std::move(state));
+}
+
+std::future<DiagnosisResponse> DiagnosisService::submit(
+    const eval::Design& design, sim::FailureLog log) {
+  Pending p;
+  p.log = std::move(log);
+  p.promise = std::make_shared<std::promise<DiagnosisResponse>>();
+  p.t_submit = std::chrono::steady_clock::now();
+  std::future<DiagnosisResponse> future = p.promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(designs_mu_);
+    const auto it = designs_.find(&design);
+    p.state = it == designs_.end() ? nullptr : it->second.get();
+  }
+  metrics_.on_request();
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++accepted_;
+  }
+  if (p.state == nullptr) {
+    DiagnosisResponse r;
+    r.error = "design not registered with the service";
+    metrics_.on_complete(0.0, false);
+    p.promise->set_value(std::move(r));
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      ++finished_;
+    }
+    drain_cv_.notify_all();
+    return future;
+  }
+  batcher_.push(std::move(p));
+  return future;
+}
+
+void DiagnosisService::flush_batch(std::vector<Pending>&& batch) {
+  metrics_.on_batch(batch.size());
+  // Fan the batch out: every request becomes one executor task, so a batch
+  // of B occupies min(B, num_threads) workers concurrently.
+  for (Pending& item : batch) {
+    executor_.post([this, p = std::move(item)]() mutable { process(p); });
+  }
+}
+
+std::unique_ptr<DiagnosisService::WorkerContext>
+DiagnosisService::acquire_context(DesignState& state) {
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.idle.empty()) {
+      auto ctx = std::move(state.idle.back());
+      state.idle.pop_back();
+      return ctx;
+    }
+  }
+  // Pool empty: build a fresh context outside the lock. At most
+  // num_threads tasks run at once, so at most num_threads contexts are
+  // ever created per design.
+  return std::make_unique<WorkerContext>(*state.design);
+}
+
+void DiagnosisService::release_context(DesignState& state,
+                                       std::unique_ptr<WorkerContext> c) {
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.idle.push_back(std::move(c));
+}
+
+void DiagnosisService::process(Pending& p) {
+  DiagnosisResponse r;
+  try {
+    const ModelRegistry::Published* published = model_.current();
+    if (!published) {
+      r.error = "no framework published under '" + opts_.model_name + "'";
+    } else {
+      const eval::Design& d = *p.state->design;
+      std::unique_ptr<WorkerContext> ctx = acquire_context(*p.state);
+      r.atpg_report = ctx->diagnoser->diagnose(p.log);
+      release_context(*p.state, std::move(ctx));
+
+      const CacheKey key{&d, failure_log_fingerprint(p.log)};
+      std::shared_ptr<const graphx::SubGraph> sub = subgraph_cache_.get(key);
+      r.cache_hit = sub != nullptr;
+      metrics_.on_cache(r.cache_hit);
+      if (!sub) {
+        sub = std::make_shared<const graphx::SubGraph>(
+            graphx::backtrace_subgraph(*d.graph, p.log, d.scan));
+        subgraph_cache_.put(key, sub);
+      }
+
+      r.outcome =
+          core::apply_policy(r.atpg_report, *sub,
+                             published->framework.models(),
+                             published->framework.policy);
+      r.model_version = published->version;
+      metrics_.on_model_version(published->version);
+      r.ok = true;
+    }
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            p.t_submit)
+                  .count();
+  metrics_.on_complete(r.seconds, r.ok);
+  p.promise->set_value(std::move(r));
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++finished_;
+  }
+  drain_cv_.notify_all();
+}
+
+DiagnosisResponse DiagnosisService::diagnose_direct(
+    const eval::Design& design, const eval::TrainedFramework& fw,
+    const sim::FailureLog& log) {
+  DiagnosisResponse r;
+  diag::Diagnoser diagnoser = design.make_diagnoser();
+  r.atpg_report = diagnoser.diagnose(log);
+  const graphx::SubGraph sub =
+      graphx::backtrace_subgraph(*design.graph, log, design.scan);
+  r.outcome = core::apply_policy(r.atpg_report, sub, fw.models(), fw.policy);
+  r.ok = true;
+  return r;
+}
+
+void DiagnosisService::drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] { return finished_ == accepted_; });
+}
+
+}  // namespace m3dfl::serve

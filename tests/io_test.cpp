@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/rng.h"
@@ -268,6 +271,200 @@ TEST(FrameworkIo, RejectsBadHeader) {
   std::string error;
   EXPECT_FALSE(eval::framework_from_string(fw, "garbage", &error));
   EXPECT_FALSE(error.empty());
+}
+
+// --- Corruption fuzzing ------------------------------------------------------
+//
+// The loaders are fed bytes from tester floors and from the serving layer's
+// publish_stream, so hostile input must fail cleanly: no crash, no
+// multi-gigabyte allocation, no partially-applied model.
+
+/// Replaces the first whitespace-separated token after `tag` with `repl`.
+std::string mutate_token_after(const std::string& text, const std::string& tag,
+                               const std::string& repl) {
+  const std::size_t at = text.find(tag);
+  EXPECT_NE(at, std::string::npos) << tag;
+  const std::size_t start = at + tag.size();
+  const std::size_t end = text.find_first_of(" \n", start);
+  return text.substr(0, start) + repl + text.substr(end);
+}
+
+/// A loaded-successfully model must be fully finite (fuzz postcondition).
+void expect_finite(const gnn::GraphClassifier& m) {
+  for (const auto& l : m.stack.layers) {
+    for (std::size_t i = 0; i < l.W.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(l.W.data()[i]));
+    }
+    for (const float b : l.b) ASSERT_TRUE(std::isfinite(b));
+  }
+  for (std::size_t i = 0; i < m.Wo.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(m.Wo.data()[i]));
+  }
+}
+
+TEST(CorruptionFuzz, TruncatedGraphClassifierAlwaysFailsCleanly) {
+  gnn::GraphClassifier model(graphx::kNumSubgraphFeatures, {8, 4}, 2, 21);
+  const std::string text = gnn::graph_classifier_to_string(model);
+  // Up to the start of the final token every truncation removes at least
+  // one required field, so the load must *fail* (not just not-crash).
+  const std::size_t last_token = text.find_last_of(' ');
+  ASSERT_NE(last_token, std::string::npos);
+  for (std::size_t len = 0; len <= last_token; len += 7) {
+    gnn::GraphClassifier loaded;
+    std::string error;
+    ASSERT_FALSE(gnn::graph_classifier_from_string(
+        loaded, text.substr(0, len), &error))
+        << "truncation at " << len << " of " << text.size() << " accepted";
+    EXPECT_FALSE(error.empty()) << "no error message at length " << len;
+  }
+  // Every length (including mid-final-token, which may parse): no crash,
+  // and anything accepted is fully finite.
+  for (std::size_t len = last_token; len <= text.size(); ++len) {
+    gnn::GraphClassifier loaded;
+    if (gnn::graph_classifier_from_string(loaded, text.substr(0, len),
+                                          nullptr)) {
+      expect_finite(loaded);
+    }
+  }
+}
+
+TEST(CorruptionFuzz, MutatedBytesNeverCrashOrGoNonFinite) {
+  gnn::GraphClassifier model(graphx::kNumSubgraphFeatures, {8}, 2, 22);
+  const std::string text = gnn::graph_classifier_to_string(model);
+  Rng rng(99);
+  const char garbage[] = "0129.eE+-naif xz\n";
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = text;
+    const auto pos =
+        static_cast<std::size_t>(rng.uniform() * (text.size() - 1));
+    const auto pick =
+        static_cast<std::size_t>(rng.uniform() * (sizeof(garbage) - 2));
+    mutated[pos] = garbage[pick];
+    gnn::GraphClassifier loaded;
+    std::string error;
+    if (gnn::graph_classifier_from_string(loaded, mutated, &error)) {
+      expect_finite(loaded);  // Accepted mutants must still be sane.
+    } else {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST(CorruptionFuzz, OversizedShapeHeadersAreRejectedWithoutAllocating) {
+  gnn::GraphClassifier loaded;
+  std::string error;
+
+  EXPECT_FALSE(gnn::graph_classifier_from_string(
+      loaded, "m3dfl-model v1 graph-classifier\nstack 999999999\n", &error));
+  EXPECT_NE(error.find("implausible stack depth"), std::string::npos);
+
+  EXPECT_FALSE(gnn::graph_classifier_from_string(
+      loaded,
+      "m3dfl-model v1 graph-classifier\nstack 1\n"
+      "layer 4000000000 4000000000\n",
+      &error));
+  EXPECT_NE(error.find("implausible layer shape"), std::string::npos);
+
+  gnn::NodeScorer scorer;
+  EXPECT_FALSE(gnn::node_scorer_from_string(
+      scorer,
+      "m3dfl-model v1 node-scorer\nstack 1\nlayer 999999 16\n", &error));
+  EXPECT_NE(error.find("implausible"), std::string::npos);
+
+  // Inflated output-head and hidden-head widths on an otherwise valid file.
+  gnn::GraphClassifier model(graphx::kNumSubgraphFeatures, {8}, 2, 23);
+  const std::string text = gnn::graph_classifier_to_string(model);
+  EXPECT_FALSE(gnn::graph_classifier_from_string(
+      loaded, mutate_token_after(text, "out ", "4000000000"), &error));
+  EXPECT_NE(error.find("implausible"), std::string::npos);
+
+  gnn::GraphClassifier transfer =
+      gnn::GraphClassifier::transfer_from(model.stack, 2, 4, 24);
+  EXPECT_FALSE(gnn::graph_classifier_from_string(
+      loaded,
+      mutate_token_after(gnn::graph_classifier_to_string(transfer),
+                         "head hidden ", "4000000000"),
+      &error));
+  EXPECT_NE(error.find("implausible"), std::string::npos);
+}
+
+TEST(CorruptionFuzz, NonFiniteWeightsAreRejected) {
+  gnn::GraphClassifier model(graphx::kNumSubgraphFeatures, {8}, 2, 25);
+  const std::string text = gnn::graph_classifier_to_string(model);
+  gnn::GraphClassifier loaded;
+  std::string error;
+  // libstdc++ refuses "inf"/"nan" at extraction (so the load fails with a
+  // short-payload error); the isfinite() check stays as defense in depth
+  // for platforms whose num_get does accept them. Either way: rejected.
+  for (const char* bad : {"nan", "inf", "-inf", "1e999999"}) {
+    EXPECT_FALSE(gnn::graph_classifier_from_string(
+        loaded, mutate_token_after(text, "\nW ", bad), &error))
+        << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(CorruptionFuzz, TruncatedFrameworkAlwaysFailsAndLeavesTargetUntouched) {
+  const eval::RunScale scale = eval::RunScale::tiny();
+  const eval::TrainedFramework fw = eval::train_framework(
+      eval::build_training_bundle(eval::tiny_spec(), false, scale), scale);
+  const std::string text = eval::framework_to_string(fw);
+  const std::size_t last_token = text.find_last_of(' ');
+  ASSERT_NE(last_token, std::string::npos);
+  for (std::size_t len = 0; len <= last_token; len += 257) {
+    eval::TrainedFramework target;
+    target.policy.t_p = 0.123;  // Sentinel: must survive a failed load.
+    std::string error;
+    ASSERT_FALSE(eval::framework_from_string(target, text.substr(0, len),
+                                             &error))
+        << "truncation at " << len << " of " << text.size() << " accepted";
+    EXPECT_FALSE(error.empty());
+    EXPECT_DOUBLE_EQ(target.policy.t_p, 0.123)
+        << "failed load modified the target framework";
+  }
+}
+
+TEST(CorruptionFuzz, PolicyValuesOutsideUnitIntervalAreRejected) {
+  const eval::RunScale scale = eval::RunScale::tiny();
+  const eval::TrainedFramework fw = eval::train_framework(
+      eval::build_training_bundle(eval::tiny_spec(), false, scale), scale);
+  const std::string text = eval::framework_to_string(fw);
+  eval::TrainedFramework loaded;
+  std::string error;
+  // In-range-but-wrong values hit the [0, 1] validator (whose message names
+  // the key); "nan"/"inf" already fail at extraction. All must be rejected.
+  for (const char* bad : {"1.5", "-0.25"}) {
+    EXPECT_FALSE(eval::framework_from_string(
+        loaded, mutate_token_after(text, "policy t_p ", bad), &error))
+        << bad;
+    EXPECT_NE(error.find("t_p"), std::string::npos) << bad;
+  }
+  for (const char* bad : {"nan", "inf"}) {
+    EXPECT_FALSE(eval::framework_from_string(
+        loaded, mutate_token_after(text, "policy t_p ", bad), &error))
+        << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(FrameworkIo, LoadFileRejectsMissingAndOversizedFiles) {
+  eval::TrainedFramework fw;
+  std::string error;
+  EXPECT_FALSE(
+      eval::load_framework_file(fw, "does_not_exist.m3dfl", &error));
+  EXPECT_NE(error.find("cannot read"), std::string::npos);
+
+  // A sparse file one byte past the ceiling: rejected on size alone,
+  // before any parsing.
+  const char* path = "io_test_oversized.tmp";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os.seekp(static_cast<std::streamoff>(eval::kMaxFrameworkFileBytes));
+    os.put('x');
+  }
+  EXPECT_FALSE(eval::load_framework_file(fw, path, &error));
+  EXPECT_NE(error.find("implausibly large"), std::string::npos);
+  std::remove(path);
 }
 
 }  // namespace

@@ -15,10 +15,20 @@
 //             [--framework framework.m3dfl]
 //             Run ATPG-style diagnosis; with a framework, also apply the
 //             GNN candidate pruning & reordering policy.
+//   serve     --benchmark <name> --config <cfg> --framework framework.m3dfl
+//             --logs a.faillog,b.faillog,... [--threads N] [--batch N]
+//             [--wait-us N] [--repeat N] [--quiet]
+//             Batch-diagnose the logs through the concurrent serving stack
+//             (src/serve/): micro-batching, executor fan-out, sub-graph
+//             cache, and a metrics table at the end.
 //
 // The benchmark/config pair pins the netlist + pattern set (both are
 // regenerated deterministically from the spec seeds, standing in for the
 // design database a real flow would load).
+//
+// Exit codes: 0 success, 1 runtime failure (unreadable/corrupt files,
+// failed diagnosis), 2 usage error (unknown subcommand/flag, missing or
+// malformed argument).
 
 #include <cstdio>
 #include <cstring>
@@ -26,28 +36,39 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "eval/framework_io.h"
 #include "netlist/verilog.h"
+#include "serve/service.h"
 
 namespace m3dfl {
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
 int usage() {
   std::fputs(
-      "usage: m3dfl <gen|train|inject|diagnose> [options]\n"
+      "usage: m3dfl <gen|train|inject|diagnose|serve> [options]\n"
       "  gen      --benchmark B --config C [--out design.v]\n"
       "  train    --benchmark B [--compacted] [--out framework.m3dfl]\n"
       "  inject   --benchmark B --config C [--seed N] [--compacted]\n"
       "           [--out chip.faillog]\n"
       "  diagnose --benchmark B --config C --faillog F\n"
       "           [--framework framework.m3dfl]\n"
+      "  serve    --benchmark B --config C --framework framework.m3dfl\n"
+      "           --logs F1,F2,... [--threads N] [--batch N] [--wait-us N]\n"
+      "           [--repeat N] [--quiet]\n"
       "benchmarks: aes tate netcard leon3mp tiny\n"
-      "configs:    Syn-1 TPI Syn-2 Par\n",
+      "configs:    Syn-1 TPI Syn-2 Par\n"
+      "exit codes: 0 ok, 1 runtime failure, 2 usage error\n",
       stderr);
-  return 2;
+  return kExitUsage;
 }
 
 std::optional<eval::BenchmarkSpec> spec_by_name(const std::string& name) {
@@ -66,20 +87,61 @@ std::optional<eval::Config> config_by_name(const std::string& name) {
   return std::nullopt;
 }
 
-std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int first) {
+/// Per-subcommand flag schema: which --flags take a value and which are
+/// bare switches. Anything else — an unknown flag, a switch given with no
+/// leading "--", a value flag at the end of the line — is a usage error
+/// (exit 2), not silently ignored.
+struct FlagSpec {
+  std::set<std::string> value_flags;
+  std::set<std::string> switch_flags;
+};
+
+std::optional<std::map<std::string, std::string>> parse_flags(
+    int argc, char** argv, int first, const FlagSpec& spec) {
   std::map<std::string, std::string> flags;
   for (int i = first; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
-    key = key.substr(2);
-    if (key == "compacted") {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return std::nullopt;
+    }
+    const std::string key = arg.substr(2);
+    if (spec.switch_flags.count(key)) {
       flags[key] = "1";
-    } else if (i + 1 < argc) {
+    } else if (spec.value_flags.count(key)) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
+        return std::nullopt;
+      }
       flags[key] = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+      return std::nullopt;
     }
   }
   return flags;
+}
+
+/// Strict unsigned parse; nullopt on junk like "--seed 12x" or "--seed -3".
+std::optional<std::uint64_t> parse_u64(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (value > (UINT64_MAX - (c - '0')) / 10) return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(text);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
 }
 
 int cmd_gen(const std::map<std::string, std::string>& flags) {
@@ -96,14 +158,14 @@ int cmd_gen(const std::map<std::string, std::string>& flags) {
   std::ofstream os(out);
   if (!os) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
-    return 1;
+    return kExitRuntime;
   }
   netlist::write_verilog(d.nl, os, spec->name);
   std::printf("wrote %s: %zu logic gates, %zu MIVs, %zu scan cells, "
               "test coverage %.1f%%\n",
               out.c_str(), d.nl.num_logic_gates(), d.nl.num_mivs(),
               d.nl.num_scan_cells(), 100.0 * d.test_coverage);
-  return 0;
+  return kExitOk;
 }
 
 int cmd_train(const std::map<std::string, std::string>& flags) {
@@ -129,11 +191,11 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   std::ofstream os(out);
   if (!os) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
-    return 1;
+    return kExitRuntime;
   }
   eval::save_framework(fw, os);
   std::printf("saved framework to %s\n", out.c_str());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_inject(const std::map<std::string, std::string>& flags) {
@@ -143,16 +205,25 @@ int cmd_inject(const std::map<std::string, std::string>& flags) {
   const auto config = config_by_name(
       flags.count("config") ? flags.at("config") : "Syn-1");
   if (!spec || !config) return usage();
+  std::uint64_t seed = 1;
+  if (flags.count("seed")) {
+    const auto parsed = parse_u64(flags.at("seed"));
+    if (!parsed) {
+      std::fprintf(stderr, "--seed wants an unsigned integer\n");
+      return usage();
+    }
+    seed = *parsed;
+  }
   const eval::Design& d = eval::cached_design(*spec, *config);
 
   eval::DatagenOptions opts;
   opts.num_samples = 1;
   opts.compacted = flags.count("compacted") > 0;
-  opts.seed = flags.count("seed") ? std::stoull(flags.at("seed")) : 1;
+  opts.seed = seed;
   const eval::Dataset ds = eval::generate_dataset(d, opts);
   if (ds.samples.empty()) {
     std::fputs("drew no detectable fault; try another --seed\n", stderr);
-    return 1;
+    return kExitRuntime;
   }
   const eval::Sample& chip = ds.samples.front();
 
@@ -161,7 +232,7 @@ int cmd_inject(const std::map<std::string, std::string>& flags) {
   std::ofstream os(out);
   if (!os) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
-    return 1;
+    return kExitRuntime;
   }
   os << sim::to_text(chip.log);
   std::printf("wrote %s: %zu failing observations\n", out.c_str(),
@@ -170,7 +241,35 @@ int cmd_inject(const std::map<std::string, std::string>& flags) {
               chip.truth_sites.front(),
               chip.fault_tier == 1 ? "top" : "bottom",
               chip.truth_is_miv ? " [MIV]" : "");
-  return 0;
+  return kExitOk;
+}
+
+std::optional<sim::FailureLog> read_faillog(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  const sim::FailureLogParseResult parsed =
+      sim::failure_log_from_text(buffer.str());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "bad failure log %s: %s\n", path.c_str(),
+                 parsed.message.c_str());
+    return std::nullopt;
+  }
+  return parsed.log;
+}
+
+void print_report(const diag::DiagnosisReport& report) {
+  std::puts("rank  site      tier    score   (MIV)");
+  for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+    const diag::Candidate& c = report.candidates[i];
+    std::printf("%4zu  %-8u  %-6s  %.3f   %s\n", i + 1, c.site,
+                c.tier == netlist::Tier::kTop ? "top" : "bottom", c.score,
+                c.is_miv ? "MIV" : "");
+  }
 }
 
 int cmd_diagnose(const std::map<std::string, std::string>& flags) {
@@ -182,41 +281,24 @@ int cmd_diagnose(const std::map<std::string, std::string>& flags) {
   if (!spec || !config || !flags.count("faillog")) return usage();
   const eval::Design& d = eval::cached_design(*spec, *config);
 
-  std::ifstream is(flags.at("faillog"));
-  if (!is) {
-    std::fprintf(stderr, "cannot read %s\n", flags.at("faillog").c_str());
-    return 1;
-  }
-  std::stringstream buffer;
-  buffer << is.rdbuf();
-  const sim::FailureLogParseResult parsed =
-      sim::failure_log_from_text(buffer.str());
-  if (!parsed.ok) {
-    std::fprintf(stderr, "bad failure log: %s\n", parsed.message.c_str());
-    return 1;
-  }
+  const auto log = read_faillog(flags.at("faillog"));
+  if (!log) return kExitRuntime;
 
   diag::Diagnoser diagnoser = d.make_diagnoser();
-  const diag::DiagnosisReport report = diagnoser.diagnose(parsed.log);
+  const diag::DiagnosisReport report = diagnoser.diagnose(*log);
   std::printf("ATPG diagnosis: %zu candidates in %.1f ms\n",
               report.resolution(), 1e3 * report.seconds);
 
   diag::DiagnosisReport final_report = report;
   if (flags.count("framework")) {
-    std::ifstream fs(flags.at("framework"));
-    if (!fs) {
-      std::fprintf(stderr, "cannot read %s\n",
-                   flags.at("framework").c_str());
-      return 1;
-    }
     eval::TrainedFramework fw;
     std::string error;
-    if (!eval::load_framework(fw, fs, &error)) {
+    if (!eval::load_framework_file(fw, flags.at("framework"), &error)) {
       std::fprintf(stderr, "bad framework file: %s\n", error.c_str());
-      return 1;
+      return kExitRuntime;
     }
     const graphx::SubGraph sub =
-        graphx::backtrace_subgraph(*d.graph, parsed.log, d.scan);
+        graphx::backtrace_subgraph(*d.graph, *log, d.scan);
     const core::PolicyOutcome outcome =
         core::apply_policy(report, sub, fw.models(), fw.policy);
     std::printf("tier prediction: %s (confidence %.3f) — report %s, "
@@ -228,14 +310,107 @@ int cmd_diagnose(const std::map<std::string, std::string>& flags) {
     final_report = outcome.report;
   }
 
-  std::puts("rank  site      tier    score   (MIV)");
-  for (std::size_t i = 0; i < final_report.candidates.size(); ++i) {
-    const diag::Candidate& c = final_report.candidates[i];
-    std::printf("%4zu  %-8u  %-6s  %.3f   %s\n", i + 1, c.site,
-                c.tier == netlist::Tier::kTop ? "top" : "bottom", c.score,
-                c.is_miv ? "MIV" : "");
+  print_report(final_report);
+  return kExitOk;
+}
+
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  const auto spec = spec_by_name(flags.count("benchmark")
+                                     ? flags.at("benchmark")
+                                     : "");
+  const auto config = config_by_name(
+      flags.count("config") ? flags.at("config") : "Syn-1");
+  if (!spec || !config || !flags.count("framework") || !flags.count("logs")) {
+    return usage();
   }
-  return 0;
+  serve::ServiceOptions opts;
+  std::uint64_t repeat = 1;
+  const auto numeric = [&](const char* key, std::uint64_t min_value,
+                           std::uint64_t* out) -> bool {
+    if (!flags.count(key)) return true;
+    const auto parsed = parse_u64(flags.at(key));
+    if (!parsed || *parsed < min_value) {
+      std::fprintf(stderr, "--%s wants an integer >= %llu\n", key,
+                   static_cast<unsigned long long>(min_value));
+      return false;
+    }
+    *out = *parsed;
+    return true;
+  };
+  std::uint64_t threads = opts.num_threads, batch = opts.max_batch;
+  std::uint64_t wait_us =
+      static_cast<std::uint64_t>(opts.max_wait.count());
+  if (!numeric("threads", 1, &threads) || !numeric("batch", 1, &batch) ||
+      !numeric("wait-us", 0, &wait_us) || !numeric("repeat", 1, &repeat)) {
+    return usage();
+  }
+  opts.num_threads = threads;
+  opts.max_batch = batch;
+  opts.max_wait = std::chrono::microseconds(wait_us);
+  const bool quiet = flags.count("quiet") > 0;
+
+  const std::vector<std::string> paths = split_commas(flags.at("logs"));
+  if (paths.empty()) {
+    std::fprintf(stderr, "--logs wants a comma-separated file list\n");
+    return usage();
+  }
+  std::vector<sim::FailureLog> logs;
+  for (const std::string& path : paths) {
+    const auto log = read_faillog(path);
+    if (!log) return kExitRuntime;
+    logs.push_back(*log);
+  }
+
+  serve::ModelRegistry registry;
+  {
+    eval::TrainedFramework fw;
+    std::string error;
+    if (!eval::load_framework_file(fw, flags.at("framework"), &error)) {
+      std::fprintf(stderr, "bad framework file: %s\n", error.c_str());
+      return kExitRuntime;
+    }
+    registry.publish(opts.model_name, std::move(fw), flags.at("framework"));
+  }
+
+  const eval::Design& d = eval::cached_design(*spec, *config);
+  serve::DiagnosisService service(registry, opts);
+  service.register_design(d);
+
+  std::vector<std::future<serve::DiagnosisResponse>> futures;
+  futures.reserve(paths.size() * repeat);
+  for (std::uint64_t r = 0; r < repeat; ++r) {
+    for (const sim::FailureLog& log : logs) {
+      futures.push_back(service.submit(d, log));
+    }
+  }
+
+  bool any_failed = false;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    serve::DiagnosisResponse resp = futures[i].get();
+    const std::string& path = paths[i % paths.size()];
+    if (!resp.ok) {
+      any_failed = true;
+      std::fprintf(stderr, "%s: serve error: %s\n", path.c_str(),
+                   resp.error.c_str());
+      continue;
+    }
+    if (!quiet) {
+      std::printf(
+          "%s: %zu -> %zu candidates, tier %s (conf %.3f), %s, "
+          "model v%llu%s, %.1f ms\n",
+          path.c_str(), resp.atpg_report.resolution(),
+          resp.outcome.report.resolution(),
+          resp.outcome.predicted_tier == netlist::Tier::kTop ? "TOP"
+                                                             : "BOTTOM",
+          resp.outcome.confidence,
+          resp.outcome.pruned ? "pruned" : "reordered",
+          static_cast<unsigned long long>(resp.model_version),
+          resp.cache_hit ? ", cached sub-graph" : "", 1e3 * resp.seconds);
+    }
+  }
+  service.drain();
+  std::fputs(service.metrics().render("m3dfl serve").c_str(), stdout);
+  return any_failed ? kExitRuntime : kExitOk;
 }
 
 }  // namespace
@@ -245,10 +420,30 @@ int main(int argc, char** argv) {
   using namespace m3dfl;
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const auto flags = parse_flags(argc, argv, 2);
-  if (cmd == "gen") return cmd_gen(flags);
-  if (cmd == "train") return cmd_train(flags);
-  if (cmd == "inject") return cmd_inject(flags);
-  if (cmd == "diagnose") return cmd_diagnose(flags);
-  return usage();
+
+  FlagSpec spec;
+  if (cmd == "gen") {
+    spec = {{"benchmark", "config", "out"}, {}};
+  } else if (cmd == "train") {
+    spec = {{"benchmark", "out"}, {"compacted"}};
+  } else if (cmd == "inject") {
+    spec = {{"benchmark", "config", "seed", "out"}, {"compacted"}};
+  } else if (cmd == "diagnose") {
+    spec = {{"benchmark", "config", "faillog", "framework"}, {}};
+  } else if (cmd == "serve") {
+    spec = {{"benchmark", "config", "framework", "logs", "threads", "batch",
+             "wait-us", "repeat"},
+            {"quiet"}};
+  } else {
+    std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
+    return usage();
+  }
+
+  const auto flags = parse_flags(argc, argv, 2, spec);
+  if (!flags) return usage();
+  if (cmd == "gen") return cmd_gen(*flags);
+  if (cmd == "train") return cmd_train(*flags);
+  if (cmd == "inject") return cmd_inject(*flags);
+  if (cmd == "diagnose") return cmd_diagnose(*flags);
+  return cmd_serve(*flags);
 }
