@@ -1,6 +1,8 @@
-#include "serve/executor.h"
+#include "common/executor.h"
 
-namespace m3dfl::serve {
+#include <algorithm>
+
+namespace m3dfl {
 
 Executor::Executor(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -58,4 +60,9 @@ void Executor::worker_loop() {
   }
 }
 
-}  // namespace m3dfl::serve
+std::size_t resolve_num_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace m3dfl

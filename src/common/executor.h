@@ -1,0 +1,76 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace m3dfl {
+
+/// Fixed-size thread pool with a FIFO task queue — the library's reusable
+/// concurrency primitive. The diagnosis service fans per-request inference
+/// out across it, and the offline pipeline (dataset generation, fault-
+/// dictionary campaigns, parallel training epochs) submits plain callables
+/// the same way.
+///
+/// Semantics:
+///  * submit() returns a std::future carrying the callable's result (or its
+///    exception — a throwing task never takes down a worker);
+///  * post() is the fire-and-forget variant (no future allocation);
+///  * tasks run in submission order, up to num_threads() at a time;
+///  * the destructor drains the queue: every task already submitted runs to
+///    completion before the workers join.
+class Executor {
+ public:
+  explicit Executor(std::size_t num_threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // std::function requires copyable targets; a packaged_task is move-only,
+    // so it rides in a shared_ptr.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    post([task] { (*task)(); });
+    return future;
+  }
+
+  /// Enqueues a task whose result (and exceptions) nobody waits for.
+  void post(std::function<void()> fn);
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Tasks enqueued but not yet started.
+  std::size_t queued() const;
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Signals workers: task or stop.
+  std::condition_variable idle_cv_;   ///< Signals wait_idle().
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;  ///< Workers currently running a task.
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Resolves a user-facing thread-count knob: 0 means "whatever the hardware
+/// offers" (never less than 1); any other value is taken literally.
+std::size_t resolve_num_threads(std::size_t requested);
+
+}  // namespace m3dfl

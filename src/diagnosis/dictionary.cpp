@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <future>
+
+#include "common/executor.h"
+#include "sim/sim_pool.h"
 
 namespace m3dfl::diag {
 
@@ -49,21 +53,86 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
                                  sim::FaultSimulator& fsim,
                                  FaultDictionaryOptions options)
     : nl_(&nl), sites_(&sites) {
-  std::vector<sim::Word> diff;
   const std::size_t W = fsim.num_words();
-  for (netlist::SiteId s = 0; s < sites.size(); ++s) {
-    for (sim::FaultPolarity pol : options.polarities) {
-      if (!fsim.observed_diff({s, pol}, diff)) continue;
-      Entry e;
-      e.site = s;
-      e.polarity = pol;
-      e.keys = keys_from_diff(diff, nl.num_outputs(), W,
-                              fsim.num_patterns());
-      e.hash = hash_keys(e.keys);
-      by_hash_[e.hash].push_back(static_cast<std::uint32_t>(entries_.size()));
-      entries_.push_back(std::move(e));
+  const std::size_t num_sites = sites.size();
+
+  // Simulates [lo, hi) sites into `out`, preserving the site-then-polarity
+  // entry order the sequential campaign produces.
+  auto build_range = [&](sim::FaultSimulator& sim_, netlist::SiteId lo,
+                         netlist::SiteId hi, std::vector<Entry>& out) {
+    std::vector<sim::Word> diff;
+    for (netlist::SiteId s = lo; s < hi; ++s) {
+      for (sim::FaultPolarity pol : options.polarities) {
+        if (!sim_.observed_diff({s, pol}, diff)) continue;
+        Entry e;
+        e.site = s;
+        e.polarity = pol;
+        e.keys = keys_from_diff(diff, nl.num_outputs(), W,
+                                sim_.num_patterns());
+        e.hash = hash_keys(e.keys);
+        out.push_back(std::move(e));
+      }
+    }
+  };
+
+  std::size_t threads = resolve_num_threads(options.num_threads);
+  threads = std::min(threads, std::max<std::size_t>(num_sites, 1));
+  if (threads <= 1) {
+    build_range(fsim, 0, static_cast<netlist::SiteId>(num_sites), entries_);
+  } else {
+    // Contiguous site shards over pooled simulator clones, merged in shard
+    // order — the concatenation is exactly the sequential entry sequence.
+    // Warm the netlist's lazy topo/level caches before fan-out (they are
+    // unsynchronized; the clones all read the same netlist).
+    nl.topo_order();
+    nl.levels();
+    nl.depth();
+    sim::SimulatorPool pool(fsim);
+    Executor exec(threads);
+    const std::size_t num_chunks = std::min(num_sites, threads * 4);
+    const std::size_t chunk = (num_sites + num_chunks - 1) / num_chunks;
+    std::vector<std::vector<Entry>> shards((num_sites + chunk - 1) / chunk);
+    std::vector<std::future<void>> done;
+    done.reserve(shards.size());
+    for (std::size_t c = 0; c * chunk < num_sites; ++c) {
+      const auto lo = static_cast<netlist::SiteId>(c * chunk);
+      const auto hi = static_cast<netlist::SiteId>(
+          std::min(num_sites, (c + 1) * chunk));
+      done.push_back(exec.submit([&build_range, &pool, &shards, c, lo, hi] {
+        auto sim_ = pool.lease();
+        build_range(*sim_, lo, hi, shards[c]);
+      }));
+    }
+    for (auto& f : done) f.get();  // Propagates shard exceptions.
+    std::size_t total = 0;
+    for (const auto& sh : shards) total += sh.size();
+    entries_.reserve(total);
+    for (auto& sh : shards) {
+      for (Entry& e : sh) entries_.push_back(std::move(e));
     }
   }
+
+  by_hash_.reserve(entries_.size());
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    by_hash_[entries_[i].hash].push_back(i);
+  }
+}
+
+std::uint64_t FaultDictionary::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const Entry& e : entries_) {
+    mix(e.site);
+    mix(static_cast<std::uint64_t>(e.polarity));
+    mix(e.keys.size());
+    for (std::uint64_t k : e.keys) mix(k);
+  }
+  return h;
 }
 
 std::size_t FaultDictionary::signature_bytes() const {

@@ -28,6 +28,11 @@ struct FaultDictionaryOptions {
                                       sim::FaultPolarity::kSlowToFall};
   /// Report size cap for nearest-signature fallback.
   std::size_t max_candidates = 32;
+  /// Worker threads for the signature campaign (0 = hardware concurrency).
+  /// Sites are sharded into contiguous ranges over pooled simulator
+  /// clones and merged in site order, so the dictionary is bit-identical
+  /// at every thread count.
+  std::size_t num_threads = 0;
 };
 
 class FaultDictionary {
@@ -44,6 +49,11 @@ class FaultDictionary {
   /// Memory footprint of the stored signatures, in bytes (the paper-style
   /// cost figure for dictionary approaches).
   std::size_t signature_bytes() const;
+
+  /// Order-sensitive hash of every stored entry (site, polarity, keys) —
+  /// the whole dictionary in one comparable value. Used by the parallel-
+  /// determinism tests to assert sharded builds match sequential ones.
+  std::uint64_t fingerprint() const;
 
   /// Diagnoses an uncompacted failure log. Exact signature matches rank
   /// first (score 1); otherwise the highest-Jaccard signatures are

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 #include <map>
+#include <mutex>
 
 #include "common/rng.h"
 
@@ -235,6 +236,7 @@ std::unique_ptr<Design> build_design(const BenchmarkSpec& spec, Config config,
 
 Design& cached_design(const BenchmarkSpec& spec, Config config,
                       std::uint64_t partition_seed) {
+  static std::mutex cache_mu;
   static std::map<std::string, std::unique_ptr<Design>> cache;
   std::string key = spec.name;
   key += '/';
@@ -249,6 +251,10 @@ Design& cached_design(const BenchmarkSpec& spec, Config config,
   key += std::to_string(spec.max_topoff_patterns);
   key += '/';
   key += std::to_string(spec.seed);
+  // Held across the build: a design is only ever constructed once, and a
+  // second caller racing for the same key blocks until it exists. Designs
+  // are immutable after build, so returned references need no lock.
+  std::lock_guard<std::mutex> lock(cache_mu);
   auto [it, inserted] = cache.try_emplace(std::move(key));
   if (inserted) {
     it->second = build_design(spec, config, partition_seed);

@@ -104,8 +104,9 @@ std::unique_ptr<Design> build_design(const BenchmarkSpec& spec, Config config,
 /// top-off, good-machine simulation, heterogeneous-graph construction) is
 /// the expensive step of every experiment, and designs are immutable once
 /// built, so experiment drivers share them. Keyed by (spec identity,
-/// config, partition_seed). Not thread-safe (the experiment drivers are
-/// single-threaded).
+/// config, partition_seed). Thread-safe: lookups serialize on an internal
+/// mutex (the experiment drivers now fan datagen out over worker threads),
+/// and the returned reference stays valid for the process lifetime.
 Design& cached_design(const BenchmarkSpec& spec, Config config,
                       std::uint64_t partition_seed = 0);
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <future>
 
+#include "common/executor.h"
 #include "common/rng.h"
 #include "compress/compactor.h"
+#include "sim/sim_pool.h"
 
 namespace m3dfl::eval {
 
@@ -61,65 +64,116 @@ std::vector<InjectedFault> draw_faults(const Design& d, FaultMode mode,
   return faults;
 }
 
-}  // namespace
-
-Dataset generate_dataset(const Design& design, const DatagenOptions& opts) {
-  Dataset ds;
-  ds.samples.reserve(opts.num_samples);
-  Rng rng(opts.seed);
-  sim::FaultSimulator& fsim = *design.fsim;
-  const compress::ResponseCompactor compactor(design.scan);
-
-  std::vector<sim::Word> diff;
-  for (std::size_t i = 0; i < opts.num_samples; ++i) {
-    Sample sample;
-    bool ok = false;
-    for (int attempt = 0; attempt < opts.max_retries && !ok; ++attempt) {
-      sample.faults = draw_faults(design, opts.mode, rng);
-      if (sample.faults.empty()) break;
-      ok = fsim.observed_diff(sample.faults, diff);
-    }
-    if (!ok) continue;  // Pattern set cannot detect anything here; skip.
-
+/// Runs the Fig.-4 flow for sample `index` on its own RNG stream
+/// (derive_seed(opts.seed, index)), making the result a pure function of
+/// (design, opts, index) — the property every parallel shard and the
+/// sequential loop share. Undetected draws and fully aliased compacted
+/// responses both charge opts.max_retries; returns false when the budget
+/// is exhausted (or the mode has nothing to draw).
+bool generate_sample(const Design& design, const DatagenOptions& opts,
+                     sim::FaultSimulator& fsim,
+                     const compress::ResponseCompactor& compactor,
+                     std::vector<sim::Word>& diff, std::size_t index,
+                     Sample& sample) {
+  Rng rng(derive_seed(opts.seed, index));
+  bool ok = false;
+  for (int attempt = 0; attempt < opts.max_retries && !ok; ++attempt) {
+    sample.faults = draw_faults(design, opts.mode, rng);
+    if (sample.faults.empty()) return false;  // Nothing to draw (no MIVs).
+    if (!fsim.observed_diff(sample.faults, diff)) continue;  // Undetected.
     if (opts.compacted) {
       sample.log = compactor.failure_log_from_diff(diff, fsim.num_words(),
                                                    fsim.num_patterns());
       // XOR aliasing can cancel every miscompare; such a chip would pass
-      // the compacted test. Regenerate in that rare case.
-      if (sample.log.empty()) {
-        --i;
-        continue;
-      }
+      // the compacted test. Retry within the same budget — a
+      // pathologically aliasing design must not hang datagen.
+      if (sample.log.empty()) continue;
     } else {
       sample.log = sim::failure_log_from_diff(diff, design.nl.num_outputs(),
                                               fsim.num_patterns());
     }
+    ok = true;
+  }
+  if (!ok) return false;  // Retry budget exhausted; skip the sample.
 
-    sample.truth_sites.clear();
-    for (const InjectedFault& f : sample.faults) {
-      sample.truth_sites.push_back(f.site);
+  sample.truth_sites.clear();
+  for (const InjectedFault& f : sample.faults) {
+    sample.truth_sites.push_back(f.site);
+  }
+  sample.fault_tier = static_cast<int>(
+      design.sites.tier_of(sample.faults.front().site, design.nl));
+  sample.truth_is_miv =
+      design.sites.is_miv_site(sample.faults.front().site, design.nl);
+
+  // Back-trace and label the sub-graph.
+  sample.sub =
+      graphx::backtrace_subgraph(*design.graph, sample.log, design.scan);
+  sample.sub.label_tier = sample.fault_tier;
+  sample.sub.truth_in_nodes = std::any_of(
+      sample.truth_sites.begin(), sample.truth_sites.end(),
+      [&sample](SiteId s) { return sample.sub.local_of(s) >= 0; });
+  for (std::size_t k = 0; k < sample.sub.miv_local.size(); ++k) {
+    const SiteId site = sample.sub.nodes[sample.sub.miv_local[k]];
+    const bool faulty = std::find(sample.truth_sites.begin(),
+                                  sample.truth_sites.end(),
+                                  site) != sample.truth_sites.end();
+    sample.sub.miv_label[k] = faulty ? 1.0f : 0.0f;
+  }
+  return true;
+}
+
+}  // namespace
+
+Dataset generate_dataset(const Design& design, const DatagenOptions& opts) {
+  const std::size_t n = opts.num_samples;
+  const compress::ResponseCompactor compactor(design.scan);
+
+  // Samples land in index-order slots; skipped indices are compacted out
+  // at the end, so the merge is identical no matter which shard ran what.
+  std::vector<Sample> slots(n);
+  std::vector<std::uint8_t> present(n, 0);
+
+  auto run_range = [&](sim::FaultSimulator& fsim, std::size_t lo,
+                       std::size_t hi) {
+    std::vector<sim::Word> diff;
+    for (std::size_t i = lo; i < hi; ++i) {
+      present[i] = generate_sample(design, opts, fsim, compactor, diff, i,
+                                   slots[i]);
     }
-    sample.fault_tier = static_cast<int>(
-        design.sites.tier_of(sample.faults.front().site, design.nl));
-    sample.truth_is_miv =
-        design.sites.is_miv_site(sample.faults.front().site, design.nl);
+  };
 
-    // Back-trace and label the sub-graph.
-    sample.sub =
-        graphx::backtrace_subgraph(*design.graph, sample.log, design.scan);
-    sample.sub.label_tier = sample.fault_tier;
-    sample.sub.truth_in_nodes = std::any_of(
-        sample.truth_sites.begin(), sample.truth_sites.end(),
-        [&sample](SiteId s) { return sample.sub.local_of(s) >= 0; });
-    for (std::size_t k = 0; k < sample.sub.miv_local.size(); ++k) {
-      const SiteId site = sample.sub.nodes[sample.sub.miv_local[k]];
-      const bool faulty = std::find(sample.truth_sites.begin(),
-                                    sample.truth_sites.end(),
-                                    site) != sample.truth_sites.end();
-      sample.sub.miv_label[k] = faulty ? 1.0f : 0.0f;
+  std::size_t threads = resolve_num_threads(opts.num_threads);
+  threads = std::min(threads, std::max<std::size_t>(n, 1));
+  if (threads <= 1) {
+    run_range(*design.fsim, 0, n);
+  } else {
+    // Contiguous index shards over pooled simulator clones. The design's
+    // shared simulator is never touched concurrently. The netlist's lazy
+    // topo/level caches are unsynchronized, so warm them before fan-out
+    // (same move as serve::DiagnosisService::register_design).
+    design.nl.topo_order();
+    design.nl.levels();
+    design.nl.depth();
+    sim::SimulatorPool pool(*design.fsim);
+    Executor exec(threads);
+    const std::size_t num_chunks = std::min(n, threads * 4);
+    const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+    std::vector<std::future<void>> done;
+    done.reserve(num_chunks);
+    for (std::size_t lo = 0; lo < n; lo += chunk) {
+      const std::size_t hi = std::min(n, lo + chunk);
+      done.push_back(exec.submit([&run_range, &pool, lo, hi] {
+        auto sim = pool.lease();
+        run_range(*sim, lo, hi);
+      }));
     }
+    for (auto& f : done) f.get();  // Propagates shard exceptions.
+  }
 
-    ds.samples.push_back(std::move(sample));
+  Dataset ds;
+  ds.samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (present[i]) ds.samples.push_back(std::move(slots[i]));
   }
   return ds;
 }

@@ -41,12 +41,24 @@ struct DatagenOptions {
   bool compacted = false;
   std::uint64_t seed = 1;
   /// Retries per sample until the injected fault is detected by the
-  /// pattern set (undetected faults produce no failure log).
+  /// pattern set AND (in compacted mode) survives XOR aliasing. Undetected
+  /// draws and fully aliased compacted responses both charge this budget;
+  /// a sample whose budget is exhausted is skipped, never retried forever.
   int max_retries = 64;
+  /// Worker threads for the sample shards (0 = hardware concurrency).
+  /// The output is bit-identical at every thread count — see the RNG
+  /// contract below.
+  std::size_t num_threads = 0;
 };
 
 /// Runs the Fig.-4 flow on a built design: inject -> simulate -> failure
 /// log -> back-trace -> labeled sub-graph.
+///
+/// Determinism contract: sample i draws every random decision from its own
+/// stream seeded with derive_seed(opts.seed, i). Samples are therefore
+/// independent of each other, of num_samples (a longer run extends, never
+/// perturbs, a shorter one), and of the thread count — the parallel shards
+/// produce a Dataset bit-identical to the sequential flow.
 Dataset generate_dataset(const Design& design, const DatagenOptions& opts);
 
 /// Labeled views used by the GNN trainers.

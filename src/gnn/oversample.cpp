@@ -1,5 +1,6 @@
 #include "gnn/oversample.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -72,7 +73,14 @@ std::vector<SubGraph> oversample_with_buffers(
     if (out.size() >= target) break;
     out.push_back(*g);
   }
-  // Then synthetic variants with 1..k consecutive buffers.
+  // Then synthetic variants with 1..k consecutive buffers. Empty graphs
+  // cannot host a buffer, so if the minority class consists solely of
+  // empty graphs no variant can ever be synthesized — return what exists
+  // rather than spinning on an unreachable target.
+  const bool any_nonempty =
+      std::any_of(minority.begin(), minority.end(),
+                  [](const SubGraph* g) { return g->num_nodes() > 0; });
+  if (!any_nonempty) return out;
   std::size_t k = 1;
   while (out.size() < target) {
     for (const SubGraph* g : minority) {

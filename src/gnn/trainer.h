@@ -28,6 +28,12 @@ struct TrainOptions {
   /// `patience` consecutive epochs (0 disables).
   double min_improvement = 0.0;
   int patience = 0;
+  /// Worker threads for intra-batch example parallelism in
+  /// train_graph_classifier (0 = hardware concurrency). Each batch slot
+  /// computes its example's gradients in a private model clone; the clones
+  /// are merged into the master in slot order before the Adam step, so the
+  /// trained weights are bit-identical at every thread count.
+  std::size_t num_threads = 0;
 };
 
 struct TrainStats {

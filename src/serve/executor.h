@@ -1,71 +1,15 @@
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <functional>
-#include <future>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <type_traits>
-#include <vector>
+// The thread-pool executor began life inside the serving subsystem; it is
+// now the library-wide concurrency primitive (the offline pipeline —
+// dataset generation, dictionary campaigns, parallel training — shares
+// it), so the implementation lives in common/executor.h. This header stays
+// as a forwarding alias for serve users.
+
+#include "common/executor.h"
 
 namespace m3dfl::serve {
 
-/// Fixed-size thread pool with a FIFO task queue — the library's reusable
-/// concurrency primitive. The diagnosis service fans per-request inference
-/// out across it; later users (parallel fault simulation, training) submit
-/// plain callables the same way.
-///
-/// Semantics:
-///  * submit() returns a std::future carrying the callable's result (or its
-///    exception — a throwing task never takes down a worker);
-///  * post() is the fire-and-forget variant (no future allocation);
-///  * tasks run in submission order, up to num_threads() at a time;
-///  * the destructor drains the queue: every task already submitted runs to
-///    completion before the workers join.
-class Executor {
- public:
-  explicit Executor(std::size_t num_threads);
-  ~Executor();
-
-  Executor(const Executor&) = delete;
-  Executor& operator=(const Executor&) = delete;
-
-  template <typename F>
-  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
-    using R = std::invoke_result_t<std::decay_t<F>>;
-    // std::function requires copyable targets; a packaged_task is move-only,
-    // so it rides in a shared_ptr.
-    auto task =
-        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
-    std::future<R> future = task->get_future();
-    post([task] { (*task)(); });
-    return future;
-  }
-
-  /// Enqueues a task whose result (and exceptions) nobody waits for.
-  void post(std::function<void()> fn);
-
-  std::size_t num_threads() const { return threads_.size(); }
-
-  /// Tasks enqueued but not yet started.
-  std::size_t queued() const;
-
-  /// Blocks until the queue is empty and every worker is idle.
-  void wait_idle();
-
- private:
-  void worker_loop();
-
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< Signals workers: task or stop.
-  std::condition_variable idle_cv_;   ///< Signals wait_idle().
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;  ///< Workers currently running a task.
-  bool stop_ = false;
-  std::vector<std::thread> threads_;
-};
+using m3dfl::Executor;
 
 }  // namespace m3dfl::serve

@@ -38,12 +38,10 @@ struct DiagnosisService::WorkerContext {
   std::unique_ptr<diag::Diagnoser> diagnoser;
 
   explicit WorkerContext(const eval::Design& d) {
-    fsim = std::make_unique<sim::FaultSimulator>(d.nl, d.sites);
-    if (d.spec.enhanced_scan) {
-      fsim->bind(d.patterns, d.patterns_v2);
-    } else {
-      fsim->bind(d.patterns);
-    }
+    // Clone the design's already-bound simulator instead of re-running the
+    // good-machine simulation: registration and pool growth become a
+    // memcpy of the good-machine state.
+    fsim = d.fsim->clone();
     // Mirrors Design::make_diagnoser(false) but binds a private simulator,
     // which is what makes concurrent diagnosis of one design legal.
     diag::DiagnoserOptions opts = d.spec.diag;
@@ -81,8 +79,8 @@ void DiagnosisService::register_design(const eval::Design& design) {
 
   auto state = std::make_unique<DesignState>();
   state->design = &design;
-  // First context built eagerly: its bind() runs the good-machine
-  // simulation once, so the first request pays only diagnosis.
+  // First context built eagerly (a clone of the design's bound simulator),
+  // so the first request pays only diagnosis.
   state->idle.push_back(std::make_unique<WorkerContext>(design));
   std::lock_guard<std::mutex> lock(designs_mu_);
   designs_.emplace(&design, std::move(state));

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -88,7 +89,20 @@ class FaultSimulator {
   /// pattern p launches the matching transition through the fault site.
   std::vector<Word> activation_mask(const InjectedFault& fault) const;
 
+  /// Deep copy of this (bound) simulator, sharing only the immutable
+  /// netlist / site tables. The good-machine results are copied, not
+  /// re-simulated, so cloning costs a memcpy instead of a full two-vector
+  /// simulation — the facility behind SimulatorPool and every parallel
+  /// pipeline stage. observed_diff() restores its workspace on return, so
+  /// a clone taken from a simulator at rest behaves identically to the
+  /// original.
+  std::unique_ptr<FaultSimulator> clone() const {
+    return std::unique_ptr<FaultSimulator>(new FaultSimulator(*this));
+  }
+
  private:
+  FaultSimulator(const FaultSimulator&) = default;
+
   void ensure_bound() const;
   void finish_bind(const PatternSet& v1_inputs);
 

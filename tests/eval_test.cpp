@@ -113,6 +113,42 @@ TEST(Datagen, CompactedLogsAreCompacted) {
   }
 }
 
+// Regression: a fully XOR-aliased compacted response used to retry
+// unboundedly (`--i; continue;`). Aliases now charge max_retries like
+// undetected draws — even a budget of 1 must terminate and only produce
+// non-empty compacted logs.
+TEST(Datagen, AliasRetriesChargeTheBudgetAndTerminate) {
+  const Design& d = cached_design(tiny_spec(), Config::kSyn1);
+  DatagenOptions o;
+  o.compacted = true;
+  o.num_samples = 8;
+  o.seed = 558;
+  o.max_retries = 1;
+  const Dataset ds = generate_dataset(d, o);
+  EXPECT_LE(ds.size(), o.num_samples);
+  for (const Sample& s : ds.samples) {
+    EXPECT_TRUE(s.log.compacted);
+    EXPECT_FALSE(s.log.cfails.empty());
+  }
+}
+
+// Sample i draws from derive_seed(seed, i), so a longer run extends a
+// shorter one instead of reshuffling it.
+TEST(Datagen, PerSampleStreamsMakePrefixesStable) {
+  const Design& d = cached_design(tiny_spec(), Config::kSyn1);
+  DatagenOptions o;
+  o.num_samples = 20;
+  o.seed = 559;
+  const Dataset big = generate_dataset(d, o);
+  o.num_samples = 10;
+  const Dataset small = generate_dataset(d, o);
+  ASSERT_LE(small.size(), big.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small.samples[i].truth_sites, big.samples[i].truth_sites);
+    EXPECT_EQ(small.samples[i].log.fails, big.samples[i].log.fails);
+  }
+}
+
 TEST(Datagen, DeterministicUnderSeed) {
   const Design& d = cached_design(tiny_spec(), Config::kSyn1);
   DatagenOptions o;

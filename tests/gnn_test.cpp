@@ -344,6 +344,16 @@ TEST(Oversample, DummyBufferPreservesStructure) {
   }
 }
 
+// Regression: when every minority graph is empty no buffer variant can
+// ever be synthesized; the loop used to spin forever chasing the target.
+TEST(Oversample, AllEmptyMinorityTerminates) {
+  graphx::SubGraph empty1, empty2;
+  std::vector<const graphx::SubGraph*> minority{&empty1, &empty2};
+  const auto out = oversample_with_buffers(minority, 9, 15);
+  EXPECT_EQ(out.size(), 2u);
+  for (const auto& g : out) EXPECT_EQ(g.num_nodes(), 0u);
+}
+
 TEST(Oversample, ReachesTargetCount) {
   Rng rng(14);
   std::vector<graphx::SubGraph> graphs{path_graph(4, rng), path_graph(5, rng)};

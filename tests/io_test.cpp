@@ -154,6 +154,24 @@ TEST(FailureLogText, RejectsBadHeaderAndBody) {
       sim::failure_log_from_text("m3dfl-faillog v1 compacted\nfail 1 2").ok);
 }
 
+// Regression: channel/cycle used to be silently narrowed to uint16_t, so a
+// 65536 in the text wrapped to 0 and diagnosis chased the wrong compactor
+// position. Out-of-range entries must be a parse error, not a wrap.
+TEST(FailureLogText, RejectsCompactedEntriesBeyondUint16) {
+  EXPECT_FALSE(sim::failure_log_from_text(
+                   "m3dfl-faillog v1 compacted\nfail 3 65536 0")
+                   .ok);
+  EXPECT_FALSE(sim::failure_log_from_text(
+                   "m3dfl-faillog v1 compacted\nfail 3 0 70000")
+                   .ok);
+  const auto max_ok = sim::failure_log_from_text(
+      "m3dfl-faillog v1 compacted\nfail 3 65535 65535");
+  ASSERT_TRUE(max_ok.ok) << max_ok.message;
+  ASSERT_EQ(max_ok.log.cfails.size(), 1u);
+  EXPECT_EQ(max_ok.log.cfails[0].channel, 65535);
+  EXPECT_EQ(max_ok.log.cfails[0].cycle, 65535);
+}
+
 // --- Model serialization -----------------------------------------------------------
 
 TEST(ModelSerialize, GraphClassifierRoundTripIsBitExact) {
