@@ -19,6 +19,8 @@
 #include "diagnosis/dictionary.h"
 #include "eval/datagen.h"
 #include "gnn/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -33,6 +35,9 @@ struct Run {
   std::string name;
   std::size_t items = 0;
   double wall_seconds = 0.0;
+  // Tracer-clock window of the run, for attributing spans to it.
+  std::uint64_t t0_ns = 0;
+  std::uint64_t t1_ns = 0;
 
   double per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(items) / wall_seconds
@@ -40,14 +45,35 @@ struct Run {
   }
 };
 
-void json_run(std::ofstream& os, const Run& r, bool last) {
+/// Spans whose start falls inside the run's window, aggregated by name —
+/// the per-stage breakdown the obs layer adds to each benchmark record.
+std::vector<obs::SpanSummary> stage_breakdown(
+    const std::vector<obs::SpanEvent>& events, const Run& r) {
+  std::vector<obs::SpanEvent> window;
+  for (const obs::SpanEvent& e : events) {
+    if (e.start_ns >= r.t0_ns && e.start_ns < r.t1_ns) window.push_back(e);
+  }
+  return obs::summarize_spans(window);
+}
+
+void json_run(std::ofstream& os, const Run& r,
+              const std::vector<obs::SpanEvent>& events, bool last) {
   os << "    {\n"
      << "      \"name\": \"" << r.name << "\",\n"
      << "      \"run_type\": \"iteration\",\n"
      << "      \"iterations\": " << r.items << ",\n"
      << "      \"real_time\": " << r.wall_seconds * 1e3 << ",\n"
      << "      \"time_unit\": \"ms\",\n"
-     << "      \"items_per_second\": " << r.per_second() << "\n"
+     << "      \"items_per_second\": " << r.per_second() << ",\n"
+     << "      \"stages\": [";
+  const std::vector<obs::SpanSummary> stages = stage_breakdown(events, r);
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    os << (i ? ", " : "") << "{\"name\": \"" << stages[i].name
+       << "\", \"count\": " << stages[i].count
+       << ", \"total_ms\": " << stages[i].total_ms
+       << ", \"threads\": " << stages[i].threads << "}";
+  }
+  os << "]\n"
      << "    }" << (last ? "\n" : ",\n");
 }
 
@@ -83,6 +109,11 @@ int main() {
   const std::size_t hw = resolve_num_threads(0);
   std::printf("hardware threads: %zu\n\n", hw);
 
+  // Trace the whole bench; each run keeps its tracer-clock window so its
+  // spans can be attributed back to it in the JSON record.
+  obs::MetricsRegistry::instance().reset();
+  obs::Tracer::instance().set_enabled(true);
+
   const eval::BenchmarkSpec spec = eval::tiny_spec();
   const eval::Design& design = eval::cached_design(spec, eval::Config::kSyn1);
 
@@ -94,16 +125,20 @@ int main() {
   dopts.seed = 2026;
   dopts.num_threads = 1;
   Run dg_seq{"datagen/1thread", num_samples, 0.0};
+  dg_seq.t0_ns = obs::Tracer::now_ns();
   auto t0 = Clock::now();
   const eval::Dataset ds_seq = eval::generate_dataset(design, dopts);
   dg_seq.wall_seconds = seconds_since(t0);
+  dg_seq.t1_ns = obs::Tracer::now_ns();
   runs.push_back(dg_seq);
 
   dopts.num_threads = 0;  // hardware concurrency
   Run dg_par{"datagen/" + std::to_string(hw) + "threads", num_samples, 0.0};
+  dg_par.t0_ns = obs::Tracer::now_ns();
   t0 = Clock::now();
   const eval::Dataset ds_par = eval::generate_dataset(design, dopts);
   dg_par.wall_seconds = seconds_since(t0);
+  dg_par.t1_ns = obs::Tracer::now_ns();
   runs.push_back(dg_par);
 
   if (!same_dataset(ds_seq, ds_par)) {
@@ -115,19 +150,23 @@ int main() {
   diag::FaultDictionaryOptions fopts;
   fopts.num_threads = 1;
   Run di_seq{"dictionary/1thread", design.sites.size(), 0.0};
+  di_seq.t0_ns = obs::Tracer::now_ns();
   t0 = Clock::now();
   const diag::FaultDictionary dict_seq(design.nl, design.sites, *design.fsim,
                                        fopts);
   di_seq.wall_seconds = seconds_since(t0);
+  di_seq.t1_ns = obs::Tracer::now_ns();
   runs.push_back(di_seq);
 
   fopts.num_threads = 0;
   Run di_par{"dictionary/" + std::to_string(hw) + "threads",
              design.sites.size(), 0.0};
+  di_par.t0_ns = obs::Tracer::now_ns();
   t0 = Clock::now();
   const diag::FaultDictionary dict_par(design.nl, design.sites, *design.fsim,
                                        fopts);
   di_par.wall_seconds = seconds_since(t0);
+  di_par.t1_ns = obs::Tracer::now_ns();
   runs.push_back(di_par);
 
   if (dict_seq.fingerprint() != dict_par.fingerprint()) {
@@ -142,19 +181,23 @@ int main() {
   topts.num_threads = 1;
   gnn::GraphClassifier m_seq(13, {16, 16}, 2, 7);
   Run tr_seq{"train/1thread", labeled.size(), 0.0};
+  tr_seq.t0_ns = obs::Tracer::now_ns();
   t0 = Clock::now();
   const gnn::TrainStats s_seq = gnn::train_graph_classifier(m_seq, labeled,
                                                             topts);
   tr_seq.wall_seconds = seconds_since(t0);
+  tr_seq.t1_ns = obs::Tracer::now_ns();
   runs.push_back(tr_seq);
 
   topts.num_threads = 0;
   gnn::GraphClassifier m_par(13, {16, 16}, 2, 7);
   Run tr_par{"train/" + std::to_string(hw) + "threads", labeled.size(), 0.0};
+  tr_par.t0_ns = obs::Tracer::now_ns();
   t0 = Clock::now();
   const gnn::TrainStats s_par = gnn::train_graph_classifier(m_par, labeled,
                                                             topts);
   tr_par.wall_seconds = seconds_since(t0);
+  tr_par.t1_ns = obs::Tracer::now_ns();
   runs.push_back(tr_par);
 
   if (s_seq.epoch_loss != s_par.epoch_loss) {
@@ -181,6 +224,9 @@ int main() {
                                : 0.0);
   std::puts("(speedups are per-machine; a 1-core runner reports ~1.0x)");
 
+  obs::Tracer::instance().set_enabled(false);
+  const std::vector<obs::SpanEvent> events = obs::Tracer::instance().snapshot();
+
   std::ofstream os("BENCH_datagen_throughput.json");
   os << "{\n  \"context\": {\n"
      << "    \"executable\": \"bench_datagen_throughput\",\n"
@@ -188,9 +234,11 @@ int main() {
      << "    \"hardware_threads\": " << hw << "\n  },\n"
      << "  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
-    json_run(os, runs[i], i + 1 == runs.size());
+    json_run(os, runs[i], events, i + 1 == runs.size());
   }
-  os << "  ]\n}\n";
+  os << "  ],\n"
+     << "  \"metrics\": " << obs::MetricsRegistry::instance().to_json()
+     << "\n}\n";
   std::puts("\nwrote BENCH_datagen_throughput.json");
   return 0;
 }

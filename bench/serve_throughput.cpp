@@ -11,10 +11,13 @@
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "bench/table_common.h"
 #include "eval/datagen.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/service.h"
 
@@ -77,6 +80,9 @@ int main() {
   std::puts("(same failure logs, same trained framework; served results are");
   std::puts(" bit-identical to sequential — tests/serve_test.cpp asserts it)\n");
 
+  obs::MetricsRegistry::instance().reset();
+  obs::Tracer::instance().set_enabled(true);
+
   const eval::RunScale scale = bench::bench_scale();
   const bool fast = std::getenv("M3DFL_FAST") != nullptr;
   const std::size_t num_logs = fast ? 8 : 24;
@@ -112,6 +118,7 @@ int main() {
   // Served: all requests in flight at once through the batched service.
   Run served;
   served.name = "served (4 threads, batched)";
+  std::string service_metrics_json;
   {
     serve::ModelRegistry registry;
     registry.publish("default", fw, "bench");
@@ -136,9 +143,14 @@ int main() {
     served.wall_seconds = seconds_since(t0);
 
     const serve::MetricsSnapshot m = service.metrics().snapshot();
-    std::printf("service: %llu batches (mean %.2f items), cache hit rate %.1f%%\n\n",
+    std::printf("service: %llu batches (mean %.2f items), cache hit rate %.1f%%\n",
                 static_cast<unsigned long long>(m.batches), m.mean_batch,
                 m.cache_hit_rate * 100.0);
+    std::printf("flush reasons: %llu size, %llu deadline, %llu shutdown\n\n",
+                static_cast<unsigned long long>(m.flush_size),
+                static_cast<unsigned long long>(m.flush_deadline),
+                static_cast<unsigned long long>(m.flush_shutdown));
+    service_metrics_json = service.metrics().to_json();
   }
 
   TablePrinter t;
@@ -152,6 +164,8 @@ int main() {
   std::puts("(served per-request latency includes micro-batching wait and");
   std::puts(" queueing — the trade the batcher makes for throughput)");
 
+  obs::Tracer::instance().set_enabled(false);
+
   std::ofstream os("BENCH_serve_throughput.json");
   os << "{\n  \"context\": {\n"
      << "    \"executable\": \"bench_serve_throughput\",\n"
@@ -160,7 +174,10 @@ int main() {
      << "  \"benchmarks\": [\n";
   json_run(os, seq, false);
   json_run(os, served, true);
-  os << "  ]\n}\n";
+  os << "  ],\n"
+     << "  \"service_metrics\": " << service_metrics_json << ",\n"
+     << "  \"stage_metrics\": " << obs::MetricsRegistry::instance().to_json()
+     << "\n}\n";
   std::puts("\nwrote BENCH_serve_throughput.json");
   return 0;
 }

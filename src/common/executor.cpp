@@ -1,10 +1,15 @@
 #include "common/executor.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace m3dfl {
 
-Executor::Executor(std::size_t num_threads) {
+Executor::Executor(std::size_t num_threads, const char* label)
+    : label_(label), created_(std::chrono::steady_clock::now()) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
@@ -19,12 +24,25 @@ Executor::~Executor() {
   }
   work_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+  if (label_ != nullptr) {
+    // Workers are joined, so the counters are final. Labeled pools publish
+    // their lifetime stats; gauges are last-writer-wins, so a sequence of
+    // same-labeled pools reports the most recent run.
+    const Stats s = stats();
+    auto& reg = obs::MetricsRegistry::instance();
+    const std::string prefix = std::string("executor.") + label_;
+    reg.counter(prefix + ".tasks").add(s.tasks);
+    reg.gauge(prefix + ".utilization").set(s.utilization);
+    reg.gauge(prefix + ".max_queued")
+        .set(static_cast<double>(s.max_queued));
+  }
 }
 
 void Executor::post(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(fn));
+    max_queued_ = std::max(max_queued_, queue_.size());
   }
   work_cv_.notify_one();
 }
@@ -37,6 +55,21 @@ std::size_t Executor::queued() const {
 void Executor::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+Executor::Stats Executor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.tasks = tasks_done_;
+  s.busy_seconds = busy_seconds_;
+  s.max_queued = max_queued_;
+  s.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - created_)
+                       .count();
+  const double capacity =
+      s.wall_seconds * static_cast<double>(threads_.size());
+  s.utilization = capacity > 0.0 ? s.busy_seconds / capacity : 0.0;
+  return s;
 }
 
 void Executor::worker_loop() {
@@ -53,9 +86,18 @@ void Executor::worker_loop() {
     queue_.pop_front();
     ++active_;
     lock.unlock();
-    task();  // packaged_task captures exceptions into the future.
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      M3DFL_OBS_SPAN(span, "executor.task");
+      task();  // packaged_task captures exceptions into the future.
+    }
+    const double busy = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
     lock.lock();
     --active_;
+    ++tasks_done_;
+    busy_seconds_ += busy;
     if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
   }
 }

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -28,7 +30,22 @@ namespace m3dfl {
 ///    completion before the workers join.
 class Executor {
  public:
-  explicit Executor(std::size_t num_threads);
+  /// Per-pool utilization accounting, maintained under the queue mutex (one
+  /// extra clock pair per task — noise against shard-sized tasks).
+  struct Stats {
+    std::uint64_t tasks = 0;      ///< Tasks completed.
+    double busy_seconds = 0.0;    ///< Summed task run time across workers.
+    std::size_t max_queued = 0;   ///< High-water mark of the task queue.
+    double wall_seconds = 0.0;    ///< Since construction.
+    /// busy / (wall * workers): 1.0 means every worker ran tasks the whole
+    /// time; low values mean the pool sat idle or starved on the queue.
+    double utilization = 0.0;
+  };
+
+  /// `label`, when given, must outlive the executor (a string literal); the
+  /// destructor then publishes the pool's stats to the obs MetricsRegistry
+  /// as executor.<label>.{tasks,utilization,max_queued}.
+  explicit Executor(std::size_t num_threads, const char* label = nullptr);
   ~Executor();
 
   Executor(const Executor&) = delete;
@@ -57,6 +74,9 @@ class Executor {
   /// Blocks until the queue is empty and every worker is idle.
   void wait_idle();
 
+  /// Current utilization accounting (wall clock measured at the call).
+  Stats stats() const;
+
  private:
   void worker_loop();
 
@@ -66,6 +86,11 @@ class Executor {
   std::deque<std::function<void()>> queue_;
   std::size_t active_ = 0;  ///< Workers currently running a task.
   bool stop_ = false;
+  const char* label_ = nullptr;
+  std::chrono::steady_clock::time_point created_;
+  std::uint64_t tasks_done_ = 0;
+  double busy_seconds_ = 0.0;
+  std::size_t max_queued_ = 0;
   std::vector<std::thread> threads_;
 };
 

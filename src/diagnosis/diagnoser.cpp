@@ -5,6 +5,9 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace m3dfl::diag {
 
 using netlist::GateId;
@@ -445,16 +448,41 @@ DiagnosisReport Diagnoser::assemble_multifault(std::vector<Candidate> scored,
 
 DiagnosisReport Diagnoser::diagnose(const FailureLog& log) {
   assert(fsim_ && "bind() a FaultSimulator before diagnosing");
-  const auto start = std::chrono::steady_clock::now();
+  using clock = std::chrono::steady_clock;
+  auto& reg = obs::MetricsRegistry::instance();
+  static obs::LatencyHistogram& bt_hist = reg.histogram("diag.backtrace");
+  static obs::LatencyHistogram& score_hist = reg.histogram("diag.score");
+  static obs::LatencyHistogram& rank_hist = reg.histogram("diag.rank");
+  auto seconds_since = [](clock::time_point t0) {
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+
+  const auto start = clock::now();
   DiagnosisReport report;
   if (!log.empty()) {
-    const std::vector<GateId> suspects = collect_suspect_gates(log);
-    std::vector<Candidate> scored = score_candidates(log, suspects);
-    report = opts_.multifault ? assemble_multifault(std::move(scored), log)
-                              : assemble_single(std::move(scored));
+    std::vector<GateId> suspects;
+    {
+      M3DFL_OBS_SPAN(span, "diag.backtrace");
+      const auto t0 = clock::now();
+      suspects = collect_suspect_gates(log);
+      bt_hist.record(seconds_since(t0));
+    }
+    std::vector<Candidate> scored;
+    {
+      M3DFL_OBS_SPAN(span, "diag.score");
+      const auto t0 = clock::now();
+      scored = score_candidates(log, suspects);
+      score_hist.record(seconds_since(t0));
+    }
+    {
+      M3DFL_OBS_SPAN(span, "diag.rank");
+      const auto t0 = clock::now();
+      report = opts_.multifault ? assemble_multifault(std::move(scored), log)
+                                : assemble_single(std::move(scored));
+      rank_hist.record(seconds_since(t0));
+    }
   }
-  const auto end = std::chrono::steady_clock::now();
-  report.seconds = std::chrono::duration<double>(end - start).count();
+  report.seconds = std::chrono::duration<double>(clock::now() - start).count();
   return report;
 }
 

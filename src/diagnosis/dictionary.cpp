@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <future>
 
 #include "common/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/sim_pool.h"
 
 namespace m3dfl::diag {
@@ -53,13 +56,22 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
                                  sim::FaultSimulator& fsim,
                                  FaultDictionaryOptions options)
     : nl_(&nl), sites_(&sites) {
+  M3DFL_OBS_SPAN(build_span, "dictionary.build");
   const std::size_t W = fsim.num_words();
   const std::size_t num_sites = sites.size();
+
+  auto& reg = obs::MetricsRegistry::instance();
+  static obs::LatencyHistogram& shard_hist = reg.histogram("dictionary.shard");
+  static obs::Counter& sim_calls_ctr = reg.counter("sim.observed_diff_calls");
+  static obs::Counter& sim_det_ctr = reg.counter("sim.detected");
 
   // Simulates [lo, hi) sites into `out`, preserving the site-then-polarity
   // entry order the sequential campaign produces.
   auto build_range = [&](sim::FaultSimulator& sim_, netlist::SiteId lo,
                          netlist::SiteId hi, std::vector<Entry>& out) {
+    M3DFL_OBS_SPAN(shard_span, "dictionary.shard");
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::FaultSimulator::SimStats before = sim_.sim_stats();
     std::vector<sim::Word> diff;
     for (netlist::SiteId s = lo; s < hi; ++s) {
       for (sim::FaultPolarity pol : options.polarities) {
@@ -73,6 +85,12 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
         out.push_back(std::move(e));
       }
     }
+    const sim::FaultSimulator::SimStats after = sim_.sim_stats();
+    sim_calls_ctr.add(after.observed_diff_calls - before.observed_diff_calls);
+    sim_det_ctr.add(after.detected - before.detected);
+    shard_hist.record(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
   };
 
   std::size_t threads = resolve_num_threads(options.num_threads);
@@ -88,7 +106,7 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
     nl.levels();
     nl.depth();
     sim::SimulatorPool pool(fsim);
-    Executor exec(threads);
+    Executor exec(threads, "dictionary");
     const std::size_t num_chunks = std::min(num_sites, threads * 4);
     const std::size_t chunk = (num_sites + num_chunks - 1) / num_chunks;
     std::vector<std::vector<Entry>> shards((num_sites + chunk - 1) / chunk);
@@ -111,6 +129,8 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
       for (Entry& e : sh) entries_.push_back(std::move(e));
     }
   }
+
+  reg.counter("dictionary.entries").add(entries_.size());
 
   by_hash_.reserve(entries_.size());
   for (std::uint32_t i = 0; i < entries_.size(); ++i) {

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace m3dfl::eval {
 
@@ -153,6 +154,7 @@ diag::Diagnoser Design::make_diagnoser(bool multifault) const {
 
 std::unique_ptr<Design> build_design(const BenchmarkSpec& spec, Config config,
                                      std::uint64_t partition_seed) {
+  M3DFL_OBS_SPAN(span, "design.build");
   auto d = std::make_unique<Design>();
   d->spec = spec;
   d->config = config;

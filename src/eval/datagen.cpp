@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <future>
 
 #include "common/executor.h"
 #include "common/rng.h"
 #include "compress/compactor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/sim_pool.h"
 
 namespace m3dfl::eval {
@@ -125,6 +128,7 @@ bool generate_sample(const Design& design, const DatagenOptions& opts,
 }  // namespace
 
 Dataset generate_dataset(const Design& design, const DatagenOptions& opts) {
+  M3DFL_OBS_SPAN(gen_span, "datagen.generate");
   const std::size_t n = opts.num_samples;
   const compress::ResponseCompactor compactor(design.scan);
 
@@ -133,13 +137,33 @@ Dataset generate_dataset(const Design& design, const DatagenOptions& opts) {
   std::vector<Sample> slots(n);
   std::vector<std::uint8_t> present(n, 0);
 
+  // Registry entries are process-lifetime stable, so hot loops may cache
+  // references once instead of paying a map lookup per sample.
+  auto& reg = obs::MetricsRegistry::instance();
+  static obs::LatencyHistogram& sample_hist = reg.histogram("datagen.sample");
+  static obs::Counter& samples_ctr = reg.counter("datagen.samples");
+  static obs::Counter& skipped_ctr = reg.counter("datagen.skipped");
+  static obs::Counter& sim_calls_ctr = reg.counter("sim.observed_diff_calls");
+  static obs::Counter& sim_det_ctr = reg.counter("sim.detected");
+
   auto run_range = [&](sim::FaultSimulator& fsim, std::size_t lo,
                        std::size_t hi) {
+    M3DFL_OBS_SPAN(shard_span, "datagen.shard");
+    // Clones inherit the source simulator's counters, so flush the delta.
+    const sim::FaultSimulator::SimStats before = fsim.sim_stats();
     std::vector<sim::Word> diff;
     for (std::size_t i = lo; i < hi; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
       present[i] = generate_sample(design, opts, fsim, compactor, diff, i,
                                    slots[i]);
+      sample_hist.record(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+      (present[i] ? samples_ctr : skipped_ctr).add(1);
     }
+    const sim::FaultSimulator::SimStats after = fsim.sim_stats();
+    sim_calls_ctr.add(after.observed_diff_calls - before.observed_diff_calls);
+    sim_det_ctr.add(after.detected - before.detected);
   };
 
   std::size_t threads = resolve_num_threads(opts.num_threads);
@@ -155,7 +179,7 @@ Dataset generate_dataset(const Design& design, const DatagenOptions& opts) {
     design.nl.levels();
     design.nl.depth();
     sim::SimulatorPool pool(*design.fsim);
-    Executor exec(threads);
+    Executor exec(threads, "datagen");
     const std::size_t num_chunks = std::min(n, threads * 4);
     const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
     std::vector<std::future<void>> done;

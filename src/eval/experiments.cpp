@@ -10,6 +10,7 @@
 #include "core/pr_curve.h"
 #include "gnn/explain.h"
 #include "gnn/pca.h"
+#include "obs/trace.h"
 
 namespace m3dfl::eval {
 
@@ -66,6 +67,7 @@ TrainingBundle build_training_bundle(const BenchmarkSpec& spec,
   DatagenOptions o;
   o.compacted = compacted;
   o.mode = FaultMode::kSingleSite;
+  o.num_threads = scale.num_threads;
   o.num_samples = scale.train_single;
   o.seed = derive_seed(spec.seed, 1001 + scale.seed);
   b.ds_syn1 = generate_dataset(*b.syn1, o);
@@ -87,8 +89,20 @@ TrainingBundle build_training_bundle(const BenchmarkSpec& spec,
 
 TrainedFramework train_framework(const TrainingBundle& bundle,
                                  const RunScale& scale) {
+  M3DFL_OBS_SPAN(fw_span, "train.framework");
   TrainedFramework fw;
   const auto t0 = std::chrono::steady_clock::now();
+
+  // Tags RunScale's model-agnostic hook with which model is training.
+  auto tagged = [&scale](const char* model) {
+    std::function<void(const gnn::EpochStats&)> fn;
+    if (scale.on_epoch) {
+      fn = [&scale, model](const gnn::EpochStats& es) {
+        scale.on_epoch(model, es);
+      };
+    }
+    return fn;
+  };
 
   // --- Tier-predictor -------------------------------------------------------
   const std::vector<gnn::LabeledGraph> tier_data = bundle.tier_training();
@@ -96,7 +110,12 @@ TrainedFramework train_framework(const TrainingBundle& bundle,
   topts.epochs = scale.tier_epochs;
   topts.lr = 5e-3;
   topts.seed = derive_seed(scale.seed, 7001);
-  fw.tier.train(tier_data, topts);
+  topts.num_threads = scale.num_threads;
+  topts.on_epoch = tagged("tier");
+  {
+    M3DFL_OBS_SPAN(span, "train.tier");
+    fw.tier.train(tier_data, topts);
+  }
   fw.train_tier_accuracy = fw.tier.accuracy(tier_data);
 
   // --- T_p from the training PR curve (precision >= 99%) -------------------
@@ -117,7 +136,12 @@ TrainedFramework train_framework(const TrainingBundle& bundle,
   mopts.lr = 5e-3;
   mopts.pos_weight = 12.0;  // Faulty MIVs are rare among MIV nodes.
   mopts.seed = derive_seed(scale.seed, 7002);
-  fw.miv.train(miv_data, mopts);
+  mopts.num_threads = scale.num_threads;
+  mopts.on_epoch = tagged("miv");
+  {
+    M3DFL_OBS_SPAN(span, "train.miv");
+    fw.miv.train(miv_data, mopts);
+  }
 
   // --- Prune/reorder Classifier (network-based transfer) -------------------
   fw.classifier = core::PruneClassifier::transfer_from(
@@ -136,8 +160,13 @@ TrainedFramework train_framework(const TrainingBundle& bundle,
   copts.epochs = scale.cls_epochs;
   copts.lr = 5e-3;
   copts.seed = derive_seed(scale.seed, 7004);
-  fw.classifier.train_balanced(cls_graphs, cls_labels, copts,
-                               derive_seed(scale.seed, 7005));
+  copts.num_threads = scale.num_threads;
+  copts.on_epoch = tagged("classifier");
+  {
+    M3DFL_OBS_SPAN(span, "train.classifier");
+    fw.classifier.train_balanced(cls_graphs, cls_labels, copts,
+                                 derive_seed(scale.seed, 7005));
+  }
 
   const auto t1 = std::chrono::steady_clock::now();
   fw.gnn_train_seconds = std::chrono::duration<double>(t1 - t0).count();

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -32,6 +33,15 @@ struct RunScale {
   /// more pruning opportunity.
   double tp_precision_target = 0.99;
   std::uint64_t seed = 1;
+  /// Worker threads for dataset generation and training inside
+  /// train_framework / build_training_bundle (0 = hardware concurrency).
+  /// Outputs are bit-identical at every value — this is a speed knob only.
+  std::size_t num_threads = 0;
+  /// Per-epoch progress hook for every model train_framework runs; `model`
+  /// is "tier", "miv" or "classifier". Observational only (the CLI wires
+  /// it to --progress); leaving it empty changes nothing.
+  std::function<void(const std::string& model, const gnn::EpochStats&)>
+      on_epoch;
 
   static RunScale tiny();
 };

@@ -8,10 +8,18 @@
 #include <numeric>
 
 #include "common/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace m3dfl::gnn {
 
 namespace {
+
+obs::LatencyHistogram& epoch_histogram() {
+  static obs::LatencyHistogram& h =
+      obs::MetricsRegistry::instance().histogram("train.epoch");
+  return h;
+}
 
 bool should_stop(const TrainOptions& opts, const std::vector<double>& losses) {
   if (opts.patience <= 0 ||
@@ -66,7 +74,7 @@ TrainStats train_graph_classifier(GraphClassifier& model,
   const std::size_t threads =
       std::min(resolve_num_threads(opts.num_threads), slots);
   std::unique_ptr<Executor> exec;
-  if (threads > 1) exec = std::make_unique<Executor>(threads);
+  if (threads > 1) exec = std::make_unique<Executor>(threads, "train");
 
   std::vector<double> slot_loss(slots, 0.0);
   auto run_slot = [&](std::size_t k, std::size_t data_idx) {
@@ -80,6 +88,9 @@ TrainStats train_graph_classifier(GraphClassifier& model,
   };
 
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    M3DFL_OBS_SPAN(epoch_span, "train.epoch");
+    const auto epoch_t0 = std::chrono::steady_clock::now();
+    double merge_seconds = 0.0;
     rng.shuffle(order);
     double epoch_loss = 0.0;
     for (std::size_t b = 0; b < order.size(); b += slots) {
@@ -95,6 +106,7 @@ TrainStats train_graph_classifier(GraphClassifier& model,
       } else {
         for (std::size_t k = 0; k < m; ++k) run_slot(k, order[b + k]);
       }
+      const auto merge_t0 = std::chrono::steady_clock::now();
       for (std::size_t k = 0; k < m; ++k) {
         for (std::size_t p = 0; p < master.size(); ++p) {
           const ParamRef& src = shard_params[k][p];
@@ -103,10 +115,22 @@ TrainStats train_graph_classifier(GraphClassifier& model,
         }
         epoch_loss += slot_loss[k];
       }
+      merge_seconds += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - merge_t0)
+                           .count();
       adam.step();
     }
     stats.epoch_loss.push_back(epoch_loss / static_cast<double>(data.size()));
     stats.epochs_run = epoch + 1;
+    const double epoch_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_t0)
+            .count();
+    epoch_histogram().record(epoch_seconds);
+    if (opts.on_epoch) {
+      opts.on_epoch({epoch, stats.epoch_loss.back(), epoch_seconds,
+                     merge_seconds, data.size()});
+    }
     if (should_stop(opts, stats.epoch_loss)) break;
   }
   const auto end = std::chrono::steady_clock::now();
@@ -128,6 +152,8 @@ TrainStats train_node_scorer(NodeScorer& model,
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    M3DFL_OBS_SPAN(epoch_span, "train.epoch");
+    const auto epoch_t0 = std::chrono::steady_clock::now();
     rng.shuffle(order);
     double epoch_loss = 0.0;
     std::size_t in_batch = 0;
@@ -141,6 +167,15 @@ TrainStats train_node_scorer(NodeScorer& model,
     if (in_batch > 0) adam.step();
     stats.epoch_loss.push_back(epoch_loss / static_cast<double>(data.size()));
     stats.epochs_run = epoch + 1;
+    const double epoch_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_t0)
+            .count();
+    epoch_histogram().record(epoch_seconds);
+    if (opts.on_epoch) {
+      opts.on_epoch(
+          {epoch, stats.epoch_loss.back(), epoch_seconds, 0.0, data.size()});
+    }
     if (should_stop(opts, stats.epoch_loss)) break;
   }
   const auto end = std::chrono::steady_clock::now();

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -13,6 +14,17 @@ namespace m3dfl::gnn {
 struct LabeledGraph {
   const SubGraph* graph = nullptr;
   int label = 0;
+};
+
+/// Per-epoch progress report handed to TrainOptions::on_epoch right after
+/// the epoch's Adam steps finish (and before early stopping is evaluated).
+struct EpochStats {
+  int epoch = 0;                   ///< 0-based epoch index.
+  double loss = 0.0;               ///< Mean per-example loss this epoch.
+  double seconds = 0.0;            ///< Wall time of this epoch.
+  double grad_merge_seconds = 0.0; ///< Slot-ordered gradient merge share
+                                   ///< (graph classifier only; 0 otherwise).
+  std::size_t examples = 0;        ///< Examples visited this epoch.
 };
 
 struct TrainOptions {
@@ -34,6 +46,11 @@ struct TrainOptions {
   /// are merged into the master in slot order before the Adam step, so the
   /// trained weights are bit-identical at every thread count.
   std::size_t num_threads = 0;
+  /// Invoked after every epoch with that epoch's stats. Purely
+  /// observational — it cannot influence the optimization — so wiring it
+  /// (progress bars, tracing) never perturbs the trained weights. Runs on
+  /// the training thread; keep it cheap.
+  std::function<void(const EpochStats&)> on_epoch;
 };
 
 struct TrainStats {

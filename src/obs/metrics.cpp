@@ -1,0 +1,182 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace m3dfl::obs {
+
+namespace {
+
+constexpr double kBase_us = 1.0;  ///< Upper bound of bucket 0.
+constexpr double kGrowth = 1.5;
+
+/// The exact per-bucket upper bounds, in seconds. Built once; every
+/// comparison in bucket_index() uses these doubles, so boundaries are exact
+/// by construction (comparing in microseconds instead would round-trip
+/// through * 1e6 and disagree by an ulp on some buckets).
+const std::array<double, LatencyHistogram::kNumBuckets>& bucket_bounds() {
+  static const auto table = [] {
+    std::array<double, LatencyHistogram::kNumBuckets> b{};
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] = kBase_us * std::pow(kGrowth, static_cast<double>(i)) * 1e-6;
+    }
+    return b;
+  }();
+  return table;
+}
+
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+double LatencyHistogram::bucket_upper_seconds(std::size_t i) {
+  return bucket_bounds()[std::min(i, kNumBuckets - 1)];
+}
+
+std::size_t LatencyHistogram::bucket_index(double seconds) {
+  const auto& ub = bucket_bounds();
+  if (!(seconds > ub[0])) return 0;  // Includes NaN-sanitized zeros.
+  // ceil(log ratio) is the right bucket up to an ulp of rounding either
+  // way; the correction loops compare against the exact bound table and
+  // move at most one step in practice.
+  const double us = seconds * 1e6;
+  const double guess = std::ceil(std::log(us / kBase_us) / std::log(kGrowth));
+  std::size_t i =
+      guess < 1.0 ? 1
+                  : std::min(static_cast<std::size_t>(guess), kNumBuckets - 1);
+  while (i > 0 && seconds <= ub[i - 1]) --i;
+  while (i + 1 < kNumBuckets && seconds > ub[i]) ++i;
+  return i;
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (seconds < 0.0 || !std::isfinite(seconds)) seconds = 0.0;
+  buckets_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::bucket_count(std::size_t i) const {
+  return buckets_[std::min(i, kNumBuckets - 1)].load(
+      std::memory_order_relaxed);
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::mean_seconds() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
+         (1e9 * static_cast<double>(n));
+}
+
+double LatencyHistogram::percentile_seconds(double pct) const {
+  std::array<std::uint64_t, kNumBuckets> snap;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0.0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  const double target = pct / 100.0 * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (snap[i] == 0) continue;
+    const double lo = i == 0 ? 0.0 : bucket_upper_seconds(i - 1);
+    const double hi = bucket_upper_seconds(i);
+    if (static_cast<double>(cum + snap[i]) >= target) {
+      const double within =
+          (target - static_cast<double>(cum)) / static_cast<double>(snap[i]);
+      return lo + std::clamp(within, 0.0, 1.0) * (hi - lo);
+    }
+    cum += snap[i];
+  }
+  return bucket_upper_seconds(kNumBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << c->value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\"" << name << "\":";
+    json_number(os, g->value());
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\"" << name << "\":{\"count\":" << h->count()
+       << ",\"mean_ms\":";
+    json_number(os, 1e3 * h->mean_seconds());
+    os << ",\"p50_ms\":";
+    json_number(os, 1e3 * h->percentile_seconds(50.0));
+    os << ",\"p95_ms\":";
+    json_number(os, 1e3 * h->percentile_seconds(95.0));
+    os << ",\"p99_ms\":";
+    json_number(os, 1e3 * h->percentile_seconds(99.0));
+    os << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace m3dfl::obs

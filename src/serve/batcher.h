@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "serve/metrics.h"  // FlushReason
+
 namespace m3dfl::serve {
 
 /// Micro-batcher: accumulates pushed items and hands them to a flush
@@ -22,6 +24,9 @@ namespace m3dfl::serve {
 /// callback runs on the batcher's own thread; it should dispatch real work
 /// elsewhere (the diagnosis service fans items out across an Executor).
 /// The destructor flushes whatever is pending, so no pushed item is lost.
+/// Each flush is tagged with why it fired (FlushReason): a full batch, the
+/// deadline, or teardown — the size-vs-deadline split is the batcher's key
+/// tuning signal.
 template <typename Item>
 class Batcher {
  public:
@@ -29,7 +34,7 @@ class Batcher {
     std::size_t max_batch = 8;
     std::chrono::microseconds max_wait{2000};
   };
-  using FlushFn = std::function<void(std::vector<Item>&&)>;
+  using FlushFn = std::function<void(std::vector<Item>&&, FlushReason)>;
 
   Batcher(Options opts, FlushFn flush)
       : opts_(opts), flush_(std::move(flush)) {
@@ -83,6 +88,16 @@ class Batcher {
           return stop_ || pending_.size() >= opts_.max_batch;
         });
       }
+      // Why this flush fired. A batch that filled up reports kSize even if
+      // the deadline or stop raced it — size is the strongest signal.
+      FlushReason reason;
+      if (pending_.size() >= opts_.max_batch) {
+        reason = FlushReason::kSize;
+      } else if (stop_) {
+        reason = FlushReason::kShutdown;
+      } else {
+        reason = FlushReason::kDeadline;
+      }
       std::vector<Item> batch;
       if (pending_.size() <= opts_.max_batch) {
         batch.swap(pending_);
@@ -98,7 +113,7 @@ class Batcher {
       }
       ++batches_;
       lock.unlock();
-      flush_(std::move(batch));
+      flush_(std::move(batch), reason);
       lock.lock();
     }
   }

@@ -1,73 +1,20 @@
 #include "serve/metrics.h"
 
-#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <sstream>
 
 #include "common/table.h"
 
 namespace m3dfl::serve {
-namespace {
 
-constexpr double kBase_us = 1.0;   ///< Upper bound of bucket 0.
-constexpr double kGrowth = 1.5;
-
-std::size_t bucket_of(double seconds) {
-  const double us = seconds * 1e6;
-  if (us <= kBase_us) return 0;
-  const std::size_t i =
-      static_cast<std::size_t>(std::ceil(std::log(us / kBase_us) /
-                                         std::log(kGrowth)));
-  return std::min(i, LatencyHistogram::kNumBuckets - 1);
-}
-
-}  // namespace
-
-double LatencyHistogram::bucket_upper_seconds(std::size_t i) {
-  return kBase_us * std::pow(kGrowth, static_cast<double>(i)) * 1e-6;
-}
-
-void LatencyHistogram::record(double seconds) {
-  if (seconds < 0.0 || !std::isfinite(seconds)) seconds = 0.0;
-  buckets_[bucket_of(seconds)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  total_nanos_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
-                         std::memory_order_relaxed);
-}
-
-std::uint64_t LatencyHistogram::count() const {
-  return count_.load(std::memory_order_relaxed);
-}
-
-double LatencyHistogram::mean_seconds() const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
-         (1e9 * static_cast<double>(n));
-}
-
-double LatencyHistogram::percentile_seconds(double pct) const {
-  std::array<std::uint64_t, kNumBuckets> snap;
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < kNumBuckets; ++i) {
-    snap[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += snap[i];
+const char* flush_reason_name(FlushReason r) {
+  switch (r) {
+    case FlushReason::kSize: return "size";
+    case FlushReason::kDeadline: return "deadline";
+    case FlushReason::kShutdown: return "shutdown";
   }
-  if (total == 0) return 0.0;
-  pct = std::clamp(pct, 0.0, 100.0);
-  const double target = pct / 100.0 * static_cast<double>(total);
-  std::uint64_t cum = 0;
-  for (std::size_t i = 0; i < kNumBuckets; ++i) {
-    if (snap[i] == 0) continue;
-    const double lo = i == 0 ? 0.0 : bucket_upper_seconds(i - 1);
-    const double hi = bucket_upper_seconds(i);
-    if (static_cast<double>(cum + snap[i]) >= target) {
-      const double within =
-          (target - static_cast<double>(cum)) / static_cast<double>(snap[i]);
-      return lo + std::clamp(within, 0.0, 1.0) * (hi - lo);
-    }
-    cum += snap[i];
-  }
-  return bucket_upper_seconds(kNumBuckets - 1);
+  return "?";
 }
 
 void ServiceMetrics::on_request() {
@@ -75,9 +22,11 @@ void ServiceMetrics::on_request() {
   in_flight_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ServiceMetrics::on_batch(std::size_t items) {
+void ServiceMetrics::on_batch(std::size_t items, FlushReason reason) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   batch_items_.fetch_add(items, std::memory_order_relaxed);
+  flush_reasons_[static_cast<std::size_t>(reason)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 void ServiceMetrics::on_cache(bool hit) {
@@ -115,6 +64,14 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.in_flight = in_flight_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batch_items = batch_items_.load(std::memory_order_relaxed);
+  s.flush_size = flush_reasons_[static_cast<std::size_t>(FlushReason::kSize)]
+                     .load(std::memory_order_relaxed);
+  s.flush_deadline =
+      flush_reasons_[static_cast<std::size_t>(FlushReason::kDeadline)].load(
+          std::memory_order_relaxed);
+  s.flush_shutdown =
+      flush_reasons_[static_cast<std::size_t>(FlushReason::kShutdown)].load(
+          std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   s.hot_swaps_observed = hot_swaps_observed_.load(std::memory_order_relaxed);
@@ -142,6 +99,9 @@ std::string ServiceMetrics::render(const std::string& title) const {
   table.add_row({"in flight", std::to_string(s.in_flight)});
   table.add_row({"batches", std::to_string(s.batches)});
   table.add_row({"mean batch size", fmt(s.mean_batch, 2)});
+  table.add_row({"flushes (size)", std::to_string(s.flush_size)});
+  table.add_row({"flushes (deadline)", std::to_string(s.flush_deadline)});
+  table.add_row({"flushes (shutdown)", std::to_string(s.flush_shutdown)});
   table.add_row({"cache hit rate", fmt_pct(s.cache_hit_rate)});
   table.add_row({"hot swaps observed", std::to_string(s.hot_swaps_observed)});
   table.add_row({"mean latency (ms)", fmt(s.mean_latency_ms, 3)});
@@ -149,6 +109,30 @@ std::string ServiceMetrics::render(const std::string& title) const {
   table.add_row({"p95 latency (ms)", fmt(s.p95_ms, 3)});
   table.add_row({"p99 latency (ms)", fmt(s.p99_ms, 3)});
   return table.to_string();
+}
+
+std::string ServiceMetrics::to_json() const {
+  const MetricsSnapshot s = snapshot();
+  auto num = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", std::isfinite(v) ? v : 0.0);
+    return std::string(buf);
+  };
+  std::ostringstream os;
+  os << "{\"requests\":" << s.requests << ",\"completed\":" << s.completed
+     << ",\"errors\":" << s.errors << ",\"in_flight\":" << s.in_flight
+     << ",\"batches\":" << s.batches << ",\"batch_items\":" << s.batch_items
+     << ",\"mean_batch\":" << num(s.mean_batch) << ",\"flush_reasons\":{"
+     << "\"size\":" << s.flush_size << ",\"deadline\":" << s.flush_deadline
+     << ",\"shutdown\":" << s.flush_shutdown << "}"
+     << ",\"cache_hits\":" << s.cache_hits
+     << ",\"cache_misses\":" << s.cache_misses
+     << ",\"cache_hit_rate\":" << num(s.cache_hit_rate)
+     << ",\"hot_swaps_observed\":" << s.hot_swaps_observed
+     << ",\"latency_ms\":{\"mean\":" << num(s.mean_latency_ms)
+     << ",\"p50\":" << num(s.p50_ms) << ",\"p95\":" << num(s.p95_ms)
+     << ",\"p99\":" << num(s.p99_ms) << "}}";
+  return os.str();
 }
 
 }  // namespace m3dfl::serve

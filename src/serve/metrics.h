@@ -6,32 +6,23 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace m3dfl::serve {
 
-/// Lock-free latency histogram with geometrically spaced buckets
-/// (1 us * 1.5^i, ~48 buckets spanning 1 us .. ~4 minutes). record() is a
-/// single relaxed fetch_add on the matching bucket, so the request hot path
-/// never serializes on the metrics layer; percentiles are computed from a
-/// snapshot with linear interpolation inside the winning bucket.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kNumBuckets = 48;
+/// The latency histogram now lives in the observability layer
+/// (obs::LatencyHistogram) so offline stages share it; this alias keeps the
+/// serve API and existing call sites intact.
+using LatencyHistogram = obs::LatencyHistogram;
 
-  void record(double seconds);
-
-  std::uint64_t count() const;
-  double mean_seconds() const;
-  /// pct in [0, 100]. Returns 0 when empty.
-  double percentile_seconds(double pct) const;
-
-  /// Upper bound of bucket i, in seconds (test hook).
-  static double bucket_upper_seconds(std::size_t i);
-
- private:
-  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> total_nanos_{0};
+/// Why the micro-batcher handed a batch to the flush callback.
+enum class FlushReason : std::uint8_t {
+  kSize,      ///< The batch reached max_batch items.
+  kDeadline,  ///< max_wait elapsed since the batch's first item.
+  kShutdown,  ///< Destructor drained the pending items.
 };
+
+const char* flush_reason_name(FlushReason r);
 
 /// One coherent reading of every service counter (taken with relaxed loads;
 /// individual counters are exact, cross-counter relations are approximate
@@ -43,6 +34,9 @@ struct MetricsSnapshot {
   std::uint64_t in_flight = 0;   ///< Accepted, response not yet delivered.
   std::uint64_t batches = 0;     ///< Micro-batches flushed.
   std::uint64_t batch_items = 0; ///< Sum of flushed batch sizes.
+  std::uint64_t flush_size = 0;      ///< Batches flushed because full.
+  std::uint64_t flush_deadline = 0;  ///< Batches flushed on the deadline.
+  std::uint64_t flush_shutdown = 0;  ///< Batches flushed at teardown.
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t hot_swaps_observed = 0;  ///< Requests served by a model
@@ -61,7 +55,8 @@ struct MetricsSnapshot {
 class ServiceMetrics {
  public:
   void on_request();                       ///< requests++, in-flight++.
-  void on_batch(std::size_t items);        ///< One micro-batch flushed.
+  /// One micro-batch flushed, tagged with why the batcher flushed it.
+  void on_batch(std::size_t items, FlushReason reason);
   void on_cache(bool hit);
   void on_model_version(std::uint64_t version);
   /// completed++, in-flight--, latency recorded; errors++ when !ok.
@@ -72,6 +67,10 @@ class ServiceMetrics {
   /// Renders the snapshot as a fixed-width table (common/table).
   std::string render(const std::string& title = "serve metrics") const;
 
+  /// Machine-readable snapshot (one JSON object) — what `m3dfl serve
+  /// --metrics-json` and bench/serve_throughput.cpp emit.
+  std::string to_json() const;
+
   const LatencyHistogram& latency() const { return latency_; }
 
  private:
@@ -81,6 +80,7 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> in_flight_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batch_items_{0};
+  std::array<std::atomic<std::uint64_t>, 3> flush_reasons_{};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> hot_swaps_observed_{0};

@@ -6,6 +6,7 @@
 
 #include "diagnosis/diagnoser.h"
 #include "graphx/backtrace.h"
+#include "obs/trace.h"
 
 namespace m3dfl::serve {
 
@@ -62,10 +63,10 @@ DiagnosisService::DiagnosisService(ModelRegistry& registry,
     : opts_(opts),
       model_(registry.handle(opts.model_name)),
       subgraph_cache_(opts.cache_capacity),
-      executor_(opts.num_threads),
+      executor_(opts.num_threads, "serve"),
       batcher_({opts.max_batch, opts.max_wait},
-               [this](std::vector<Pending>&& batch) {
-                 flush_batch(std::move(batch));
+               [this](std::vector<Pending>&& batch, FlushReason reason) {
+                 flush_batch(std::move(batch), reason);
                }) {}
 
 DiagnosisService::~DiagnosisService() = default;
@@ -119,8 +120,9 @@ std::future<DiagnosisResponse> DiagnosisService::submit(
   return future;
 }
 
-void DiagnosisService::flush_batch(std::vector<Pending>&& batch) {
-  metrics_.on_batch(batch.size());
+void DiagnosisService::flush_batch(std::vector<Pending>&& batch,
+                                   FlushReason reason) {
+  metrics_.on_batch(batch.size(), reason);
   // Fan the batch out: every request becomes one executor task, so a batch
   // of B occupies min(B, num_threads) workers concurrently.
   for (Pending& item : batch) {
@@ -151,6 +153,7 @@ void DiagnosisService::release_context(DesignState& state,
 }
 
 void DiagnosisService::process(Pending& p) {
+  M3DFL_OBS_SPAN(span, "serve.process");
   DiagnosisResponse r;
   try {
     const ModelRegistry::Published* published = model_.current();
@@ -167,6 +170,7 @@ void DiagnosisService::process(Pending& p) {
       r.cache_hit = sub != nullptr;
       metrics_.on_cache(r.cache_hit);
       if (!sub) {
+        M3DFL_OBS_SPAN(bt_span, "serve.backtrace");
         sub = std::make_shared<const graphx::SubGraph>(
             graphx::backtrace_subgraph(*d.graph, p.log, d.scan));
         subgraph_cache_.put(key, sub);

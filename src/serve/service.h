@@ -121,7 +121,7 @@ class DiagnosisService {
     }
   };
 
-  void flush_batch(std::vector<Pending>&& batch);
+  void flush_batch(std::vector<Pending>&& batch, FlushReason reason);
   void process(Pending& p);
   std::unique_ptr<WorkerContext> acquire_context(DesignState& state);
   void release_context(DesignState& state, std::unique_ptr<WorkerContext> c);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace m3dfl::sim {
 
 using netlist::FaultSite;
@@ -32,12 +34,14 @@ FaultSimulator::FaultSimulator(const netlist::Netlist& nl,
 }
 
 void FaultSimulator::bind(const PatternSet& v1_inputs) {
+  M3DFL_OBS_SPAN(span, "sim.bind");
   good_ = simulate_launch_off_capture(*nl_, v1_inputs);
   finish_bind(v1_inputs);
 }
 
 void FaultSimulator::bind(const PatternSet& v1_inputs,
                           const PatternSet& v2_inputs) {
+  M3DFL_OBS_SPAN(span, "sim.bind");
   good_ = simulate_two_vector(*nl_, v1_inputs, v2_inputs);
   finish_bind(v1_inputs);
 }
@@ -110,6 +114,7 @@ bool FaultSimulator::observed_diff(std::span<const InjectedFault> faults,
                                    std::vector<Word>& diff,
                                    std::vector<std::uint32_t>* touched_outputs) {
   ensure_bound();
+  ++stats_.observed_diff_calls;
   const std::size_t W = good_.num_words;
   const std::size_t num_outputs = nl_->num_outputs();
   diff.assign(num_outputs * W, 0);
@@ -241,6 +246,7 @@ bool FaultSimulator::observed_diff(std::span<const InjectedFault> faults,
     std::copy(good_row(g), good_row(g) + W, faulty_row(g));
     forced_[g] = 0;
   }
+  if (any_fail) ++stats_.detected;
   return any_fail;
 }
 

@@ -55,6 +55,15 @@ struct InjectedFault {
 /// signature matching in the diagnosis engine cheap.
 class FaultSimulator {
  public:
+  /// Lifetime workload counters. Plain (non-atomic) members on purpose: a
+  /// simulator is only ever driven by one thread at a time, and clone()
+  /// relies on the defaulted copy constructor (a clone starts with a copy of
+  /// the counters; callers that flush deltas must snapshot at clone time).
+  struct SimStats {
+    std::uint64_t observed_diff_calls = 0;  ///< Faulty-machine simulations.
+    std::uint64_t detected = 0;             ///< Calls with any failing pattern.
+  };
+
   FaultSimulator(const netlist::Netlist& nl, const SiteTable& sites);
 
   /// Binds a V1 pattern set: runs good LoC simulation and prepares the
@@ -100,6 +109,9 @@ class FaultSimulator {
     return std::unique_ptr<FaultSimulator>(new FaultSimulator(*this));
   }
 
+  /// Workload counters since construction (or since the clone source's).
+  const SimStats& sim_stats() const { return stats_; }
+
  private:
   FaultSimulator(const FaultSimulator&) = default;
 
@@ -120,6 +132,7 @@ class FaultSimulator {
   std::vector<std::vector<netlist::GateId>> level_buckets_;
   std::vector<netlist::GateId> touched_;
   std::vector<Word> scratch_;  ///< One gate row of scratch.
+  SimStats stats_;
 };
 
 }  // namespace m3dfl::sim

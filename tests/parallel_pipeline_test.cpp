@@ -13,6 +13,7 @@
 #include "diagnosis/dictionary.h"
 #include "eval/datagen.h"
 #include "gnn/trainer.h"
+#include "obs/trace.h"
 #include "sim/sim_pool.h"
 
 namespace m3dfl::eval {
@@ -73,6 +74,27 @@ TEST(ParallelDatagen, BitIdenticalAcrossThreadCounts) {
     o.num_threads = threads;
     expect_datasets_identical(reference, generate_dataset(d, o));
   }
+}
+
+// The observability contract: spans and metrics are timing-only observers,
+// so running the very same parallel generation with the tracer live must
+// still reproduce the untraced output bit for bit at every thread count.
+TEST(ParallelDatagen, BitIdenticalWithTracingEnabled) {
+  const Design& d = cached_design(tiny_spec(), Config::kSyn1);
+  DatagenOptions o;
+  o.num_samples = 24;
+  o.seed = 771;
+  o.num_threads = 1;
+  obs::Tracer::instance().set_enabled(false);
+  const Dataset reference = generate_dataset(d, o);
+  EXPECT_GT(reference.size(), 0u);
+  obs::Tracer::instance().set_enabled(true);
+  for (std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    o.num_threads = threads;
+    expect_datasets_identical(reference, generate_dataset(d, o));
+  }
+  obs::Tracer::instance().set_enabled(false);
 }
 
 TEST(ParallelDatagen, BitIdenticalAcrossThreadCountsCompacted) {

@@ -102,12 +102,14 @@ struct BatchCollector {
   std::mutex mu;
   std::condition_variable cv;
   std::vector<std::vector<int>> batches;
+  std::vector<serve::FlushReason> reasons;  ///< Parallel to `batches`.
   std::size_t items = 0;
 
-  void on_flush(std::vector<int>&& batch) {
+  void on_flush(std::vector<int>&& batch, serve::FlushReason reason) {
     std::lock_guard<std::mutex> lock(mu);
     items += batch.size();
     batches.push_back(std::move(batch));
+    reasons.push_back(reason);
     cv.notify_all();
   }
   bool wait_for_items(std::size_t n) {
@@ -121,13 +123,16 @@ TEST(Batcher, FlushesWhenBatchFills) {
   serve::Batcher<int>::Options opts;
   opts.max_batch = 4;
   opts.max_wait = 10min;  // Deadline effectively off: size must trigger.
-  serve::Batcher<int> batcher(
-      opts, [&](std::vector<int>&& b) { sink.on_flush(std::move(b)); });
+  serve::Batcher<int> batcher(opts,
+                              [&](std::vector<int>&& b, serve::FlushReason r) {
+                                sink.on_flush(std::move(b), r);
+                              });
   for (int i = 0; i < 4; ++i) batcher.push(i);
   ASSERT_TRUE(sink.wait_for_items(4));
   std::lock_guard<std::mutex> lock(sink.mu);
   ASSERT_EQ(sink.batches.size(), 1u);
   EXPECT_EQ(sink.batches[0], (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sink.reasons[0], serve::FlushReason::kSize);
 }
 
 TEST(Batcher, FlushesPartialBatchAtDeadline) {
@@ -135,8 +140,10 @@ TEST(Batcher, FlushesPartialBatchAtDeadline) {
   serve::Batcher<int>::Options opts;
   opts.max_batch = 64;  // Never fills: only the deadline can flush.
   opts.max_wait = 20ms;
-  serve::Batcher<int> batcher(
-      opts, [&](std::vector<int>&& b) { sink.on_flush(std::move(b)); });
+  serve::Batcher<int> batcher(opts,
+                              [&](std::vector<int>&& b, serve::FlushReason r) {
+                                sink.on_flush(std::move(b), r);
+                              });
   batcher.push(1);
   batcher.push(2);
   batcher.push(3);
@@ -144,6 +151,7 @@ TEST(Batcher, FlushesPartialBatchAtDeadline) {
   std::lock_guard<std::mutex> lock(sink.mu);
   ASSERT_EQ(sink.batches.size(), 1u);
   EXPECT_EQ(sink.batches[0].size(), 3u);
+  EXPECT_EQ(sink.reasons[0], serve::FlushReason::kDeadline);
 }
 
 TEST(Batcher, SplitsOversizedBurstsIntoMaxBatchChunks) {
@@ -151,8 +159,10 @@ TEST(Batcher, SplitsOversizedBurstsIntoMaxBatchChunks) {
   serve::Batcher<int>::Options opts;
   opts.max_batch = 8;
   opts.max_wait = 5ms;
-  serve::Batcher<int> batcher(
-      opts, [&](std::vector<int>&& b) { sink.on_flush(std::move(b)); });
+  serve::Batcher<int> batcher(opts,
+                              [&](std::vector<int>&& b, serve::FlushReason r) {
+                                sink.on_flush(std::move(b), r);
+                              });
   for (int i = 0; i < 20; ++i) batcher.push(i);
   ASSERT_TRUE(sink.wait_for_items(20));
   std::lock_guard<std::mutex> lock(sink.mu);
@@ -170,12 +180,17 @@ TEST(Batcher, DestructorFlushesPending) {
     serve::Batcher<int>::Options opts;
     opts.max_batch = 64;
     opts.max_wait = 10min;
-    serve::Batcher<int> batcher(
-        opts, [&](std::vector<int>&& b) { sink.on_flush(std::move(b)); });
+    serve::Batcher<int> batcher(opts,
+                                [&](std::vector<int>&& b,
+                                    serve::FlushReason r) {
+                                  sink.on_flush(std::move(b), r);
+                                });
     batcher.push(42);
   }  // Destruction must not lose the pending item.
   std::lock_guard<std::mutex> lock(sink.mu);
   EXPECT_EQ(sink.items, 1u);
+  ASSERT_EQ(sink.reasons.size(), 1u);
+  EXPECT_EQ(sink.reasons[0], serve::FlushReason::kShutdown);
 }
 
 // --- LRU cache ---------------------------------------------------------------
@@ -235,8 +250,8 @@ TEST(LatencyHistogram, PercentilesAreOrderedAndBracketed) {
 TEST(ServiceMetrics, SnapshotTracksCountersCoherently) {
   serve::ServiceMetrics metrics;
   for (int i = 0; i < 10; ++i) metrics.on_request();
-  metrics.on_batch(6);
-  metrics.on_batch(4);
+  metrics.on_batch(6, serve::FlushReason::kSize);
+  metrics.on_batch(4, serve::FlushReason::kDeadline);
   for (int i = 0; i < 10; ++i) {
     metrics.on_cache(i % 2 == 0);
     metrics.on_model_version(i < 5 ? 1 : 2);
@@ -249,6 +264,9 @@ TEST(ServiceMetrics, SnapshotTracksCountersCoherently) {
   EXPECT_EQ(s.in_flight, 0u);
   EXPECT_EQ(s.batches, 2u);
   EXPECT_DOUBLE_EQ(s.mean_batch, 5.0);
+  EXPECT_EQ(s.flush_size, 1u);
+  EXPECT_EQ(s.flush_deadline, 1u);
+  EXPECT_EQ(s.flush_shutdown, 0u);
   EXPECT_EQ(s.cache_hits, 5u);
   EXPECT_EQ(s.cache_misses, 5u);
   EXPECT_DOUBLE_EQ(s.cache_hit_rate, 0.5);
@@ -256,6 +274,11 @@ TEST(ServiceMetrics, SnapshotTracksCountersCoherently) {
   const std::string table = metrics.render();
   EXPECT_NE(table.find("cache hit rate"), std::string::npos);
   EXPECT_NE(table.find("p99"), std::string::npos);
+  const std::string js = metrics.to_json();
+  EXPECT_NE(js.find("\"requests\":10"), std::string::npos);
+  EXPECT_NE(js.find("\"flush_reasons\":{\"size\":1,\"deadline\":1,"
+                    "\"shutdown\":0}"),
+            std::string::npos);
 }
 
 // --- Model registry ----------------------------------------------------------

@@ -26,6 +26,14 @@
 // regenerated deterministically from the spec seeds, standing in for the
 // design database a real flow would load).
 //
+// Every subcommand accepts the observability flags:
+//   --trace out.json          Write a Chrome/Perfetto trace-event file
+//                             covering the command's pipeline spans.
+//   --metrics-json out.json   Dump the process metrics registry (and, for
+//                             serve, the service metrics) as JSON.
+// gen/train additionally take --progress (per-epoch training lines plus a
+// per-span summary table at exit).
+//
 // Exit codes: 0 success, 1 runtime failure (unreadable/corrupt files,
 // failed diagnosis), 2 usage error (unknown subcommand/flag, missing or
 // malformed argument).
@@ -43,6 +51,8 @@
 
 #include "eval/framework_io.h"
 #include "netlist/verilog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 
 namespace m3dfl {
@@ -52,11 +62,16 @@ constexpr int kExitOk = 0;
 constexpr int kExitRuntime = 1;
 constexpr int kExitUsage = 2;
 
+/// Service metrics JSON captured by cmd_serve after drain(); main() folds
+/// it into the --metrics-json payload (the service is long gone by then).
+std::string g_service_metrics_json;
+
 int usage() {
   std::fputs(
       "usage: m3dfl <gen|train|inject|diagnose|serve> [options]\n"
       "  gen      --benchmark B --config C [--out design.v]\n"
-      "  train    --benchmark B [--compacted] [--out framework.m3dfl]\n"
+      "  train    --benchmark B [--compacted] [--threads N]\n"
+      "           [--out framework.m3dfl]\n"
       "  inject   --benchmark B --config C [--seed N] [--compacted]\n"
       "           [--out chip.faillog]\n"
       "  diagnose --benchmark B --config C --faillog F\n"
@@ -64,6 +79,8 @@ int usage() {
       "  serve    --benchmark B --config C --framework framework.m3dfl\n"
       "           --logs F1,F2,... [--threads N] [--batch N] [--wait-us N]\n"
       "           [--repeat N] [--quiet]\n"
+      "all subcommands also take [--trace out.json] [--metrics-json out.json];\n"
+      "gen/train also take [--progress]\n"
       "benchmarks: aes tate netcard leon3mp tiny\n"
       "configs:    Syn-1 TPI Syn-2 Par\n"
       "exit codes: 0 ok, 1 runtime failure, 2 usage error\n",
@@ -176,6 +193,26 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   const bool compacted = flags.count("compacted") > 0;
   eval::RunScale scale;
   if (spec->name == "tiny") scale = eval::RunScale::tiny();
+  if (flags.count("threads")) {
+    const auto parsed = parse_u64(flags.at("threads"));
+    if (!parsed || *parsed < 1) {
+      std::fprintf(stderr, "--threads wants an integer >= 1\n");
+      return usage();
+    }
+    scale.num_threads = static_cast<std::size_t>(*parsed);
+  }
+  if (flags.count("progress")) {
+    scale.on_epoch = [](const std::string& model,
+                        const gnn::EpochStats& es) {
+      std::printf("  [%s] epoch %3d  loss %.5f  %.3f s", model.c_str(),
+                  es.epoch + 1, es.loss, es.seconds);
+      if (es.grad_merge_seconds > 0.0) {
+        std::printf("  (grad merge %.3f s)", es.grad_merge_seconds);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    };
+  }
 
   std::printf("training on %s (Syn-1 + 2 random partitions, %s)...\n",
               spec->name.c_str(), compacted ? "compacted" : "bypass");
@@ -409,8 +446,67 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     }
   }
   service.drain();
+  g_service_metrics_json = service.metrics().to_json();
   std::fputs(service.metrics().render("m3dfl serve").c_str(), stdout);
   return any_failed ? kExitRuntime : kExitOk;
+}
+
+/// Post-run observability output: the Chrome trace file, the --progress
+/// span-summary table, and the metrics JSON dump. Returns kExitRuntime on
+/// a failed file write (folded into the command's rc only if it was OK).
+int write_observability(const std::map<std::string, std::string>& flags) {
+  int rc = kExitOk;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_enabled(false);  // Quiesce before snapshotting.
+
+  if (flags.count("trace")) {
+    const std::string& path = flags.at("trace");
+    std::ofstream os(path);
+    if (os) tracer.write_chrome_trace(os);
+    if (!os) {
+      std::fprintf(stderr, "cannot write trace file %s\n", path.c_str());
+      rc = kExitRuntime;
+    } else {
+      std::printf("wrote trace to %s (%zu spans", path.c_str(),
+                  tracer.snapshot().size());
+      if (const std::uint64_t d = tracer.dropped()) {
+        std::printf(", %llu dropped", static_cast<unsigned long long>(d));
+      }
+      std::printf(")\n");
+    }
+  }
+
+  if (flags.count("progress")) {
+    const std::vector<obs::SpanSummary> summary =
+        obs::summarize_spans(tracer.snapshot());
+    if (!summary.empty()) {
+      std::printf("\n%-24s %10s %12s %8s\n", "span", "count", "total ms",
+                  "threads");
+      for (const obs::SpanSummary& s : summary) {
+        std::printf("%-24s %10llu %12.3f %8u\n", s.name.c_str(),
+                    static_cast<unsigned long long>(s.count), s.total_ms,
+                    s.threads);
+      }
+    }
+  }
+
+  if (flags.count("metrics-json")) {
+    const std::string& path = flags.at("metrics-json");
+    std::ofstream os(path);
+    if (os) {
+      os << "{\"registry\": " << obs::MetricsRegistry::instance().to_json()
+         << ", \"service\": "
+         << (g_service_metrics_json.empty() ? "null" : g_service_metrics_json)
+         << "}\n";
+    }
+    if (!os) {
+      std::fprintf(stderr, "cannot write metrics file %s\n", path.c_str());
+      rc = kExitRuntime;
+    } else {
+      std::printf("wrote metrics to %s\n", path.c_str());
+    }
+  }
+  return rc;
 }
 
 }  // namespace
@@ -423,9 +519,9 @@ int main(int argc, char** argv) {
 
   FlagSpec spec;
   if (cmd == "gen") {
-    spec = {{"benchmark", "config", "out"}, {}};
+    spec = {{"benchmark", "config", "out"}, {"progress"}};
   } else if (cmd == "train") {
-    spec = {{"benchmark", "out"}, {"compacted"}};
+    spec = {{"benchmark", "out", "threads"}, {"compacted", "progress"}};
   } else if (cmd == "inject") {
     spec = {{"benchmark", "config", "seed", "out"}, {"compacted"}};
   } else if (cmd == "diagnose") {
@@ -438,12 +534,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
     return usage();
   }
+  // Every subcommand records spans and metrics.
+  spec.value_flags.insert("trace");
+  spec.value_flags.insert("metrics-json");
 
   const auto flags = parse_flags(argc, argv, 2, spec);
   if (!flags) return usage();
-  if (cmd == "gen") return cmd_gen(*flags);
-  if (cmd == "train") return cmd_train(*flags);
-  if (cmd == "inject") return cmd_inject(*flags);
-  if (cmd == "diagnose") return cmd_diagnose(*flags);
-  return cmd_serve(*flags);
+
+  const bool want_obs = flags->count("trace") || flags->count("progress") ||
+                        flags->count("metrics-json");
+  if (want_obs) {
+#if M3DFL_OBS_ENABLED
+    obs::Tracer::instance().set_enabled(true);
+#else
+    std::fputs("note: built with M3DFL_OBS=OFF — the trace will be empty "
+               "(metrics histograms/counters still record)\n",
+               stderr);
+#endif
+  }
+
+  int rc;
+  if (cmd == "gen") rc = cmd_gen(*flags);
+  else if (cmd == "train") rc = cmd_train(*flags);
+  else if (cmd == "inject") rc = cmd_inject(*flags);
+  else if (cmd == "diagnose") rc = cmd_diagnose(*flags);
+  else rc = cmd_serve(*flags);
+
+  if (want_obs) {
+    const int obs_rc = write_observability(*flags);
+    if (rc == kExitOk) rc = obs_rc;
+  }
+  return rc;
 }
