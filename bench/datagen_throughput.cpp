@@ -19,6 +19,7 @@
 #include "diagnosis/dictionary.h"
 #include "eval/datagen.h"
 #include "gnn/trainer.h"
+#include "obs/build_info.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -230,6 +231,7 @@ int main() {
   std::ofstream os("BENCH_datagen_throughput.json");
   os << "{\n  \"context\": {\n"
      << "    \"executable\": \"bench_datagen_throughput\",\n"
+     << "    \"build\": " << obs::build_info_json() << ",\n"
      << "    \"num_samples\": " << num_samples << ",\n"
      << "    \"hardware_threads\": " << hw << "\n  },\n"
      << "  \"benchmarks\": [\n";

@@ -16,6 +16,7 @@
 
 #include "bench/table_common.h"
 #include "eval/datagen.h"
+#include "obs/build_info.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/model_registry.h"
@@ -169,6 +170,7 @@ int main() {
   std::ofstream os("BENCH_serve_throughput.json");
   os << "{\n  \"context\": {\n"
      << "    \"executable\": \"bench_serve_throughput\",\n"
+     << "    \"build\": " << obs::build_info_json() << ",\n"
      << "    \"num_logs\": " << num_logs << ",\n"
      << "    \"repeat\": " << repeat << "\n  },\n"
      << "  \"benchmarks\": [\n";

@@ -1,0 +1,34 @@
+#include "obs/build_info.h"
+
+#include <sstream>
+
+namespace m3dfl::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      M3DFL_BUILD_GIT_HASH,
+      M3DFL_BUILD_COMPILER,
+      M3DFL_BUILD_TYPE,
+      M3DFL_OBS_ENABLED != 0,
+  };
+  return info;
+}
+
+std::string build_info_json() {
+  const BuildInfo& b = build_info();
+  std::ostringstream os;
+  os << "{\"git_hash\":\"" << b.git_hash << "\",\"compiler\":\""
+     << b.compiler << "\",\"build_type\":\"" << b.build_type
+     << "\",\"obs_enabled\":" << (b.obs_enabled ? "true" : "false") << "}";
+  return os.str();
+}
+
+std::string build_info_line() {
+  const BuildInfo& b = build_info();
+  std::ostringstream os;
+  os << "m3dfl " << b.git_hash << " (" << b.compiler << ", " << b.build_type
+     << ", obs " << (b.obs_enabled ? "on" : "off") << ")";
+  return os.str();
+}
+
+}  // namespace m3dfl::obs

@@ -1,0 +1,118 @@
+#include "obs/exemplar.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace m3dfl::obs {
+
+namespace {
+
+void json_number(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os << buf;
+}
+
+void json_exemplar(std::ostream& os, const RequestExemplar& e) {
+  os << "{\"request_id\":" << e.request_id << ",\"total_ms\":";
+  json_number(os, e.total_ms);
+  os << ",\"queue_ms\":";
+  json_number(os, e.queue_ms);
+  os << ",\"service_ms\":";
+  json_number(os, e.service_ms);
+  os << ",\"ok\":" << (e.ok ? "true" : "false")
+     << ",\"cache_hit\":" << (e.cache_hit ? "true" : "false")
+     << ",\"model_version\":" << e.model_version << ",\"stages\":[";
+  for (std::size_t i = 0; i < e.stages.size(); ++i) {
+    const ExemplarStage& s = e.stages[i];
+    os << (i ? "," : "") << "{\"name\":\"" << (s.name ? s.name : "?")
+       << "\",\"start_ms\":";
+    json_number(os, s.start_ms);
+    os << ",\"dur_ms\":";
+    json_number(os, s.dur_ms);
+    os << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+ExemplarStore& ExemplarStore::instance() {
+  static ExemplarStore store;
+  return store;
+}
+
+void ExemplarStore::rotate_if_due_locked(
+    std::chrono::steady_clock::time_point now) {
+  if (!window_started_) {
+    window_start_ = now;
+    window_started_ = true;
+    return;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(now - window_start_).count();
+  if (elapsed < opts_.window_seconds) return;
+  if (elapsed >= 2.0 * opts_.window_seconds) {
+    // Idle for a whole window: nothing recent enough to keep as "previous".
+    previous_.clear();
+  } else {
+    previous_ = std::move(current_);
+  }
+  current_.clear();
+  window_start_ = now;
+}
+
+void ExemplarStore::offer(RequestExemplar exemplar) {
+  if (!enabled()) return;
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  if (exemplar.stages.size() > opts_.max_stages) {
+    exemplar.stages.resize(opts_.max_stages);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  rotate_if_due_locked(now);
+  if (current_.size() >= opts_.capacity &&
+      exemplar.total_ms <= current_.back().total_ms) {
+    return;  // Faster than everything retained: not an exemplar.
+  }
+  const auto pos = std::upper_bound(
+      current_.begin(), current_.end(), exemplar,
+      [](const RequestExemplar& a, const RequestExemplar& b) {
+        return a.total_ms > b.total_ms;
+      });
+  current_.insert(pos, std::move(exemplar));
+  if (current_.size() > opts_.capacity) current_.pop_back();
+}
+
+std::vector<RequestExemplar> ExemplarStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestExemplar> out = current_;
+  out.insert(out.end(), previous_.begin(), previous_.end());
+  return out;
+}
+
+std::string ExemplarStore::to_json() const {
+  const std::vector<RequestExemplar> snap = snapshot();
+  std::ostringstream os;
+  os << "{\"window_seconds\":";
+  json_number(os, opts_.window_seconds);
+  os << ",\"capacity\":" << opts_.capacity << ",\"offered\":" << offered()
+     << ",\"exemplars\":[";
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    if (i) os << ",";
+    json_exemplar(os, snap[i]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+void ExemplarStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_.clear();
+  previous_.clear();
+  window_started_ = false;
+  offered_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace m3dfl::obs

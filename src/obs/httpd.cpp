@@ -1,0 +1,259 @@
+#include "obs/httpd.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace m3dfl::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+/// Writes the whole buffer, tolerating short sends; gives up on error.
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string render_response(const HttpResponse& r, bool head_only,
+                            const char* extra_header) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    status_reason(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  if (extra_header != nullptr) {
+    out += extra_header;
+    out += "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  if (!head_only) out += r.body;
+  return out;
+}
+
+void set_io_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+AdminHttpServer::~AdminHttpServer() { stop(); }
+
+void AdminHttpServer::handle(std::string path, Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+bool AdminHttpServer::start(const Options& opts, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (running()) {
+    if (error != nullptr) *error = "admin server already running";
+    return false;
+  }
+  opts_ = opts;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return fail("inet_pton(" + opts_.bind_address + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind(" + opts_.bind_address + ":" +
+                std::to_string(opts_.port) + ")");
+  }
+  if (::listen(listen_fd_, 16) != 0) return fail("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  const std::size_t pool = opts_.handler_threads ? opts_.handler_threads : 1;
+  handlers_.reserve(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    handlers_.emplace_back([this] { handler_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void AdminHttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : handlers_) {
+    if (t.joinable()) t.join();
+  }
+  handlers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (int fd : queue_) ::close(fd);
+    queue_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminHttpServer::accept_loop() {
+  // poll() with a short timeout instead of a blocking accept(): stop() only
+  // has to set the flag, never races a close() against a blocked accept.
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_io_timeout(fd, opts_.io_timeout_ms);
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() < opts_.max_queued_connections) {
+        queue_.push_back(fd);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      queue_cv_.notify_one();
+    } else {
+      // Back-pressure: a full queue answers 503 from the accept thread
+      // (tiny write) rather than queueing unboundedly.
+      HttpResponse r;
+      r.status = 503;
+      r.body = "admin handler queue full\n";
+      send_all(fd, render_response(r, false, "Retry-After: 1"));
+      ::close(fd);
+    }
+  }
+}
+
+void AdminHttpServer::handler_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // Stopping and drained.
+      fd = queue_.front();
+      queue_.pop_front();
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminHttpServer::serve_connection(int fd) {
+  static Counter& requests_total =
+      MetricsRegistry::instance().counter("admin.http_requests");
+  static LatencyHistogram& handler_seconds =
+      MetricsRegistry::instance().histogram("admin.http_handler_seconds");
+
+  std::string request;
+  request.reserve(512);
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // Timeout, reset, or EOF.
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_total.add();
+
+  const std::size_t line_end = request.find("\r\n");
+  std::string method, target, version;
+  if (line_end != std::string::npos) {
+    const std::string line = request.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos && sp2 != std::string::npos) {
+      method = line.substr(0, sp1);
+      target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      version = line.substr(sp2 + 1);
+    }
+  }
+  if (method.empty() || target.empty() ||
+      version.rfind("HTTP/1.", 0) != 0) {
+    HttpResponse r;
+    r.status = 400;
+    r.body = "malformed request\n";
+    send_all(fd, render_response(r, false, nullptr));
+    return;
+  }
+  if (method != "GET" && method != "HEAD") {
+    HttpResponse r;
+    r.status = 405;
+    r.body = "only GET and HEAD are supported\n";
+    send_all(fd, render_response(r, false, "Allow: GET, HEAD"));
+    return;
+  }
+  const std::size_t query = target.find('?');
+  const std::string path =
+      query == std::string::npos ? target : target.substr(0, query);
+  const auto it = routes_.find(path);
+  if (it == routes_.end()) {
+    HttpResponse r;
+    r.status = 404;
+    r.body = "no such endpoint: " + path + "\n";
+    send_all(fd, render_response(r, method == "HEAD", nullptr));
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  HttpResponse r = it->second();
+  handler_seconds.record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+  send_all(fd, render_response(r, method == "HEAD", nullptr));
+}
+
+}  // namespace m3dfl::obs

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace m3dfl::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal dependency-free HTTP/1.1 admin server over POSIX sockets — the
+/// live-introspection plane of a long-running `m3dfl serve` process.
+///
+/// Design constraints, in order:
+///  * zero coupling to the serving hot path: handlers are plain callables
+///    that read registry/tracer/exemplar snapshots; the server never holds
+///    a lock a worker thread could want;
+///  * bounded resources: one accept thread, a fixed handler pool, a bounded
+///    connection queue (overflow answers 503 immediately), and an 8 KiB
+///    request cap — a misbehaving scraper cannot balloon memory;
+///  * honest HTTP: GET/HEAD only (405 + Allow otherwise), 404 for unknown
+///    paths, 400 for garbage, Connection: close on every response — every
+///    request is one short-lived connection, which keeps the state machine
+///    trivially correct under concurrent curls.
+///
+/// The server binds loopback by default: it is an operator plane, not a
+/// public listener. Start with port 0 for an ephemeral port (tests);
+/// port() reports the bound one.
+class AdminHttpServer {
+ public:
+  /// Handlers run on a pool thread per request and must be thread-safe
+  /// (the built-in endpoints only read snapshots).
+  using Handler = std::function<HttpResponse()>;
+
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;                 ///< 0 = ephemeral.
+    std::size_t handler_threads = 2;        ///< Bounded handler pool.
+    std::size_t max_queued_connections = 16;
+    int io_timeout_ms = 2000;               ///< Per-connection recv/send cap.
+  };
+
+  AdminHttpServer() = default;
+  ~AdminHttpServer();
+
+  AdminHttpServer(const AdminHttpServer&) = delete;
+  AdminHttpServer& operator=(const AdminHttpServer&) = delete;
+
+  /// Registers a GET/HEAD route (exact path match, query string ignored).
+  /// Call before start().
+  void handle(std::string path, Handler handler);
+
+  /// Binds, listens, and spins up the accept thread + handler pool.
+  /// Returns false (and fills *error) on socket failures. Idempotent-safe:
+  /// starting a started server fails.
+  bool start(const Options& opts, std::string* error = nullptr);
+
+  /// Stops accepting, drains queued connections, joins every thread.
+  /// Safe to call twice; the destructor calls it.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Bound port (valid after a successful start()).
+  std::uint16_t port() const { return port_; }
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void handler_loop();
+  void serve_connection(int fd);
+
+  Options opts_;
+  std::map<std::string, Handler> routes_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> handlers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;  ///< Accepted fds awaiting a handler thread.
+};
+
+}  // namespace m3dfl::obs

@@ -1,0 +1,146 @@
+#include "obs/log.h"
+
+#include <cstdarg>
+#include <chrono>
+#include <sstream>
+
+namespace m3dfl::obs {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+LogField LogField::str(std::string key, std::string value) {
+  return {std::move(key), std::move(value), true};
+}
+
+LogField LogField::num(std::string key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return {std::move(key), buf, false};
+}
+
+LogField LogField::num(std::string key, std::uint64_t value) {
+  return {std::move(key), std::to_string(value), false};
+}
+
+LogField LogField::boolean(std::string key, bool value) {
+  return {std::move(key), value ? "true" : "false", false};
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_stream(std::FILE* stream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stream_ = stream;
+}
+
+void Logger::log(LogLevel level, const char* component,
+                 std::string_view message,
+                 const std::vector<LogField>& fields) {
+  if (!enabled(level)) return;
+  std::string line;
+  if (json()) {
+    const auto ts_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    std::ostringstream os;
+    os << "{\"ts_ms\":" << ts_ms << ",\"level\":\"" << log_level_name(level)
+       << "\",\"component\":\"" << json_escape(component) << "\",\"msg\":\""
+       << json_escape(message) << "\"";
+    if (!fields.empty()) {
+      os << ",\"fields\":{";
+      bool first = true;
+      for (const LogField& f : fields) {
+        os << (first ? "" : ",") << "\"" << json_escape(f.key) << "\":";
+        if (f.quoted) {
+          os << "\"" << json_escape(f.value) << "\"";
+        } else {
+          os << f.value;
+        }
+        first = false;
+      }
+      os << "}";
+    }
+    os << "}\n";
+    line = os.str();
+  } else {
+    line.append(message);
+    for (const LogField& f : fields) {
+      line += "  ";
+      line += f.key;
+      line += '=';
+      line += f.value;
+    }
+    line += '\n';
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::FILE* out = stream_ ? stream_ : stderr;
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fflush(out);
+  }
+  records_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Logger::logf(LogLevel level, const char* component, const char* fmt,
+                  ...) {
+  if (!enabled(level)) return;
+  char stack_buf[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
+  va_end(args);
+  if (n < 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (static_cast<std::size_t>(n) < sizeof(stack_buf)) {
+    va_end(args_copy);
+    log(level, component, std::string_view(stack_buf,
+                                           static_cast<std::size_t>(n)));
+    return;
+  }
+  std::string big(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(big.data(), big.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  log(level, component, big);
+}
+
+}  // namespace m3dfl::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 namespace m3dfl::obs {
@@ -77,6 +79,11 @@ void LatencyHistogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   total_nanos_.store(0, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::total_seconds() const {
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
+         1e9;
 }
 
 double LatencyHistogram::mean_seconds() const {
@@ -177,6 +184,262 @@ std::string MetricsRegistry::to_json() const {
   }
   os << "}}";
   return os.str();
+}
+
+std::string prometheus_metric_name(const std::string& name) {
+  std::string out = "m3dfl_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  char buf[48];
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prometheus_metric_name(name) + "_total";
+    os << "# HELP " << n << " m3dfl counter " << name << "\n"
+       << "# TYPE " << n << " counter\n"
+       << n << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = prometheus_metric_name(name);
+    double v = g->value();
+    if (!std::isfinite(v)) v = 0.0;
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os << "# HELP " << n << " m3dfl gauge " << name << "\n"
+       << "# TYPE " << n << " gauge\n"
+       << n << " " << buf << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prometheus_metric_name(name);
+    os << "# HELP " << n << " m3dfl latency histogram " << name
+       << " (seconds)\n"
+       << "# TYPE " << n << " histogram\n";
+    // One snapshot per bucket, accumulated low-to-high: bucket i of the
+    // half-open-left histogram holds exactly the values <= its upper bound
+    // and > the previous one, so the running sum IS the Prometheus
+    // cumulative le-count.
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      cum += h->bucket_count(i);
+      // %.17g: shortest form that still round-trips any double bit-exactly
+      // through strtod — scrape-side bounds compare equal to
+      // bucket_upper_seconds(i).
+      std::snprintf(buf, sizeof(buf), "%.17g",
+                    LatencyHistogram::bucket_upper_seconds(i));
+      os << n << "_bucket{le=\"" << buf << "\"} " << cum << "\n";
+    }
+    const std::uint64_t count = h->count();
+    os << n << "_bucket{le=\"+Inf\"} " << count << "\n";
+    std::snprintf(buf, sizeof(buf), "%.17g", h->total_seconds());
+    os << n << "_sum " << buf << "\n" << n << "_count " << count << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Splits "name{labels} value" into its parts; returns false on syntax
+/// errors. Label parsing only has to be exact enough for the lint: it
+/// honors \" escapes inside label values.
+struct SampleLine {
+  std::string metric;
+  std::string labels;  ///< Raw text between { and }, empty if none.
+  double value = 0.0;
+};
+
+bool parse_sample_line(const std::string& line, SampleLine* out) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  if (i == 0 || i == line.size()) return false;
+  out->metric = line.substr(0, i);
+  for (char c : out->metric) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) return false;
+  }
+  out->labels.clear();
+  if (line[i] == '{') {
+    const std::size_t start = ++i;
+    bool in_string = false;
+    for (; i < line.size(); ++i) {
+      if (in_string) {
+        if (line[i] == '\\') {
+          ++i;  // Skip the escaped character.
+        } else if (line[i] == '"') {
+          in_string = false;
+        }
+      } else if (line[i] == '"') {
+        in_string = true;
+      } else if (line[i] == '}') {
+        break;
+      }
+    }
+    if (i >= line.size()) return false;  // Unterminated label set.
+    out->labels = line.substr(start, i - start);
+    ++i;
+  }
+  if (i >= line.size() || line[i] != ' ') return false;
+  const std::string value_text = line.substr(i + 1);
+  if (value_text.empty()) return false;
+  char* end = nullptr;
+  out->value = std::strtod(value_text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// The histogram base name of a sample ("x_bucket" -> "x"), or the metric
+/// itself for _sum/_count.
+std::string strip_suffix(const std::string& metric, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  if (metric.size() > n &&
+      metric.compare(metric.size() - n, n, suffix) == 0) {
+    return metric.substr(0, metric.size() - n);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::string> prometheus_lint(const std::string& exposition) {
+  std::vector<std::string> errors;
+  std::map<std::string, std::string> type_of;   ///< base name -> TYPE.
+  std::map<std::string, bool> has_help;
+  struct HistState {
+    std::uint64_t last_cum = 0;
+    bool saw_inf = false;
+    double last_le = -1.0;
+    std::uint64_t inf_value = 0;
+    bool has_count = false;
+    std::uint64_t count_value = 0;
+  };
+  std::map<std::string, HistState> hists;
+
+  std::istringstream is(exposition);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto err = [&](const std::string& msg) {
+      errors.push_back("line " + std::to_string(lineno) + ": " + msg);
+    };
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, name, rest;
+      ls >> hash >> kind >> name;
+      if (kind == "TYPE") {
+        ls >> rest;
+        if (rest != "counter" && rest != "gauge" && rest != "histogram" &&
+            rest != "summary" && rest != "untyped") {
+          err("unknown TYPE '" + rest + "' for " + name);
+        }
+        if (!has_help.count(name)) {
+          err("# TYPE " + name + " has no preceding # HELP");
+        }
+        if (type_of.count(name)) err("duplicate # TYPE for " + name);
+        type_of[name] = rest;
+      } else if (kind == "HELP") {
+        has_help[name] = true;
+      }
+      continue;
+    }
+    SampleLine s;
+    if (!parse_sample_line(line, &s)) {
+      err("unparsable sample line '" + line + "'");
+      continue;
+    }
+    // Resolve the declared family: the metric itself (counter/gauge) or
+    // its histogram base via the _bucket/_sum/_count suffix.
+    std::string base = s.metric;
+    std::string series;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string stripped = strip_suffix(s.metric, suffix);
+      if (!stripped.empty() && type_of.count(stripped) &&
+          type_of[stripped] == "histogram") {
+        base = stripped;
+        series = suffix;
+        break;
+      }
+    }
+    if (!type_of.count(base)) {
+      err("sample " + s.metric + " has no preceding # TYPE");
+      continue;
+    }
+    if (type_of[base] == "histogram") {
+      HistState& h = hists[base];
+      if (series == "_bucket") {
+        // Extract the le label.
+        const std::string key = "le=\"";
+        const std::size_t at = s.labels.find(key);
+        if (at == std::string::npos) {
+          err(s.metric + " bucket sample without le label");
+          continue;
+        }
+        const std::size_t end = s.labels.find('"', at + key.size());
+        const std::string le = s.labels.substr(at + key.size(),
+                                               end - at - key.size());
+        const auto cum = static_cast<std::uint64_t>(s.value);
+        if (cum < h.last_cum) {
+          err(base + " bucket counts not cumulative at le=" + le);
+        }
+        h.last_cum = cum;
+        if (le == "+Inf") {
+          h.saw_inf = true;
+          h.inf_value = cum;
+        } else {
+          char* lend = nullptr;
+          const double bound = std::strtod(le.c_str(), &lend);
+          if (lend == nullptr || *lend != '\0') {
+            err(base + " has unparsable le value '" + le + "'");
+          } else if (bound <= h.last_le) {
+            err(base + " le bounds not increasing at " + le);
+          } else {
+            h.last_le = bound;
+          }
+          if (h.saw_inf) err(base + " has buckets after le=\"+Inf\"");
+        }
+      } else if (series == "_count") {
+        h.has_count = true;
+        h.count_value = static_cast<std::uint64_t>(s.value);
+      }
+      // _sum: any finite number is fine (parse already checked).
+    }
+  }
+  for (const auto& [base, h] : hists) {
+    if (!h.saw_inf) {
+      errors.push_back("histogram " + base + " missing le=\"+Inf\" bucket");
+    } else if (h.has_count && h.inf_value != h.count_value) {
+      errors.push_back("histogram " + base + " +Inf bucket (" +
+                       std::to_string(h.inf_value) + ") != _count (" +
+                       std::to_string(h.count_value) + ")");
+    }
+    if (!h.has_count) {
+      errors.push_back("histogram " + base + " missing _count series");
+    }
+  }
+  return errors;
 }
 
 }  // namespace m3dfl::obs

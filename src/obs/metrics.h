@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace m3dfl::obs {
 
@@ -29,6 +30,9 @@ class LatencyHistogram {
 
   std::uint64_t count() const;
   double mean_seconds() const;
+  /// Sum of recorded values (nanosecond granularity) — the Prometheus
+  /// `_sum` series.
+  double total_seconds() const;
   /// pct in [0, 100]. Returns 0 when empty.
   double percentile_seconds(double pct) const;
 
@@ -97,6 +101,14 @@ class MetricsRegistry {
   ///  p50_ms,p95_ms,p99_ms}}}
   std::string to_json() const;
 
+  /// Prometheus text exposition (format 0.0.4) of every registered metric:
+  /// counters as `<name>_total`, gauges as-is, histograms as cumulative
+  /// `_bucket{le="..."}` series plus `_sum`/`_count`. The 48 `le` bounds
+  /// are the exact LatencyHistogram::bucket_upper_seconds doubles, printed
+  /// with %.17g so strtod() round-trips them bit-exactly. Registry names
+  /// are sanitized via prometheus_metric_name().
+  std::string to_prometheus() const;
+
  private:
   MetricsRegistry() = default;
 
@@ -105,5 +117,23 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
 };
+
+/// Maps a registry metric name onto the Prometheus grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: every other character becomes '_' and the
+/// result gains an "m3dfl_" namespace prefix ("serve.queue_seconds" ->
+/// "m3dfl_serve_queue_seconds").
+std::string prometheus_metric_name(const std::string& name);
+
+/// Escapes a label value for the exposition format (backslash, double
+/// quote, newline).
+std::string prometheus_escape_label(const std::string& value);
+
+/// Structural conformance lint of an exposition page: every sample needs a
+/// preceding # TYPE (with a # HELP), TYPE values must be known, histogram
+/// bucket series must be cumulative/monotone and end in le="+Inf" matching
+/// `_count`, and sample values must parse as numbers. Returns one message
+/// per violation (empty == conformant). Used by the tests and the
+/// `prom_lint` CI tool against a live /metrics page.
+std::vector<std::string> prometheus_lint(const std::string& exposition);
 
 }  // namespace m3dfl::obs

@@ -1,0 +1,128 @@
+#include "serve/admin.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/build_info.h"
+#include "obs/exemplar.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/service.h"
+
+namespace m3dfl::serve {
+
+namespace {
+
+/// How many of the most recent tracer spans /tracez returns. The tracer
+/// rings hold thousands; the admin page is a tail, not an export — use
+/// `m3dfl serve --trace out.json` for the full Chrome trace.
+constexpr std::size_t kTracezSpanLimit = 64;
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+void register_admin_endpoints(obs::AdminHttpServer& server,
+                              const DiagnosisService& service) {
+  const auto t_registered = std::chrono::steady_clock::now();
+
+  server.handle("/healthz", [] {
+    obs::HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  });
+
+  server.handle("/readyz", [&service] {
+    obs::HttpResponse r;
+    if (service.ready()) {
+      r.body = "ready\n";
+    } else {
+      r.status = 503;
+      r.body = "not ready: no model published under '" +
+               service.options().model_name + "'\n";
+    }
+    return r;
+  });
+
+  server.handle("/metrics", [] {
+    obs::HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = obs::MetricsRegistry::instance().to_prometheus();
+    return r;
+  });
+
+  server.handle("/metrics.json", [&service] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = "{\"registry\":" + obs::MetricsRegistry::instance().to_json() +
+             ",\"service\":" + service.metrics().to_json() + "}";
+    return r;
+  });
+
+  server.handle("/statusz", [&service, t_registered] {
+    const ServiceOptions& o = service.options();
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_registered)
+            .count();
+    std::ostringstream os;
+    os << "{\"build\":" << obs::build_info_json()
+       << ",\"uptime_seconds\":" << num(uptime) << ",\"obs\":{"
+       << "\"tracing_enabled\":"
+       << (obs::Tracer::instance().enabled() ? "true" : "false")
+       << ",\"exemplars_enabled\":"
+       << (obs::ExemplarStore::instance().enabled() ? "true" : "false")
+       << "},\"service\":{"
+       << "\"model_name\":\"" << obs::json_escape(o.model_name) << "\""
+       << ",\"model_version\":" << service.live_model_version()
+       << ",\"ready\":" << (service.ready() ? "true" : "false")
+       << ",\"num_threads\":" << o.num_threads
+       << ",\"max_batch\":" << o.max_batch
+       << ",\"max_wait_us\":" << o.max_wait.count()
+       << ",\"cache_capacity\":" << o.cache_capacity
+       << ",\"batcher_pending_high_water\":" << service.batcher_high_water()
+       << "}}";
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = os.str();
+    return r;
+  });
+
+  server.handle("/tracez", [] {
+    std::vector<obs::SpanEvent> spans = obs::Tracer::instance().snapshot();
+    // Tail of the snapshot by start time — the most recent activity.
+    std::sort(spans.begin(), spans.end(),
+              [](const obs::SpanEvent& a, const obs::SpanEvent& b) {
+                return a.start_ns < b.start_ns;
+              });
+    const std::size_t begin =
+        spans.size() > kTracezSpanLimit ? spans.size() - kTracezSpanLimit : 0;
+    std::ostringstream os;
+    os << "{\"dropped\":" << obs::Tracer::instance().dropped()
+       << ",\"spans\":[";
+    for (std::size_t i = begin; i < spans.size(); ++i) {
+      const obs::SpanEvent& e = spans[i];
+      if (i != begin) os << ',';
+      os << "{\"name\":\"" << obs::json_escape(e.name ? e.name : "")
+         << "\",\"cat\":\"" << obs::json_escape(e.category ? e.category : "")
+         << "\",\"start_us\":" << num(static_cast<double>(e.start_ns) / 1e3)
+         << ",\"dur_us\":" << num(static_cast<double>(e.dur_ns) / 1e3)
+         << ",\"tid\":" << e.tid << ",\"depth\":" << e.depth << '}';
+    }
+    os << "],\"exemplars\":" << obs::ExemplarStore::instance().to_json()
+       << '}';
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = os.str();
+    return r;
+  });
+}
+
+}  // namespace m3dfl::serve

@@ -61,6 +61,9 @@ class Batcher {
         deadline_ = std::chrono::steady_clock::now() + opts_.max_wait;
       }
       pending_.push_back(std::move(item));
+      if (pending_.size() > pending_high_water_) {
+        pending_high_water_ = pending_.size();
+      }
     }
     cv_.notify_one();
   }
@@ -68,6 +71,13 @@ class Batcher {
   std::uint64_t batches_flushed() const {
     std::lock_guard<std::mutex> lock(mu_);
     return batches_;
+  }
+
+  /// High-water mark of items waiting in the batcher (queue-depth signal
+  /// the admin plane's /statusz reports).
+  std::size_t pending_high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_high_water_;
   }
 
   const Options& options() const { return opts_; }
@@ -125,6 +135,7 @@ class Batcher {
   std::vector<Item> pending_;
   std::chrono::steady_clock::time_point deadline_{};
   std::uint64_t batches_ = 0;
+  std::size_t pending_high_water_ = 0;
   bool stop_ = false;
   std::thread thread_;
 };

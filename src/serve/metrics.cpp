@@ -56,6 +56,13 @@ void ServiceMetrics::on_complete(double seconds, bool ok) {
   latency_.record(seconds);
 }
 
+void ServiceMetrics::on_complete_split(double queue_seconds,
+                                       double service_seconds, bool ok) {
+  queue_wait_.record(queue_seconds);
+  service_time_.record(service_seconds);
+  on_complete(queue_seconds + service_seconds, ok);
+}
+
 MetricsSnapshot ServiceMetrics::snapshot() const {
   MetricsSnapshot s;
   s.requests = requests_.load(std::memory_order_relaxed);
@@ -86,6 +93,10 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.p50_ms = 1e3 * latency_.percentile_seconds(50.0);
   s.p95_ms = 1e3 * latency_.percentile_seconds(95.0);
   s.p99_ms = 1e3 * latency_.percentile_seconds(99.0);
+  s.mean_queue_ms = 1e3 * queue_wait_.mean_seconds();
+  s.p95_queue_ms = 1e3 * queue_wait_.percentile_seconds(95.0);
+  s.mean_service_ms = 1e3 * service_time_.mean_seconds();
+  s.p95_service_ms = 1e3 * service_time_.percentile_seconds(95.0);
   return s;
 }
 
@@ -108,6 +119,8 @@ std::string ServiceMetrics::render(const std::string& title) const {
   table.add_row({"p50 latency (ms)", fmt(s.p50_ms, 3)});
   table.add_row({"p95 latency (ms)", fmt(s.p95_ms, 3)});
   table.add_row({"p99 latency (ms)", fmt(s.p99_ms, 3)});
+  table.add_row({"mean queue wait (ms)", fmt(s.mean_queue_ms, 3)});
+  table.add_row({"mean service time (ms)", fmt(s.mean_service_ms, 3)});
   return table.to_string();
 }
 
@@ -131,7 +144,11 @@ std::string ServiceMetrics::to_json() const {
      << ",\"hot_swaps_observed\":" << s.hot_swaps_observed
      << ",\"latency_ms\":{\"mean\":" << num(s.mean_latency_ms)
      << ",\"p50\":" << num(s.p50_ms) << ",\"p95\":" << num(s.p95_ms)
-     << ",\"p99\":" << num(s.p99_ms) << "}}";
+     << ",\"p99\":" << num(s.p99_ms) << "}"
+     << ",\"queue_ms\":{\"mean\":" << num(s.mean_queue_ms)
+     << ",\"p95\":" << num(s.p95_queue_ms) << "}"
+     << ",\"service_ms\":{\"mean\":" << num(s.mean_service_ms)
+     << ",\"p95\":" << num(s.p95_service_ms) << "}}";
   return os.str();
 }
 

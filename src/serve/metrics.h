@@ -48,6 +48,14 @@ struct MetricsSnapshot {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  /// Queue-wait (submit -> worker pickup) and service-time (pickup ->
+  /// response ready) split of the end-to-end latency. Populated by
+  /// on_complete_split(); requests recorded through the legacy
+  /// on_complete() overload contribute to the totals only.
+  double mean_queue_ms = 0.0;
+  double p95_queue_ms = 0.0;
+  double mean_service_ms = 0.0;
+  double p95_service_ms = 0.0;
 };
 
 /// Counters + latency histogram for the diagnosis service. All mutators are
@@ -60,7 +68,15 @@ class ServiceMetrics {
   void on_cache(bool hit);
   void on_model_version(std::uint64_t version);
   /// completed++, in-flight--, latency recorded; errors++ when !ok.
+  /// Records the end-to-end total only (queue/service histograms
+  /// untouched) — kept for callers that cannot attribute the split.
   void on_complete(double seconds, bool ok);
+  /// The split-accounting variant the service uses: total = queue +
+  /// service by construction (the worker-pickup instant is the shared
+  /// boundary), so the lump latency histogram stays comparable with
+  /// pre-split records while the two components get their own histograms.
+  void on_complete_split(double queue_seconds, double service_seconds,
+                         bool ok);
 
   MetricsSnapshot snapshot() const;
 
@@ -72,6 +88,8 @@ class ServiceMetrics {
   std::string to_json() const;
 
   const LatencyHistogram& latency() const { return latency_; }
+  const LatencyHistogram& queue_wait() const { return queue_wait_; }
+  const LatencyHistogram& service_time() const { return service_time_; }
 
  private:
   std::atomic<std::uint64_t> requests_{0};
@@ -85,7 +103,9 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> hot_swaps_observed_{0};
   std::atomic<std::uint64_t> last_version_{0};
-  LatencyHistogram latency_;
+  LatencyHistogram latency_;       ///< End-to-end (queue + service).
+  LatencyHistogram queue_wait_;    ///< submit -> worker pickup.
+  LatencyHistogram service_time_;  ///< worker pickup -> response ready.
 };
 
 }  // namespace m3dfl::serve

@@ -71,6 +71,10 @@ std::uint64_t ModelRegistry::version(const std::string& name) const {
   return p ? p->version : 0;
 }
 
+bool ModelRegistry::has_published(const std::string& name) const {
+  return current(name) != nullptr;
+}
+
 std::vector<std::string> ModelRegistry::names() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;

@@ -98,6 +98,10 @@ class ModelRegistry {
   /// Latest version of `name`, 0 when never published.
   std::uint64_t version(const std::string& name) const;
 
+  /// True once any framework has been published under `name` — the admin
+  /// plane's /readyz predicate.
+  bool has_published(const std::string& name) const;
+
   std::vector<std::string> names() const;
 
  private:

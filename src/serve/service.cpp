@@ -6,6 +6,8 @@
 
 #include "diagnosis/diagnoser.h"
 #include "graphx/backtrace.h"
+#include "obs/exemplar.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace m3dfl::serve {
@@ -92,6 +94,7 @@ std::future<DiagnosisResponse> DiagnosisService::submit(
   Pending p;
   p.log = std::move(log);
   p.promise = std::make_shared<std::promise<DiagnosisResponse>>();
+  p.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   p.t_submit = std::chrono::steady_clock::now();
   std::future<DiagnosisResponse> future = p.promise->get_future();
   {
@@ -107,7 +110,8 @@ std::future<DiagnosisResponse> DiagnosisService::submit(
   if (p.state == nullptr) {
     DiagnosisResponse r;
     r.error = "design not registered with the service";
-    metrics_.on_complete(0.0, false);
+    r.request_id = p.request_id;
+    metrics_.on_complete_split(0.0, 0.0, false);
     p.promise->set_value(std::move(r));
     {
       std::lock_guard<std::mutex> lock(drain_mu_);
@@ -123,9 +127,11 @@ std::future<DiagnosisResponse> DiagnosisService::submit(
 void DiagnosisService::flush_batch(std::vector<Pending>&& batch,
                                    FlushReason reason) {
   metrics_.on_batch(batch.size(), reason);
+  const auto t_flush = std::chrono::steady_clock::now();
   // Fan the batch out: every request becomes one executor task, so a batch
   // of B occupies min(B, num_threads) workers concurrently.
   for (Pending& item : batch) {
+    item.t_flush = t_flush;
     executor_.post([this, p = std::move(item)]() mutable { process(p); });
   }
 }
@@ -154,16 +160,35 @@ void DiagnosisService::release_context(DesignState& state,
 
 void DiagnosisService::process(Pending& p) {
   M3DFL_OBS_SPAN(span, "serve.process");
+  using clock = std::chrono::steady_clock;
+  // Worker pickup: the boundary between queue wait and service time. Queue
+  // wait = batcher dwell + executor queue; service = everything below.
+  const clock::time_point t_start = clock::now();
+  const bool want_exemplar = obs::ExemplarStore::instance().enabled();
+  auto rel_ms = [&p](clock::time_point a, clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+  std::vector<obs::ExemplarStage> stages;
+  if (want_exemplar) {
+    stages.push_back({"serve.batcher_wait", 0.0, rel_ms(p.t_submit, t_start)});
+  }
   DiagnosisResponse r;
+  r.request_id = p.request_id;
   try {
     const ModelRegistry::Published* published = model_.current();
     if (!published) {
       r.error = "no framework published under '" + opts_.model_name + "'";
     } else {
       const eval::Design& d = *p.state->design;
+      const clock::time_point t_diag0 = clock::now();
       std::unique_ptr<WorkerContext> ctx = acquire_context(*p.state);
       r.atpg_report = ctx->diagnoser->diagnose(p.log);
       release_context(*p.state, std::move(ctx));
+      const clock::time_point t_diag1 = clock::now();
+      if (want_exemplar) {
+        stages.push_back({"serve.diagnose", rel_ms(p.t_submit, t_diag0),
+                          rel_ms(t_diag0, t_diag1)});
+      }
 
       const CacheKey key{&d, failure_log_fingerprint(p.log)};
       std::shared_ptr<const graphx::SubGraph> sub = subgraph_cache_.get(key);
@@ -171,15 +196,25 @@ void DiagnosisService::process(Pending& p) {
       metrics_.on_cache(r.cache_hit);
       if (!sub) {
         M3DFL_OBS_SPAN(bt_span, "serve.backtrace");
+        const clock::time_point t_bt0 = clock::now();
         sub = std::make_shared<const graphx::SubGraph>(
             graphx::backtrace_subgraph(*d.graph, p.log, d.scan));
         subgraph_cache_.put(key, sub);
+        if (want_exemplar) {
+          stages.push_back({"serve.backtrace", rel_ms(p.t_submit, t_bt0),
+                            rel_ms(t_bt0, clock::now())});
+        }
       }
 
+      const clock::time_point t_pol0 = clock::now();
       r.outcome =
           core::apply_policy(r.atpg_report, *sub,
                              published->framework.models(),
                              published->framework.policy);
+      if (want_exemplar) {
+        stages.push_back({"serve.policy", rel_ms(p.t_submit, t_pol0),
+                          rel_ms(t_pol0, clock::now())});
+      }
       r.model_version = published->version;
       metrics_.on_model_version(published->version);
       r.ok = true;
@@ -188,10 +223,34 @@ void DiagnosisService::process(Pending& p) {
     r.ok = false;
     r.error = e.what();
   }
-  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            p.t_submit)
-                  .count();
-  metrics_.on_complete(r.seconds, r.ok);
+  r.queue_seconds =
+      std::chrono::duration<double>(t_start - p.t_submit).count();
+  r.service_seconds =
+      std::chrono::duration<double>(clock::now() - t_start).count();
+  r.seconds = r.queue_seconds + r.service_seconds;
+  metrics_.on_complete_split(r.queue_seconds, r.service_seconds, r.ok);
+  {
+    // Resolved once; record() is wait-free, so the global registry adds no
+    // lock to the completion path.
+    static obs::LatencyHistogram& queue_hist =
+        obs::MetricsRegistry::instance().histogram("serve.queue_wait_seconds");
+    static obs::LatencyHistogram& service_hist =
+        obs::MetricsRegistry::instance().histogram("serve.service_seconds");
+    queue_hist.record(r.queue_seconds);
+    service_hist.record(r.service_seconds);
+  }
+  if (want_exemplar) {
+    obs::RequestExemplar ex;
+    ex.request_id = r.request_id;
+    ex.total_ms = 1e3 * r.seconds;
+    ex.queue_ms = 1e3 * r.queue_seconds;
+    ex.service_ms = 1e3 * r.service_seconds;
+    ex.ok = r.ok;
+    ex.cache_hit = r.cache_hit;
+    ex.model_version = r.model_version;
+    ex.stages = std::move(stages);
+    obs::ExemplarStore::instance().offer(std::move(ex));
+  }
   p.promise->set_value(std::move(r));
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
@@ -211,6 +270,16 @@ DiagnosisResponse DiagnosisService::diagnose_direct(
   r.outcome = core::apply_policy(r.atpg_report, sub, fw.models(), fw.policy);
   r.ok = true;
   return r;
+}
+
+bool DiagnosisService::ready() const {
+  const ModelRegistry::Published* published = model_.current();
+  return published != nullptr && executor_.num_threads() > 0;
+}
+
+std::uint64_t DiagnosisService::live_model_version() const {
+  const ModelRegistry::Published* published = model_.current();
+  return published ? published->version : 0;
 }
 
 void DiagnosisService::drain() {

@@ -42,7 +42,10 @@ struct DiagnosisResponse {
   core::PolicyOutcome outcome;       ///< Policy-updated report + tier/MIVs.
   std::uint64_t model_version = 0;   ///< Registry version that served this.
   bool cache_hit = false;            ///< Sub-graph came from the LRU cache.
+  std::uint64_t request_id = 0;      ///< Service-assigned (1-based) trace id.
   double seconds = 0.0;              ///< End-to-end latency (submit→ready).
+  double queue_seconds = 0.0;    ///< submit → worker pickup (batcher+queue).
+  double service_seconds = 0.0;  ///< worker pickup → response ready.
 };
 
 /// Long-lived, concurrent diagnosis-inference service:
@@ -94,6 +97,18 @@ class DiagnosisService {
   const ServiceMetrics& metrics() const { return metrics_; }
   const ServiceOptions& options() const { return opts_; }
 
+  /// Admin-plane readiness: a framework is published under the served
+  /// model name and the executor pool is up.
+  bool ready() const;
+
+  /// Registry version currently being served (0 before the first publish).
+  std::uint64_t live_model_version() const;
+
+  /// Batcher queue-depth high-water mark (see Batcher::pending_high_water).
+  std::size_t batcher_high_water() const {
+    return batcher_.pending_high_water();
+  }
+
  private:
   /// Private stateful diagnosis context (one per concurrently running
   /// task; pooled per design).
@@ -104,7 +119,10 @@ class DiagnosisService {
     DesignState* state = nullptr;
     sim::FailureLog log;
     std::shared_ptr<std::promise<DiagnosisResponse>> promise;
+    std::uint64_t request_id = 0;  ///< Assigned by submit(), rides the
+                                   ///< batcher into the worker span.
     std::chrono::steady_clock::time_point t_submit;
+    std::chrono::steady_clock::time_point t_flush;  ///< Batcher hand-off.
   };
 
   struct CacheKey {
@@ -138,6 +156,7 @@ class DiagnosisService {
   std::condition_variable drain_cv_;
   std::uint64_t accepted_ = 0;
   std::uint64_t finished_ = 0;
+  std::atomic<std::uint64_t> next_request_id_{1};
 
   // Destruction order matters: ~batcher_ flushes pending items into
   // executor_, ~executor_ runs every queued task to completion, and both

@@ -11,10 +11,12 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "eval/datagen.h"
+#include "obs/exemplar.h"
 #include "eval/experiments.h"
 #include "eval/framework_io.h"
 #include "serve/batcher.h"
@@ -547,6 +549,80 @@ TEST(DiagnosisService, MissingModelFailsCleanly) {
       service.submit(*fx.design, fx.logs[0]).get();
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.error.find("no framework"), std::string::npos);
+}
+
+TEST(DiagnosisService, SplitsLatencyAndAssignsDistinctRequestIds) {
+  ServedFixture fx(4);
+  serve::ModelRegistry registry;
+  registry.publish("default", fx.fw);
+  serve::ServiceOptions opts;
+  opts.num_threads = 2;
+  serve::DiagnosisService service(registry, opts);
+  service.register_design(*fx.design);
+
+  std::vector<std::future<serve::DiagnosisResponse>> futures;
+  for (const sim::FailureLog& log : fx.logs) {
+    futures.push_back(service.submit(*fx.design, log));
+  }
+  std::set<std::uint64_t> ids;
+  for (auto& f : futures) {
+    const serve::DiagnosisResponse r = f.get();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.request_id, 0u);
+    ids.insert(r.request_id);
+    EXPECT_GE(r.queue_seconds, 0.0);
+    EXPECT_GT(r.service_seconds, 0.0);
+    // The split is exact by construction: worker pickup is the shared
+    // boundary instant of both measurements.
+    EXPECT_DOUBLE_EQ(r.seconds, r.queue_seconds + r.service_seconds);
+  }
+  EXPECT_EQ(ids.size(), fx.logs.size());  // Ids are distinct.
+  service.drain();
+  const serve::MetricsSnapshot s = service.metrics().snapshot();
+  EXPECT_EQ(s.completed, fx.logs.size());
+  EXPECT_GT(s.mean_service_ms, 0.0);
+  EXPECT_GE(s.mean_queue_ms, 0.0);
+  EXPECT_GE(s.p95_queue_ms, 0.0);
+}
+
+TEST(DiagnosisService, ExemplarStoreCapturesServedRequests) {
+  obs::ExemplarStore& store = obs::ExemplarStore::instance();
+  store.clear();
+  store.set_enabled(true);
+
+  ServedFixture fx(3);
+  serve::ModelRegistry registry;
+  registry.publish("default", fx.fw);
+  serve::ServiceOptions opts;
+  opts.num_threads = 2;
+  {
+    serve::DiagnosisService service(registry, opts);
+    service.register_design(*fx.design);
+    std::vector<std::future<serve::DiagnosisResponse>> futures;
+    for (const sim::FailureLog& log : fx.logs) {
+      futures.push_back(service.submit(*fx.design, log));
+    }
+    for (auto& f : futures) ASSERT_TRUE(f.get().ok);
+    service.drain();
+  }
+  store.set_enabled(false);
+
+  const std::vector<obs::RequestExemplar> kept = store.snapshot();
+  ASSERT_FALSE(kept.empty());
+  bool saw_wait = false, saw_diag = false;
+  for (const obs::RequestExemplar& e : kept) {
+    EXPECT_GT(e.request_id, 0u);
+    EXPECT_TRUE(e.ok);
+    // The queue/service split must agree with the total.
+    EXPECT_NEAR(e.total_ms, e.queue_ms + e.service_ms, 1e-9);
+    for (const obs::ExemplarStage& s : e.stages) {
+      saw_wait = saw_wait || std::string(s.name) == "serve.batcher_wait";
+      saw_diag = saw_diag || std::string(s.name) == "serve.diagnose";
+    }
+  }
+  EXPECT_TRUE(saw_wait);
+  EXPECT_TRUE(saw_diag);
+  store.clear();
 }
 
 TEST(FailureLogFingerprint, DistinguishesLogsAndModes) {

@@ -1,0 +1,271 @@
+// bench_compare — the benchmark-regression gate.
+//
+// Compares a freshly generated BENCH_*.json (google-benchmark
+// --benchmark_format=json output, as produced by bench/serve_throughput and
+// bench/datagen_throughput) against the committed baseline under
+// bench/baselines/, and fails when any benchmark's primary throughput
+// counter regressed by more than --max-regression-pct.
+//
+//   bench_compare --baseline bench/baselines/BENCH_serve_throughput.json \
+//                 --fresh build/BENCH_serve_throughput.json \
+//                 [--max-regression-pct 25] [--counter auto]
+//
+// Throughput counter per benchmark: requests_per_second if present, else
+// items_per_second, else the inverse of real_time (so lower-is-better
+// timings still gate). Benchmarks present only in one file are reported but
+// never fail the gate (new benchmarks land without a baseline first).
+//
+// Exit codes: 0 within budget, 1 regression beyond budget, 2 usage/parse
+// error — mirroring the m3dfl CLI convention.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitUsage = 2;
+
+int usage() {
+  std::fputs(
+      "usage: bench_compare --baseline FILE --fresh FILE\n"
+      "                     [--max-regression-pct P] (default 25)\n"
+      "compares per-benchmark throughput counters (requests_per_second,\n"
+      "items_per_second, or 1/real_time) and fails on a regression > P%\n"
+      "exit codes: 0 ok, 1 regression, 2 usage/parse error\n",
+      stderr);
+  return kExitUsage;
+}
+
+/// The slice of a google-benchmark JSON entry the gate cares about.
+struct BenchEntry {
+  double throughput = 0.0;
+  std::string counter;  ///< Which counter `throughput` came from.
+};
+
+/// Purpose-built scanner for google-benchmark's JSON shape: finds the
+/// "benchmarks" array and, per object, pulls "name" plus the numeric fields.
+/// Not a general JSON parser — but the input is machine-generated with a
+/// fixed structure, and a wrong parse fails closed (exit 2), never silently
+/// passes the gate.
+class BenchJsonScanner {
+ public:
+  explicit BenchJsonScanner(std::string text) : text_(std::move(text)) {}
+
+  bool scan(std::map<std::string, BenchEntry>* out, std::string* error) {
+    const std::size_t arr = text_.find("\"benchmarks\"");
+    if (arr == std::string::npos) {
+      *error = "no \"benchmarks\" array";
+      return false;
+    }
+    std::size_t pos = text_.find('[', arr);
+    if (pos == std::string::npos) {
+      *error = "malformed \"benchmarks\" array";
+      return false;
+    }
+    ++pos;
+    int depth = 0;
+    std::size_t obj_start = 0;
+    for (; pos < text_.size(); ++pos) {
+      const char c = text_[pos];
+      if (c == '"') {
+        skip_string(&pos);
+        continue;
+      }
+      if (c == '{') {
+        if (depth == 0) obj_start = pos;
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (depth == 0) {
+          if (!add_object(text_.substr(obj_start, pos - obj_start + 1), out,
+                          error)) {
+            return false;
+          }
+        }
+      } else if (c == ']' && depth == 0) {
+        return true;
+      }
+    }
+    *error = "unterminated \"benchmarks\" array";
+    return false;
+  }
+
+ private:
+  void skip_string(std::size_t* pos) {
+    for (++*pos; *pos < text_.size(); ++*pos) {
+      if (text_[*pos] == '\\') {
+        ++*pos;
+      } else if (text_[*pos] == '"') {
+        return;
+      }
+    }
+  }
+
+  static std::optional<std::string> find_string_field(const std::string& obj,
+                                                      const char* key) {
+    const std::string needle = std::string("\"") + key + "\"";
+    std::size_t pos = obj.find(needle);
+    if (pos == std::string::npos) return std::nullopt;
+    pos = obj.find(':', pos + needle.size());
+    if (pos == std::string::npos) return std::nullopt;
+    pos = obj.find('"', pos);
+    if (pos == std::string::npos) return std::nullopt;
+    std::string value;
+    for (++pos; pos < obj.size() && obj[pos] != '"'; ++pos) {
+      if (obj[pos] == '\\' && pos + 1 < obj.size()) ++pos;
+      value.push_back(obj[pos]);
+    }
+    return value;
+  }
+
+  static std::optional<double> find_number_field(const std::string& obj,
+                                                 const char* key) {
+    const std::string needle = std::string("\"") + key + "\"";
+    std::size_t pos = obj.find(needle);
+    if (pos == std::string::npos) return std::nullopt;
+    pos = obj.find(':', pos + needle.size());
+    if (pos == std::string::npos) return std::nullopt;
+    ++pos;
+    while (pos < obj.size() && (obj[pos] == ' ' || obj[pos] == '\t')) ++pos;
+    char* end = nullptr;
+    const double v = std::strtod(obj.c_str() + pos, &end);
+    if (end == obj.c_str() + pos) return std::nullopt;
+    return v;
+  }
+
+  bool add_object(const std::string& obj, std::map<std::string, BenchEntry>* out,
+                  std::string* error) {
+    const auto name = find_string_field(obj, "name");
+    if (!name) {
+      *error = "benchmark entry without a \"name\"";
+      return false;
+    }
+    // Aggregate rows (mean/median/stddev repetitions) would double-count;
+    // gate on the raw iterations only.
+    if (find_string_field(obj, "aggregate_name")) return true;
+    BenchEntry e;
+    if (const auto rps = find_number_field(obj, "requests_per_second")) {
+      e.throughput = *rps;
+      e.counter = "requests_per_second";
+    } else if (const auto ips = find_number_field(obj, "items_per_second")) {
+      e.throughput = *ips;
+      e.counter = "items_per_second";
+    } else if (const auto rt = find_number_field(obj, "real_time")) {
+      if (*rt <= 0.0) {
+        *error = "non-positive real_time for " + *name;
+        return false;
+      }
+      e.throughput = 1.0 / *rt;
+      e.counter = "1/real_time";
+    } else {
+      *error = "no throughput counter in " + *name;
+      return false;
+    }
+    (*out)[*name] = e;
+    return true;
+  }
+
+  std::string text_;
+};
+
+std::optional<std::map<std::string, BenchEntry>> load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  std::map<std::string, BenchEntry> entries;
+  std::string error;
+  BenchJsonScanner scanner(buffer.str());
+  if (!scanner.scan(&entries, &error)) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return std::nullopt;
+  }
+  if (entries.empty()) {
+    std::fprintf(stderr, "bench_compare: %s: no benchmark entries\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  return entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, fresh_path;
+  double max_regression_pct = 25.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--baseline") {
+      const char* v = value();
+      if (!v) return usage();
+      baseline_path = v;
+    } else if (arg == "--fresh") {
+      const char* v = value();
+      if (!v) return usage();
+      fresh_path = v;
+    } else if (arg == "--max-regression-pct") {
+      const char* v = value();
+      if (!v) return usage();
+      char* end = nullptr;
+      max_regression_pct = std::strtod(v, &end);
+      if (end == v || max_regression_pct < 0.0) return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (baseline_path.empty() || fresh_path.empty()) return usage();
+
+  const auto baseline = load(baseline_path);
+  const auto fresh = load(fresh_path);
+  if (!baseline || !fresh) return kExitUsage;
+
+  bool failed = false;
+  for (const auto& [name, base] : *baseline) {
+    const auto it = fresh->find(name);
+    if (it == fresh->end()) {
+      std::printf("MISSING  %-40s (in baseline only — not gated)\n",
+                  name.c_str());
+      continue;
+    }
+    const BenchEntry& now = it->second;
+    const double delta_pct =
+        base.throughput > 0.0
+            ? 100.0 * (now.throughput - base.throughput) / base.throughput
+            : 0.0;
+    const bool regressed = delta_pct < -max_regression_pct;
+    failed = failed || regressed;
+    std::printf("%-8s %-40s %s %12.2f -> %12.2f  (%+.1f%%)\n",
+                regressed ? "FAIL" : "OK", name.c_str(), now.counter.c_str(),
+                base.throughput, now.throughput, delta_pct);
+  }
+  for (const auto& [name, entry] : *fresh) {
+    if (!baseline->count(name)) {
+      std::printf("NEW      %-40s %s %12.2f (no baseline — not gated)\n",
+                  name.c_str(), entry.counter.c_str(), entry.throughput);
+    }
+  }
+  if (failed) {
+    std::printf("bench_compare: throughput regressed beyond %.1f%% budget\n",
+                max_regression_pct);
+    return kExitRegression;
+  }
+  std::printf("bench_compare: all benchmarks within %.1f%% budget\n",
+              max_regression_pct);
+  return kExitOk;
+}

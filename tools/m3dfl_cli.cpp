@@ -17,10 +17,15 @@
 //             GNN candidate pruning & reordering policy.
 //   serve     --benchmark <name> --config <cfg> --framework framework.m3dfl
 //             --logs a.faillog,b.faillog,... [--threads N] [--batch N]
-//             [--wait-us N] [--repeat N] [--quiet]
+//             [--wait-us N] [--repeat N] [--quiet] [--admin-port N]
+//             [--linger-ms N]
 //             Batch-diagnose the logs through the concurrent serving stack
 //             (src/serve/): micro-batching, executor fan-out, sub-graph
-//             cache, and a metrics table at the end.
+//             cache, and a metrics table at the end. With --admin-port the
+//             process exposes the live-introspection plane (/healthz,
+//             /readyz, /metrics, /metrics.json, /statusz, /tracez) on
+//             loopback while it runs; --linger-ms keeps it alive after the
+//             batch drains so scrapers can poll it.
 //
 // The benchmark/config pair pins the netlist + pattern set (both are
 // regenerated deterministically from the spec seeds, standing in for the
@@ -37,7 +42,13 @@
 // Exit codes: 0 success, 1 runtime failure (unreadable/corrupt files,
 // failed diagnosis), 2 usage error (unknown subcommand/flag, missing or
 // malformed argument).
+//
+// Diagnostics go through the obs logger (text sink on stderr by default;
+// --log-json switches every subcommand's diagnostics to JSON-lines). The
+// text-sink output is byte-identical to the fprintf(stderr) sites it
+// replaced, so scripts matching on error text keep working.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -47,12 +58,18 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "eval/framework_io.h"
 #include "netlist/verilog.h"
+#include "obs/build_info.h"
+#include "obs/exemplar.h"
+#include "obs/httpd.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/admin.h"
 #include "serve/service.h"
 
 namespace m3dfl {
@@ -78,9 +95,10 @@ int usage() {
       "           [--framework framework.m3dfl]\n"
       "  serve    --benchmark B --config C --framework framework.m3dfl\n"
       "           --logs F1,F2,... [--threads N] [--batch N] [--wait-us N]\n"
-      "           [--repeat N] [--quiet]\n"
-      "all subcommands also take [--trace out.json] [--metrics-json out.json];\n"
-      "gen/train also take [--progress]\n"
+      "           [--repeat N] [--quiet] [--admin-port N] [--linger-ms N]\n"
+      "all subcommands also take [--trace out.json] [--metrics-json out.json]\n"
+      "[--log-json]; gen/train also take [--progress]\n"
+      "m3dfl --version prints build metadata\n"
       "benchmarks: aes tate netcard leon3mp tiny\n"
       "configs:    Syn-1 TPI Syn-2 Par\n"
       "exit codes: 0 ok, 1 runtime failure, 2 usage error\n",
@@ -119,7 +137,7 @@ std::optional<std::map<std::string, std::string>> parse_flags(
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      M3DFL_LOG_ERROR("cli", "unexpected argument '%s'", arg.c_str());
       return std::nullopt;
     }
     const std::string key = arg.substr(2);
@@ -127,12 +145,12 @@ std::optional<std::map<std::string, std::string>> parse_flags(
       flags[key] = "1";
     } else if (spec.value_flags.count(key)) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
+        M3DFL_LOG_ERROR("cli", "flag --%s needs a value", key.c_str());
         return std::nullopt;
       }
       flags[key] = argv[++i];
     } else {
-      std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+      M3DFL_LOG_ERROR("cli", "unknown flag --%s", key.c_str());
       return std::nullopt;
     }
   }
@@ -174,7 +192,7 @@ int cmd_gen(const std::map<std::string, std::string>& flags) {
       flags.count("out") ? flags.at("out") : spec->name + ".v";
   std::ofstream os(out);
   if (!os) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    M3DFL_LOG_ERROR("cli", "cannot write %s", out.c_str());
     return kExitRuntime;
   }
   netlist::write_verilog(d.nl, os, spec->name);
@@ -196,7 +214,7 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   if (flags.count("threads")) {
     const auto parsed = parse_u64(flags.at("threads"));
     if (!parsed || *parsed < 1) {
-      std::fprintf(stderr, "--threads wants an integer >= 1\n");
+      M3DFL_LOG_ERROR("cli", "--threads wants an integer >= 1");
       return usage();
     }
     scale.num_threads = static_cast<std::size_t>(*parsed);
@@ -227,7 +245,7 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
       flags.count("out") ? flags.at("out") : spec->name + ".m3dfl";
   std::ofstream os(out);
   if (!os) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    M3DFL_LOG_ERROR("cli", "cannot write %s", out.c_str());
     return kExitRuntime;
   }
   eval::save_framework(fw, os);
@@ -246,7 +264,7 @@ int cmd_inject(const std::map<std::string, std::string>& flags) {
   if (flags.count("seed")) {
     const auto parsed = parse_u64(flags.at("seed"));
     if (!parsed) {
-      std::fprintf(stderr, "--seed wants an unsigned integer\n");
+      M3DFL_LOG_ERROR("cli", "--seed wants an unsigned integer");
       return usage();
     }
     seed = *parsed;
@@ -259,7 +277,7 @@ int cmd_inject(const std::map<std::string, std::string>& flags) {
   opts.seed = seed;
   const eval::Dataset ds = eval::generate_dataset(d, opts);
   if (ds.samples.empty()) {
-    std::fputs("drew no detectable fault; try another --seed\n", stderr);
+    M3DFL_LOG_ERROR("cli", "drew no detectable fault; try another --seed");
     return kExitRuntime;
   }
   const eval::Sample& chip = ds.samples.front();
@@ -268,7 +286,7 @@ int cmd_inject(const std::map<std::string, std::string>& flags) {
       flags.count("out") ? flags.at("out") : "chip.faillog";
   std::ofstream os(out);
   if (!os) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    M3DFL_LOG_ERROR("cli", "cannot write %s", out.c_str());
     return kExitRuntime;
   }
   os << sim::to_text(chip.log);
@@ -284,7 +302,7 @@ int cmd_inject(const std::map<std::string, std::string>& flags) {
 std::optional<sim::FailureLog> read_faillog(const std::string& path) {
   std::ifstream is(path);
   if (!is) {
-    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    M3DFL_LOG_ERROR("cli", "cannot read %s", path.c_str());
     return std::nullopt;
   }
   std::stringstream buffer;
@@ -292,8 +310,8 @@ std::optional<sim::FailureLog> read_faillog(const std::string& path) {
   const sim::FailureLogParseResult parsed =
       sim::failure_log_from_text(buffer.str());
   if (!parsed.ok) {
-    std::fprintf(stderr, "bad failure log %s: %s\n", path.c_str(),
-                 parsed.message.c_str());
+    M3DFL_LOG_ERROR("cli", "bad failure log %s: %s", path.c_str(),
+                    parsed.message.c_str());
     return std::nullopt;
   }
   return parsed.log;
@@ -331,7 +349,7 @@ int cmd_diagnose(const std::map<std::string, std::string>& flags) {
     eval::TrainedFramework fw;
     std::string error;
     if (!eval::load_framework_file(fw, flags.at("framework"), &error)) {
-      std::fprintf(stderr, "bad framework file: %s\n", error.c_str());
+      M3DFL_LOG_ERROR("cli", "bad framework file: %s", error.c_str());
       return kExitRuntime;
     }
     const graphx::SubGraph sub =
@@ -367,8 +385,8 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     if (!flags.count(key)) return true;
     const auto parsed = parse_u64(flags.at(key));
     if (!parsed || *parsed < min_value) {
-      std::fprintf(stderr, "--%s wants an integer >= %llu\n", key,
-                   static_cast<unsigned long long>(min_value));
+      M3DFL_LOG_ERROR("cli", "--%s wants an integer >= %llu", key,
+                      static_cast<unsigned long long>(min_value));
       return false;
     }
     *out = *parsed;
@@ -377,8 +395,16 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   std::uint64_t threads = opts.num_threads, batch = opts.max_batch;
   std::uint64_t wait_us =
       static_cast<std::uint64_t>(opts.max_wait.count());
+  std::uint64_t admin_port = 0, linger_ms = 0;
   if (!numeric("threads", 1, &threads) || !numeric("batch", 1, &batch) ||
-      !numeric("wait-us", 0, &wait_us) || !numeric("repeat", 1, &repeat)) {
+      !numeric("wait-us", 0, &wait_us) || !numeric("repeat", 1, &repeat) ||
+      !numeric("admin-port", 0, &admin_port) ||
+      !numeric("linger-ms", 0, &linger_ms)) {
+    return usage();
+  }
+  const bool want_admin = flags.count("admin-port") > 0;
+  if (want_admin && admin_port > 65535) {
+    M3DFL_LOG_ERROR("cli", "--admin-port wants a port number <= 65535");
     return usage();
   }
   opts.num_threads = threads;
@@ -388,7 +414,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
 
   const std::vector<std::string> paths = split_commas(flags.at("logs"));
   if (paths.empty()) {
-    std::fprintf(stderr, "--logs wants a comma-separated file list\n");
+    M3DFL_LOG_ERROR("cli", "--logs wants a comma-separated file list");
     return usage();
   }
   std::vector<sim::FailureLog> logs;
@@ -403,7 +429,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     eval::TrainedFramework fw;
     std::string error;
     if (!eval::load_framework_file(fw, flags.at("framework"), &error)) {
-      std::fprintf(stderr, "bad framework file: %s\n", error.c_str());
+      M3DFL_LOG_ERROR("cli", "bad framework file: %s", error.c_str());
       return kExitRuntime;
     }
     registry.publish(opts.model_name, std::move(fw), flags.at("framework"));
@@ -412,6 +438,31 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   const eval::Design& d = eval::cached_design(*spec, *config);
   serve::DiagnosisService service(registry, opts);
   service.register_design(d);
+
+  // Declared after `service` so its handlers (which read the service) stop
+  // before the service is torn down. Off by default: without --admin-port no
+  // socket is opened and no server thread exists.
+  obs::AdminHttpServer admin;
+  if (want_admin) {
+    obs::ExemplarStore::instance().set_enabled(true);
+#if M3DFL_OBS_ENABLED
+    // /tracez serves live spans; without the tracer it would only carry
+    // the exemplar store.
+    obs::Tracer::instance().set_enabled(true);
+#endif
+    serve::register_admin_endpoints(admin, service);
+    obs::AdminHttpServer::Options admin_opts;
+    admin_opts.port = static_cast<std::uint16_t>(admin_port);
+    std::string error;
+    if (!admin.start(admin_opts, &error)) {
+      M3DFL_LOG_ERROR("cli", "cannot start admin server: %s", error.c_str());
+      return kExitRuntime;
+    }
+    std::printf("admin endpoints on http://127.0.0.1:%u "
+                "(/healthz /readyz /metrics /metrics.json /statusz /tracez)\n",
+                admin.port());
+    std::fflush(stdout);
+  }
 
   std::vector<std::future<serve::DiagnosisResponse>> futures;
   futures.reserve(paths.size() * repeat);
@@ -427,8 +478,8 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     const std::string& path = paths[i % paths.size()];
     if (!resp.ok) {
       any_failed = true;
-      std::fprintf(stderr, "%s: serve error: %s\n", path.c_str(),
-                   resp.error.c_str());
+      M3DFL_LOG_ERROR("cli", "%s: serve error: %s", path.c_str(),
+                      resp.error.c_str());
       continue;
     }
     if (!quiet) {
@@ -448,6 +499,14 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   service.drain();
   g_service_metrics_json = service.metrics().to_json();
   std::fputs(service.metrics().render("m3dfl serve").c_str(), stdout);
+  if (want_admin && linger_ms > 0) {
+    // Keep the process (and the admin plane) up so external scrapers can
+    // poll the endpoints — this is what the CI smoke test curls against.
+    std::printf("lingering %llu ms for admin scrapers...\n",
+                static_cast<unsigned long long>(linger_ms));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
   return any_failed ? kExitRuntime : kExitOk;
 }
 
@@ -464,7 +523,7 @@ int write_observability(const std::map<std::string, std::string>& flags) {
     std::ofstream os(path);
     if (os) tracer.write_chrome_trace(os);
     if (!os) {
-      std::fprintf(stderr, "cannot write trace file %s\n", path.c_str());
+      M3DFL_LOG_ERROR("cli", "cannot write trace file %s", path.c_str());
       rc = kExitRuntime;
     } else {
       std::printf("wrote trace to %s (%zu spans", path.c_str(),
@@ -500,7 +559,7 @@ int write_observability(const std::map<std::string, std::string>& flags) {
          << "}\n";
     }
     if (!os) {
-      std::fprintf(stderr, "cannot write metrics file %s\n", path.c_str());
+      M3DFL_LOG_ERROR("cli", "cannot write metrics file %s", path.c_str());
       rc = kExitRuntime;
     } else {
       std::printf("wrote metrics to %s\n", path.c_str());
@@ -516,6 +575,10 @@ int main(int argc, char** argv) {
   using namespace m3dfl;
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "--version") {
+    std::printf("%s\n", obs::build_info_line().c_str());
+    return kExitOk;
+  }
 
   FlagSpec spec;
   if (cmd == "gen") {
@@ -528,15 +591,25 @@ int main(int argc, char** argv) {
     spec = {{"benchmark", "config", "faillog", "framework"}, {}};
   } else if (cmd == "serve") {
     spec = {{"benchmark", "config", "framework", "logs", "threads", "batch",
-             "wait-us", "repeat"},
+             "wait-us", "repeat", "admin-port", "linger-ms"},
             {"quiet"}};
   } else {
-    std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
+    M3DFL_LOG_ERROR("cli", "unknown subcommand '%s'", cmd.c_str());
     return usage();
   }
-  // Every subcommand records spans and metrics.
+  // Every subcommand records spans and metrics, and can switch its
+  // diagnostics to JSON-lines.
   spec.value_flags.insert("trace");
   spec.value_flags.insert("metrics-json");
+  spec.switch_flags.insert("log-json");
+
+  // --log-json must take effect before any parse error is reported, so scan
+  // for it ahead of the structured parse.
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--log-json") == 0) {
+      obs::Logger::instance().set_json(true);
+    }
+  }
 
   const auto flags = parse_flags(argc, argv, 2, spec);
   if (!flags) return usage();
@@ -547,9 +620,9 @@ int main(int argc, char** argv) {
 #if M3DFL_OBS_ENABLED
     obs::Tracer::instance().set_enabled(true);
 #else
-    std::fputs("note: built with M3DFL_OBS=OFF — the trace will be empty "
-               "(metrics histograms/counters still record)\n",
-               stderr);
+    M3DFL_LOG_WARN("cli",
+                   "note: built with M3DFL_OBS=OFF — the trace will be empty "
+                   "(metrics histograms/counters still record)");
 #endif
   }
 

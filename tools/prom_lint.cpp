@@ -1,0 +1,51 @@
+// prom_lint — structural conformance check of a Prometheus text-exposition
+// page (obs::prometheus_lint), for CI validation of a live /metrics scrape:
+//
+//   curl -s http://127.0.0.1:18080/metrics | prom_lint
+//   prom_lint scraped_metrics.txt
+//
+// Exit codes: 0 conformant, 1 violations found, 2 unreadable input.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+int main(int argc, char** argv) {
+  std::string page;
+  if (argc > 2) {
+    std::fputs("usage: prom_lint [exposition.txt]  (default: stdin)\n",
+               stderr);
+    return 2;
+  }
+  if (argc == 2) {
+    std::ifstream is(argv[1]);
+    if (!is) {
+      std::fprintf(stderr, "prom_lint: cannot read %s\n", argv[1]);
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    page = buffer.str();
+  } else {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    page = buffer.str();
+  }
+
+  const std::vector<std::string> violations =
+      m3dfl::obs::prometheus_lint(page);
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "prom_lint: %s\n", v.c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "prom_lint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  std::printf("prom_lint: ok\n");
+  return 0;
+}
