@@ -34,17 +34,41 @@ void BM_LogicSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_LogicSimulation);
 
+// Sweeps all five fault polarities (TDF rise/fall/gross plus both stuck-at
+// values) so the conditional and forced-constant injection paths are both
+// measured. Items = fault-pattern evaluations.
 void BM_FaultSimulation(benchmark::State& state) {
   const eval::Design& d = fixture();
   std::vector<sim::Word> diff;
   netlist::SiteId site = 0;
+  std::size_t pol = 0;
   for (auto _ : state) {
     site = (site + 37) % d.sites.size();
-    d.fsim->observed_diff({site, sim::FaultPolarity::kSlow}, diff);
+    d.fsim->observed_diff({site, sim::kAllPolarities[pol]}, diff);
+    pol = (pol + 1) % std::size(sim::kAllPolarities);
     benchmark::DoNotOptimize(diff.data());
   }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(d.fsim->num_patterns()));
 }
 BENCHMARK(BM_FaultSimulation);
+
+// Same sweep through the detect-only fast path: propagation stops at the
+// first failing observation point and no diff is materialized.
+void BM_FaultSimulation_EarlyExit(benchmark::State& state) {
+  const eval::Design& d = fixture();
+  netlist::SiteId site = 0;
+  std::size_t pol = 0;
+  for (auto _ : state) {
+    site = (site + 37) % d.sites.size();
+    bool det = d.fsim->detects({site, sim::kAllPolarities[pol]});
+    pol = (pol + 1) % std::size(sim::kAllPolarities);
+    benchmark::DoNotOptimize(det);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(d.fsim->num_patterns()));
+}
+BENCHMARK(BM_FaultSimulation_EarlyExit);
 
 void BM_HeteroGraphConstruction(benchmark::State& state) {
   const eval::Design& d = fixture();

@@ -27,8 +27,7 @@ std::vector<InjectedFault> enumerate_stuck_at_faults(
 }
 
 bool is_detected(sim::FaultSimulator& fsim, const InjectedFault& fault) {
-  thread_local std::vector<sim::Word> diff;
-  return fsim.observed_diff(fault, diff);
+  return fsim.detects(fault);
 }
 
 CoverageResult measure_tdf_coverage(sim::FaultSimulator& fsim,
@@ -43,9 +42,10 @@ CoverageResult measure_tdf_coverage(sim::FaultSimulator& fsim,
   }
   CoverageResult result;
   result.num_faults = faults.size();
-  std::vector<sim::Word> diff;
+  // Detect-only: the early-exit fast path stops each simulation at the
+  // first failing observation point.
   for (const InjectedFault& f : faults) {
-    if (fsim.observed_diff(f, diff)) ++result.detected;
+    if (fsim.detects(f)) ++result.detected;
   }
   return result;
 }

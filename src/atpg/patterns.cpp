@@ -72,12 +72,12 @@ TdfPatternPair generate_tdf_patterns_with_topoff(
   fsim.bind(v1, v2);
   std::vector<sim::InjectedFault> pending = enumerate_tdf_faults(sites);
   const std::size_t total_faults = pending.size();
-  std::vector<sim::Word> diff;
   std::size_t detected = 0;
   {
+    // Drop-detection only needs the boolean, so use the early-exit path.
     std::vector<sim::InjectedFault> undetected;
     for (const auto& f : pending) {
-      if (fsim.observed_diff(f, diff)) {
+      if (fsim.detects(f)) {
         ++detected;
       } else {
         undetected.push_back(f);
@@ -146,7 +146,7 @@ TdfPatternPair generate_tdf_patterns_with_topoff(
     std::vector<Target> still;
     still.reserve(targets.size());
     for (const Target& t : targets) {
-      if (bsim.observed_diff(t.fault, diff)) {
+      if (bsim.detects(t.fault)) {
         ++detected;
       } else {
         still.push_back(t);

@@ -14,12 +14,15 @@ namespace m3dfl::diag {
 
 namespace {
 
-std::vector<std::uint64_t> keys_from_diff(std::span<const sim::Word> diff,
-                                          std::size_t num_outputs,
-                                          std::size_t W,
-                                          std::size_t num_patterns) {
+std::vector<std::uint64_t> keys_from_diff(
+    std::span<const sim::Word> diff,
+    std::span<const std::uint32_t> touched_outputs, std::size_t W,
+    std::size_t num_patterns) {
   std::vector<std::uint64_t> keys;
-  for (std::uint32_t o = 0; o < num_outputs; ++o) {
+  // Only the touched rows can hold miscompares (duplicate-free by the
+  // simulator's epoch tracking); every other diff row is guaranteed zero,
+  // so the scan skips the untouched bulk of the response space.
+  for (std::uint32_t o : touched_outputs) {
     for (std::size_t w = 0; w < W; ++w) {
       sim::Word m = diff[static_cast<std::size_t>(o) * W + w];
       while (m) {
@@ -64,6 +67,10 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
   static obs::LatencyHistogram& shard_hist = reg.histogram("dictionary.shard");
   static obs::Counter& sim_calls_ctr = reg.counter("sim.observed_diff_calls");
   static obs::Counter& sim_det_ctr = reg.counter("sim.detected");
+  static obs::Counter& sim_events_ctr = reg.counter("sim.events_processed");
+  static obs::Counter& sim_words_ctr = reg.counter("sim.words_evaluated");
+  static obs::Counter& sim_cone_ctr = reg.counter("sim.cone_skips");
+  static obs::Counter& sim_early_ctr = reg.counter("sim.early_exits");
 
   // Simulates [lo, hi) sites into `out`, preserving the site-then-polarity
   // entry order the sequential campaign produces.
@@ -73,14 +80,14 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
     const auto t0 = std::chrono::steady_clock::now();
     const sim::FaultSimulator::SimStats before = sim_.sim_stats();
     std::vector<sim::Word> diff;
+    std::vector<std::uint32_t> touched;
     for (netlist::SiteId s = lo; s < hi; ++s) {
       for (sim::FaultPolarity pol : options.polarities) {
-        if (!sim_.observed_diff({s, pol}, diff)) continue;
+        if (!sim_.observed_diff({s, pol}, diff, &touched)) continue;
         Entry e;
         e.site = s;
         e.polarity = pol;
-        e.keys = keys_from_diff(diff, nl.num_outputs(), W,
-                                sim_.num_patterns());
+        e.keys = keys_from_diff(diff, touched, W, sim_.num_patterns());
         e.hash = hash_keys(e.keys);
         out.push_back(std::move(e));
       }
@@ -88,6 +95,10 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
     const sim::FaultSimulator::SimStats after = sim_.sim_stats();
     sim_calls_ctr.add(after.observed_diff_calls - before.observed_diff_calls);
     sim_det_ctr.add(after.detected - before.detected);
+    sim_events_ctr.add(after.events_processed - before.events_processed);
+    sim_words_ctr.add(after.words_evaluated - before.words_evaluated);
+    sim_cone_ctr.add(after.cone_skips - before.cone_skips);
+    sim_early_ctr.add(after.early_exits - before.early_exits);
     shard_hist.record(std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count());

@@ -145,6 +145,10 @@ Dataset generate_dataset(const Design& design, const DatagenOptions& opts) {
   static obs::Counter& skipped_ctr = reg.counter("datagen.skipped");
   static obs::Counter& sim_calls_ctr = reg.counter("sim.observed_diff_calls");
   static obs::Counter& sim_det_ctr = reg.counter("sim.detected");
+  static obs::Counter& sim_events_ctr = reg.counter("sim.events_processed");
+  static obs::Counter& sim_words_ctr = reg.counter("sim.words_evaluated");
+  static obs::Counter& sim_cone_ctr = reg.counter("sim.cone_skips");
+  static obs::Counter& sim_early_ctr = reg.counter("sim.early_exits");
 
   auto run_range = [&](sim::FaultSimulator& fsim, std::size_t lo,
                        std::size_t hi) {
@@ -164,6 +168,10 @@ Dataset generate_dataset(const Design& design, const DatagenOptions& opts) {
     const sim::FaultSimulator::SimStats after = fsim.sim_stats();
     sim_calls_ctr.add(after.observed_diff_calls - before.observed_diff_calls);
     sim_det_ctr.add(after.detected - before.detected);
+    sim_events_ctr.add(after.events_processed - before.events_processed);
+    sim_words_ctr.add(after.words_evaluated - before.words_evaluated);
+    sim_cone_ctr.add(after.cone_skips - before.cone_skips);
+    sim_early_ctr.add(after.early_exits - before.early_exits);
   };
 
   std::size_t threads = resolve_num_threads(opts.num_threads);

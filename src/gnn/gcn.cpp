@@ -14,17 +14,20 @@ Matrix GcnLayer::aggregate(const SubGraph& g, const Matrix& h_in) {
   const std::size_t n = g.num_nodes();
   assert(h_in.rows() == n);
   Matrix agg(n, h_in.cols());
+  // Restrict-qualified rows + hoisted bounds (agg never aliases h_in) so
+  // the per-channel loops vectorize; accumulation order is unchanged.
+  const std::size_t C = h_in.cols();
   for (std::size_t v = 0; v < n; ++v) {
-    float* out = agg.row(v);
-    const float* self = h_in.row(v);
-    for (std::size_t c = 0; c < h_in.cols(); ++c) out[c] = self[c];
-    for (std::uint32_t e = g.row_ptr[v]; e < g.row_ptr[v + 1]; ++e) {
-      const float* nb = h_in.row(g.col_idx[e]);
-      for (std::size_t c = 0; c < h_in.cols(); ++c) out[c] += nb[c];
+    float* __restrict out = agg.row(v);
+    const float* __restrict self = h_in.row(v);
+    const std::uint32_t lo = g.row_ptr[v], hi = g.row_ptr[v + 1];
+    for (std::size_t c = 0; c < C; ++c) out[c] = self[c];
+    for (std::uint32_t e = lo; e < hi; ++e) {
+      const float* __restrict nb = h_in.row(g.col_idx[e]);
+      for (std::size_t c = 0; c < C; ++c) out[c] += nb[c];
     }
-    const float inv =
-        1.0f / static_cast<float>(1 + g.row_ptr[v + 1] - g.row_ptr[v]);
-    for (std::size_t c = 0; c < h_in.cols(); ++c) out[c] *= inv;
+    const float inv = 1.0f / static_cast<float>(1 + hi - lo);
+    for (std::size_t c = 0; c < C; ++c) out[c] *= inv;
   }
   return agg;
 }
@@ -33,17 +36,20 @@ Matrix GcnLayer::aggregate_transpose(const SubGraph& g, const Matrix& d_agg) {
   const std::size_t n = g.num_nodes();
   assert(d_agg.rows() == n);
   Matrix out(n, d_agg.cols());
+  const std::size_t C = d_agg.cols();
   for (std::size_t v = 0; v < n; ++v) {
-    const float inv =
-        1.0f / static_cast<float>(1 + g.row_ptr[v + 1] - g.row_ptr[v]);
-    const float* src = d_agg.row(v);
+    const std::uint32_t lo = g.row_ptr[v], hi = g.row_ptr[v + 1];
+    const float inv = 1.0f / static_cast<float>(1 + hi - lo);
+    const float* __restrict src = d_agg.row(v);
     // Row v of A_norm contributes inv * src to column targets {v} + N(v);
-    // transposing, those targets accumulate the contribution.
+    // transposing, those targets accumulate the contribution. (`src` never
+    // aliases `out`; the scatter targets may repeat, so they are not
+    // restrict-qualified.)
     float* self = out.row(v);
-    for (std::size_t c = 0; c < d_agg.cols(); ++c) self[c] += inv * src[c];
-    for (std::uint32_t e = g.row_ptr[v]; e < g.row_ptr[v + 1]; ++e) {
+    for (std::size_t c = 0; c < C; ++c) self[c] += inv * src[c];
+    for (std::uint32_t e = lo; e < hi; ++e) {
       float* dst = out.row(g.col_idx[e]);
-      for (std::size_t c = 0; c < d_agg.cols(); ++c) dst[c] += inv * src[c];
+      for (std::size_t c = 0; c < C; ++c) dst[c] += inv * src[c];
     }
   }
   return out;

@@ -27,6 +27,11 @@ enum class FaultPolarity : std::uint8_t {
 
 const char* polarity_name(FaultPolarity p);
 
+/// All five polarities, in enum order (bench/test sweeps).
+inline constexpr FaultPolarity kAllPolarities[] = {
+    FaultPolarity::kSlowToRise, FaultPolarity::kSlowToFall,
+    FaultPolarity::kSlow, FaultPolarity::kStuckAt0, FaultPolarity::kStuckAt1};
+
 /// True for the stuck-at variants.
 inline bool is_stuck_at(FaultPolarity p) {
   return p == FaultPolarity::kStuckAt0 || p == FaultPolarity::kStuckAt1;
@@ -53,6 +58,19 @@ struct InjectedFault {
 /// bind() runs the good-machine two-vector simulation once per pattern set;
 /// observed_diff() then costs only the faulty cone, which makes per-candidate
 /// signature matching in the diagnosis engine cheap.
+///
+/// Engine internals (see DESIGN.md "Fault-simulation engine"):
+///  * Output-cone pruning: a per-gate "reaches an observed output" mask is
+///    precomputed once per netlist; faults whose injection gate lies outside
+///    every output cone return immediately, and propagation never enqueues
+///    fanout gates outside the observable cone.
+///  * Epoch-stamped touched tracking: each gate is recorded, restored and
+///    reported at most once per call (touched_outputs is duplicate-free).
+///  * Zero-allocation steady state: all propagation scratch (activation and
+///    faulty-value rows, branch overrides, level buckets, touched list) is
+///    persistent member storage sized at bind(), so observed_diff()/detects()
+///    perform no heap allocation after bind() (caller-owned output vectors
+///    reuse their own capacity across calls).
 class FaultSimulator {
  public:
   /// Lifetime workload counters. Plain (non-atomic) members on purpose: a
@@ -60,8 +78,15 @@ class FaultSimulator {
   /// relies on the defaulted copy constructor (a clone starts with a copy of
   /// the counters; callers that flush deltas must snapshot at clone time).
   struct SimStats {
-    std::uint64_t observed_diff_calls = 0;  ///< Faulty-machine simulations.
+    std::uint64_t observed_diff_calls = 0;  ///< Faulty-machine simulations
+                                            ///< (observed_diff + detects).
     std::uint64_t detected = 0;             ///< Calls with any failing pattern.
+    std::uint64_t events_processed = 0;     ///< Gate evaluations performed.
+    std::uint64_t words_evaluated = 0;      ///< 64-pattern words evaluated.
+    std::uint64_t cone_skips = 0;  ///< Seeds/enqueues suppressed because the
+                                   ///< gate reaches no observed output.
+    std::uint64_t early_exits = 0;  ///< detects() calls that stopped at the
+                                    ///< first failing observation point.
   };
 
   FaultSimulator(const netlist::Netlist& nl, const SiteTable& sites);
@@ -84,8 +109,8 @@ class FaultSimulator {
   /// any pattern fails. Invalid tail bits are already masked off.
   /// If `touched_outputs` is non-null it receives the indices of the
   /// observation points reached by the fault effect (a superset of the
-  /// failing ones); all other rows of `diff` are guaranteed zero, so
-  /// signature matching needs to scan only these rows.
+  /// failing ones, duplicate-free); all other rows of `diff` are guaranteed
+  /// zero, so signature matching needs to scan only these rows.
   bool observed_diff(std::span<const InjectedFault> faults,
                      std::vector<Word>& diff,
                      std::vector<std::uint32_t>* touched_outputs = nullptr);
@@ -94,9 +119,30 @@ class FaultSimulator {
   bool observed_diff(const InjectedFault& fault, std::vector<Word>& diff,
                      std::vector<std::uint32_t>* touched_outputs = nullptr);
 
+  /// Detect-only fast path: returns observed_diff(faults, ...)'s boolean
+  /// without materializing the diff, stopping propagation as soon as any
+  /// observed output differs on a valid pattern. The workspace is fully
+  /// restored on return, so detects() and observed_diff() calls interleave
+  /// freely on one simulator.
+  bool detects(std::span<const InjectedFault> faults);
+
+  /// Convenience: single fault.
+  bool detects(const InjectedFault& fault);
+
   /// Activation mask of a fault under the bound patterns: bit p set iff
   /// pattern p launches the matching transition through the fault site.
   std::vector<Word> activation_mask(const InjectedFault& fault) const;
+
+  /// True if the gate lies in the input cone of at least one observed
+  /// output — i.e. a fault effect entering at this gate can be seen at all.
+  bool gate_observable(netlist::GateId g) const { return observable_[g] != 0; }
+
+  /// True if a fault at this site can reach any observed output (the
+  /// cone-pruning predicate: stem faults enter at the site's gate, branch
+  /// faults at the receiving gate).
+  bool site_observable(SiteId s) const {
+    return observable_[sites_->site(s).gate] != 0;
+  }
 
   /// Deep copy of this (bound) simulator, sharing only the immutable
   /// netlist / site tables. The good-machine results are copied, not
@@ -104,10 +150,10 @@ class FaultSimulator {
   /// simulation — the facility behind SimulatorPool and every parallel
   /// pipeline stage. observed_diff() restores its workspace on return, so
   /// a clone taken from a simulator at rest behaves identically to the
-  /// original.
-  std::unique_ptr<FaultSimulator> clone() const {
-    return std::unique_ptr<FaultSimulator>(new FaultSimulator(*this));
-  }
+  /// original (including the zero-allocation steady state: the clone's
+  /// scratch reserves are re-established, since vector copies drop spare
+  /// capacity).
+  std::unique_ptr<FaultSimulator> clone() const;
 
   /// Workload counters since construction (or since the clone source's).
   const SimStats& sim_stats() const { return stats_; }
@@ -118,6 +164,24 @@ class FaultSimulator {
   void ensure_bound() const;
   void finish_bind(const PatternSet& v1_inputs);
 
+  /// (Re-)reserves the propagation scratch so the steady state allocates
+  /// nothing: touched list, override slots, and per-level event buckets
+  /// sized to the observable gates of each level.
+  void reserve_workspace();
+
+  /// Writes the (tail-masked) activation mask of `fault` into act[0..W).
+  void compute_activation(const InjectedFault& fault, Word* act) const;
+
+  /// Shared engine behind observed_diff() and detects(). `diff` may be null
+  /// (detect-only); `early_exit` stops propagation at the first observed
+  /// miscompare. Always restores the workspace before returning.
+  bool run_faulty(std::span<const InjectedFault> faults,
+                  std::vector<Word>* diff,
+                  std::vector<std::uint32_t>* touched_outputs, bool early_exit);
+
+  /// Advances the touched-gate epoch, resetting the stamp array on wrap.
+  void next_epoch();
+
   const netlist::Netlist* nl_;
   const SiteTable* sites_;
   TwoVectorResult good_;
@@ -125,13 +189,32 @@ class FaultSimulator {
   // Per-output-index lists: which observation indices read each gate.
   std::vector<std::vector<std::uint32_t>> obs_of_gate_;
 
-  // Event-driven workspace (sized at bind()).
+  // 1 iff the gate reaches at least one observed output (fixed per netlist).
+  std::vector<std::uint8_t> observable_;
+
+  // Event-driven workspace (sized at bind(); no allocation afterwards).
   std::vector<Word> faulty_;            ///< Persistent copy of good_.v2.
   std::vector<std::uint8_t> in_queue_;  ///< Dedup flag per gate.
   std::vector<std::uint8_t> forced_;    ///< Stem-fault forced gates.
   std::vector<std::vector<netlist::GateId>> level_buckets_;
-  std::vector<netlist::GateId> touched_;
-  std::vector<Word> scratch_;  ///< One gate row of scratch.
+  std::vector<netlist::GateId> touched_;      ///< Duplicate-free, via epochs.
+  std::vector<std::uint32_t> touch_stamp_;    ///< Epoch stamp per gate.
+  std::uint32_t epoch_ = 0;
+  std::vector<Word> scratch_;  ///< One gate row of evaluation scratch.
+  std::vector<Word> act_;      ///< One row of activation-mask scratch.
+  std::vector<Word> fv_;       ///< One row of faulty-value scratch.
+  Word tail_ = 0;              ///< Valid-bit mask of the final word.
+
+  /// Branch-fault overrides: (gate, pin) -> row slot in override_rows_.
+  /// Small, so a flat list with linear scan is fastest.
+  struct BranchOverride {
+    netlist::GateId gate;
+    std::int16_t pin;
+    std::uint32_t row;
+  };
+  std::vector<BranchOverride> overrides_;
+  std::vector<Word> override_rows_;  ///< overrides_[i] owns row i.
+
   SimStats stats_;
 };
 

@@ -84,6 +84,152 @@ TEST(Matrix, RowMeanAndColsum) {
   EXPECT_FLOAT_EQ(cs[1], 6);
 }
 
+// --- Kernel bit-identity regression ------------------------------------------
+
+// Scalar reference kernels replicating the exact accumulation order of the
+// production kernels in matrix.cpp / gcn.cpp (including the zero-row skip).
+// The production loops carry __restrict / hoisted-bound vectorization hints;
+// this pins their outputs bit-identically so a future "optimization" that
+// reorders floating-point accumulation fails loudly.
+
+Matrix ref_matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float av = a.at(i, k);
+      if (av == 0.0f) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out.at(i, j) += av * b.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix ref_matmul_at_b(const Matrix& a, const Matrix& b) {
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float av = a.at(k, i);
+      if (av == 0.0f) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out.at(i, j) += av * b.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix ref_matmul_a_bt(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      float s = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a.at(i, k) * b.at(j, k);
+      out.at(i, j) = s;
+    }
+  }
+  return out;
+}
+
+Matrix ref_aggregate(const graphx::SubGraph& g, const Matrix& h) {
+  Matrix agg(g.num_nodes(), h.cols());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    for (std::size_t c = 0; c < h.cols(); ++c) agg.at(v, c) = h.at(v, c);
+    for (std::uint32_t e = g.row_ptr[v]; e < g.row_ptr[v + 1]; ++e) {
+      for (std::size_t c = 0; c < h.cols(); ++c) {
+        agg.at(v, c) += h.at(g.col_idx[e], c);
+      }
+    }
+    const float inv =
+        1.0f / static_cast<float>(1 + g.row_ptr[v + 1] - g.row_ptr[v]);
+    for (std::size_t c = 0; c < h.cols(); ++c) agg.at(v, c) *= inv;
+  }
+  return agg;
+}
+
+Matrix ref_aggregate_transpose(const graphx::SubGraph& g, const Matrix& d) {
+  Matrix out(g.num_nodes(), d.cols());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    const float inv =
+        1.0f / static_cast<float>(1 + g.row_ptr[v + 1] - g.row_ptr[v]);
+    for (std::size_t c = 0; c < d.cols(); ++c) {
+      out.at(v, c) += inv * d.at(v, c);
+    }
+    for (std::uint32_t e = g.row_ptr[v]; e < g.row_ptr[v + 1]; ++e) {
+      for (std::size_t c = 0; c < d.cols(); ++c) {
+        out.at(g.col_idx[e], c) += inv * d.at(v, c);
+      }
+    }
+  }
+  return out;
+}
+
+void expect_bit_identical(const Matrix& got, const Matrix& want,
+                          const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got.data()[i], want.data()[i])
+        << what << " diverges at flat index " << i;
+  }
+}
+
+TEST(KernelBitIdentity, MatmulVariantsMatchScalarReference) {
+  Rng rng(91);
+  const Matrix a = Matrix::xavier(17, 23, rng);
+  const Matrix b = Matrix::xavier(23, 13, rng);
+  const Matrix c = Matrix::xavier(17, 13, rng);
+  Matrix sparse = a;
+  for (std::size_t i = 0; i < sparse.size(); i += 3) sparse.data()[i] = 0.0f;
+  expect_bit_identical(matmul(a, b), ref_matmul(a, b), "matmul");
+  expect_bit_identical(matmul(sparse, b), ref_matmul(sparse, b),
+                       "matmul(sparse)");
+  expect_bit_identical(matmul_at_b(a, c), ref_matmul_at_b(a, c), "matmul_at_b");
+  expect_bit_identical(matmul_a_bt(b, c), ref_matmul_a_bt(b, c),
+                       "matmul_a_bt");
+}
+
+TEST(KernelBitIdentity, ElementwiseKernelsMatchScalarReference) {
+  Rng rng(92);
+  Matrix m = Matrix::xavier(9, 21, rng);
+  std::vector<float> bias(21);
+  for (auto& v : bias) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  Matrix want = m;
+  for (std::size_t i = 0; i < want.rows(); ++i) {
+    for (std::size_t j = 0; j < want.cols(); ++j) want.at(i, j) += bias[j];
+  }
+  Matrix got = m;
+  add_bias_rows(got, bias);
+  expect_bit_identical(got, want, "add_bias_rows");
+
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    want.data()[i] = std::max(0.0f, want.data()[i]);
+  }
+  relu_inplace(got);
+  expect_bit_identical(got, want, "relu_inplace");
+
+  std::vector<float> cs_got(21, 0.25f), cs_want(21, 0.25f);
+  add_colsum(cs_got, m);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) cs_want[j] += m.at(i, j);
+  }
+  for (std::size_t j = 0; j < cs_want.size(); ++j) {
+    ASSERT_EQ(cs_got[j], cs_want[j]) << "add_colsum col " << j;
+  }
+
+  Matrix mean_want(1, m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      mean_want.at(0, j) += m.at(i, j);
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(m.rows());
+  for (std::size_t j = 0; j < m.cols(); ++j) mean_want.at(0, j) *= inv;
+  expect_bit_identical(row_mean(m), mean_want, "row_mean");
+}
+
 // --- A tiny synthetic SubGraph ---------------------------------------------------
 
 /// Builds a path graph 0-1-2-...-(n-1) with controllable features.
@@ -137,6 +283,55 @@ TEST(GcnLayer, AggregateTransposeIsAdjoint) {
     rhs += static_cast<double>(x.data()[i]) * aty.data()[i];
   }
   EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+// Full-layer companion to the KernelBitIdentity tests: forward and backward
+// through GcnLayer must match the scalar reference composition bit-for-bit,
+// so any aliasing/vectorization change that perturbs FP order is caught at
+// the layer level too (including the aggregate / aggregate_transpose paths).
+TEST(GcnLayer, ForwardBackwardBitIdenticalToScalarReference) {
+  Rng rng(93);
+  graphx::SubGraph g = path_graph(11, rng);
+  const std::size_t in_dim = graphx::kNumSubgraphFeatures;
+  GcnLayer layer(in_dim, 10, rng);
+  const Matrix h = Matrix::xavier(g.num_nodes(), in_dim, rng);
+  const Matrix d_out = Matrix::xavier(g.num_nodes(), 10, rng);
+
+  GcnCache cache;
+  const Matrix out = layer.forward(g, h, &cache);
+
+  const Matrix agg_ref = ref_aggregate(g, h);
+  expect_bit_identical(cache.agg, agg_ref, "forward agg");
+  Matrix out_ref = ref_matmul(agg_ref, layer.W);
+  for (std::size_t i = 0; i < out_ref.rows(); ++i) {
+    for (std::size_t j = 0; j < out_ref.cols(); ++j) {
+      out_ref.at(i, j) += layer.b[j];
+      out_ref.at(i, j) = std::max(0.0f, out_ref.at(i, j));
+    }
+  }
+  expect_bit_identical(out, out_ref, "forward out");
+
+  layer.zero_grad();
+  const Matrix d_in = layer.backward(g, h, cache, d_out);
+
+  Matrix d_pre = d_out;
+  for (std::size_t i = 0; i < d_pre.size(); ++i) {
+    if (cache.out.data()[i] <= 0.0f) d_pre.data()[i] = 0.0f;
+  }
+  expect_bit_identical(layer.gW, ref_matmul_at_b(agg_ref, d_pre),
+                       "backward gW");
+  std::vector<float> gb_ref(10, 0.0f);
+  for (std::size_t i = 0; i < d_pre.rows(); ++i) {
+    for (std::size_t j = 0; j < d_pre.cols(); ++j) {
+      gb_ref[j] += d_pre.at(i, j);
+    }
+  }
+  for (std::size_t j = 0; j < gb_ref.size(); ++j) {
+    ASSERT_EQ(layer.gb[j], gb_ref[j]) << "backward gb col " << j;
+  }
+  const Matrix d_agg_ref = ref_matmul_a_bt(d_pre, layer.W);
+  expect_bit_identical(d_in, ref_aggregate_transpose(g, d_agg_ref),
+                       "backward d_in");
 }
 
 /// Numeric gradient check of the full GraphClassifier loss.

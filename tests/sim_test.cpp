@@ -3,13 +3,47 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <tuple>
 
 #include "common/rng.h"
 #include "netlist/generators.h"
 #include "sim/failure_log.h"
 #include "sim/fault_sim.h"
 #include "sim/logic_sim.h"
+
+// sim_test is its own binary, so replacing the global allocator here is safe.
+// The counter lets SteadyStateIsAllocationFree assert the engine's
+// zero-allocation guarantee directly instead of trusting the reserve logic.
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+// GCC pairs these malloc-backed replacements against allocation sites it
+// believes used the default allocator and warns spuriously; new and delete
+// are replaced together here, so the pairing is in fact consistent.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace m3dfl::sim {
 namespace {
@@ -339,6 +373,320 @@ TEST_P(EventDrivenVsReference, BranchFaultDiffsAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventDrivenVsReference,
                          ::testing::Values(21, 22, 23, 24));
+
+// --- Generalized reference: all polarities, multi-fault seeds ----------------
+
+/// Per-word gate evaluation shared by the generalized reference.
+Word eval_word_ref(GateType t, const std::vector<Word>& ins) {
+  switch (t) {
+    case GateType::kBuf:
+    case GateType::kMiv:
+    case GateType::kObs: return ins[0];
+    case GateType::kInv: return ~ins[0];
+    case GateType::kXor: return ins[0] ^ ins[1];
+    case GateType::kXnor: return ~(ins[0] ^ ins[1]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      Word out = ins[0];
+      for (std::size_t k = 1; k < ins.size(); ++k) out &= ins[k];
+      return t == GateType::kNand ? ~out : out;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      Word out = ins[0];
+      for (std::size_t k = 1; k < ins.size(); ++k) out |= ins[k];
+      return t == GateType::kNor ? ~out : out;
+    }
+    case GateType::kInput: return 0;
+  }
+  return 0;
+}
+
+/// Brute-force re-simulation of an arbitrary fault set (any of the five
+/// polarities, stem and branch sites), replicating the engine's surrogate
+/// semantics exactly: faults whose activation is all-zero are ignored; a stem
+/// fault pins its gate to the good-derived faulty value only when that value
+/// differs from good V2; a branch override replaces the pin with the
+/// good-driver-derived faulty value outright. Fault gates must be distinct.
+std::vector<Word> reference_diff_multi(const Netlist& nl,
+                                       const SiteTable& sites,
+                                       const TwoVectorResult& good,
+                                       std::span<const InjectedFault> faults) {
+  const std::size_t W = good.num_words;
+  const std::size_t rem = good.num_patterns % kWordBits;
+  const Word tail = rem ? (Word{1} << rem) - 1 : ~Word{0};
+
+  auto fault_value = [&](const InjectedFault& f, std::vector<Word>& fv) {
+    const GateId drv = sites.site(f.site).driver;
+    bool any = false;
+    fv.assign(W, 0);
+    for (std::size_t w = 0; w < W; ++w) {
+      const Word v1 = good.v1[drv * W + w];
+      const Word v2 = good.v2[drv * W + w];
+      Word act = 0;
+      Word forced = v1;
+      switch (f.polarity) {
+        case FaultPolarity::kSlowToRise: act = ~v1 & v2 & (v1 ^ v2); break;
+        case FaultPolarity::kSlowToFall: act = v1 & ~v2 & (v1 ^ v2); break;
+        case FaultPolarity::kSlow: act = v1 ^ v2; break;
+        case FaultPolarity::kStuckAt0:
+          act = v2;
+          forced = 0;
+          break;
+        case FaultPolarity::kStuckAt1:
+          act = ~v2;
+          forced = ~Word{0};
+          break;
+      }
+      if (w + 1 == W) act &= tail;
+      any |= act != 0;
+      fv[w] = (v2 & ~act) | (forced & act);
+    }
+    return any;
+  };
+
+  // Pre-resolve every activated fault into a pinned stem row or a branch
+  // override row, exactly as the engine seeds events.
+  std::map<GateId, std::vector<Word>> pinned;
+  std::map<std::pair<GateId, std::int16_t>, std::vector<Word>> override_pin;
+  std::vector<Word> fv;
+  for (const InjectedFault& f : faults) {
+    const auto& site = sites.site(f.site);
+    if (!fault_value(f, fv)) continue;  // Never activated: no event seeded.
+    if (site.is_stem()) {
+      bool differs = false;
+      for (std::size_t w = 0; w < W; ++w) {
+        differs |= fv[w] != good.v2[site.gate * W + w];
+      }
+      if (differs) pinned[site.gate] = fv;
+    } else {
+      override_pin[{site.gate, site.pin}] = fv;
+    }
+  }
+
+  std::vector<Word> faulty(nl.num_gates() * W);
+  for (GateId g : nl.topo_order()) {
+    const auto& gate = nl.gate(g);
+    if (const auto it = pinned.find(g); it != pinned.end()) {
+      std::copy(it->second.begin(), it->second.end(), faulty.begin() + g * W);
+      continue;
+    }
+    if (gate.type == GateType::kInput) {
+      std::copy_n(good.v2.begin() + g * W, W, faulty.begin() + g * W);
+      continue;
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      std::vector<Word> ins;
+      ins.reserve(gate.fanin.size());
+      for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+        const auto ov =
+            override_pin.find({g, static_cast<std::int16_t>(k)});
+        ins.push_back(ov != override_pin.end()
+                          ? ov->second[w]
+                          : faulty[gate.fanin[k] * W + w]);
+      }
+      faulty[g * W + w] = eval_word_ref(gate.type, ins);
+    }
+  }
+
+  std::vector<Word> diff(nl.num_outputs() * W, 0);
+  for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+    const GateId g = nl.outputs()[o];
+    for (std::size_t w = 0; w < W; ++w) {
+      Word d = faulty[g * W + w] ^ good.v2[g * W + w];
+      if (w + 1 == W) d &= tail;
+      diff[o * W + w] = d;
+    }
+  }
+  return diff;
+}
+
+/// FNV-1a over a diff buffer: the golden-equivalence tests compare digests so
+/// a mismatch is caught even if an element-wise loop were ever loosened.
+std::uint64_t diff_hash(const std::vector<Word>& diff) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (Word w : diff) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr FaultPolarity kPolarityCycle[] = {
+    FaultPolarity::kSlowToRise, FaultPolarity::kSlowToFall,
+    FaultPolarity::kSlow, FaultPolarity::kStuckAt0, FaultPolarity::kStuckAt1};
+
+/// Seed x pattern-count sweep; pattern counts cover partial-tail words
+/// (70 % 64 != 0, 96 % 64 != 0) and the exact multi-word boundary (128).
+class GoldenEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(GoldenEquivalence, AllPolaritiesSingleFault) {
+  const auto [seed, patterns] = GetParam();
+  FaultSimFixture fx(seed, patterns);
+  Rng rng(seed + 50);
+  std::vector<Word> diff;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto site =
+        static_cast<netlist::SiteId>(rng.next_below(fx.sites.size()));
+    const InjectedFault f{site, kPolarityCycle[trial % 5]};
+    const bool detected = fx.fsim.observed_diff(f, diff);
+    const auto ref = reference_diff_multi(fx.nl, fx.sites, fx.fsim.good(),
+                                          std::span(&f, 1));
+    ASSERT_EQ(diff_hash(diff), diff_hash(ref))
+        << "site " << site << " polarity " << polarity_name(f.polarity);
+    ASSERT_EQ(diff, ref);
+    const bool ref_detected =
+        std::any_of(ref.begin(), ref.end(), [](Word w) { return w != 0; });
+    EXPECT_EQ(detected, ref_detected);
+  }
+}
+
+TEST_P(GoldenEquivalence, MultiFaultSeeds) {
+  const auto [seed, patterns] = GetParam();
+  FaultSimFixture fx(seed + 500, patterns);
+  Rng rng(seed + 60);
+  std::vector<Word> diff;
+  for (int trial = 0; trial < 15; ++trial) {
+    // 2-3 faults at distinct gates (the engine seeds per-gate state, so
+    // same-gate fault pairs are order-dependent and not part of the
+    // contract); mixed polarities, stem and branch sites.
+    const std::size_t k = 2 + trial % 2;
+    std::vector<InjectedFault> faults;
+    int guard = 0;
+    while (faults.size() < k && guard++ < 300) {
+      const auto site =
+          static_cast<netlist::SiteId>(rng.next_below(fx.sites.size()));
+      const GateId gate = fx.sites.site(site).gate;
+      const bool dup = std::any_of(
+          faults.begin(), faults.end(), [&](const InjectedFault& f) {
+            return fx.sites.site(f.site).gate == gate;
+          });
+      if (dup) continue;
+      faults.push_back(
+          {site, kPolarityCycle[rng.next_below(5)]});
+    }
+    ASSERT_EQ(faults.size(), k);
+    const bool detected = fx.fsim.observed_diff(faults, diff);
+    const auto ref =
+        reference_diff_multi(fx.nl, fx.sites, fx.fsim.good(), faults);
+    ASSERT_EQ(diff_hash(diff), diff_hash(ref)) << "trial " << trial;
+    ASSERT_EQ(diff, ref);
+    const bool ref_detected =
+        std::any_of(ref.begin(), ref.end(), [](Word w) { return w != 0; });
+    EXPECT_EQ(detected, ref_detected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndTails, GoldenEquivalence,
+    ::testing::Combine(::testing::Values<std::uint64_t>(41, 42, 43),
+                       ::testing::Values<std::size_t>(70, 96, 128)));
+
+TEST(FaultSimulator, TouchedOutputsDuplicateFreeAndComplete) {
+  FaultSimFixture fx(34);
+  std::vector<Word> diff;
+  std::vector<std::uint32_t> touched;
+  const std::size_t W = fx.fsim.num_words();
+  for (netlist::SiteId s = 0; s < fx.sites.size(); s += 7) {
+    for (FaultPolarity pol : kPolarityCycle) {
+      fx.fsim.observed_diff({s, pol}, diff, &touched);
+      std::vector<std::uint32_t> sorted = touched;
+      std::sort(sorted.begin(), sorted.end());
+      ASSERT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+                sorted.end())
+          << "duplicate touched output, site " << s;
+      // Every nonzero diff row is listed; unlisted rows are all-zero.
+      for (std::size_t o = 0; o < fx.nl.num_outputs(); ++o) {
+        const bool listed =
+            std::binary_search(sorted.begin(), sorted.end(), o);
+        if (listed) continue;
+        for (std::size_t w = 0; w < W; ++w) {
+          ASSERT_EQ(diff[o * W + w], Word{0})
+              << "untouched output " << o << " has a nonzero diff";
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultSimulator, DetectsAgreesWithObservedDiff) {
+  FaultSimFixture fx(36);
+  Rng rng(37);
+  std::vector<Word> diff;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto site =
+        static_cast<netlist::SiteId>(rng.next_below(fx.sites.size()));
+    const InjectedFault f{site, kPolarityCycle[trial % 5]};
+    // detects() runs first so a workspace leak from its early exit would
+    // corrupt the full simulation that follows.
+    const bool fast = fx.fsim.detects(f);
+    const bool full = fx.fsim.observed_diff(f, diff);
+    ASSERT_EQ(fast, full) << "site " << site << " polarity "
+                          << polarity_name(f.polarity);
+    // Compare against the engine-independent reference: an engine-vs-engine
+    // check alone would miss residue that corrupts both calls identically.
+    const auto ref = reference_diff_multi(fx.nl, fx.sites, fx.fsim.good(),
+                                          std::span(&f, 1));
+    ASSERT_EQ(diff, ref) << "workspace residue after detects(), site "
+                         << site;
+  }
+}
+
+TEST(FaultSimulator, ObservabilityMaskMatchesBruteForceReachability) {
+  FaultSimFixture fx(38);
+  // Forward reachability to any observation point, computed independently.
+  std::vector<std::uint8_t> reaches(fx.nl.num_gates(), 0);
+  for (const GateId out : fx.nl.outputs()) reaches[out] = 1;
+  const auto& topo = fx.nl.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    for (const GateId fo : fx.nl.gate(*it).fanout) {
+      if (reaches[fo]) reaches[*it] = 1;
+    }
+  }
+  for (GateId g = 0; g < fx.nl.num_gates(); ++g) {
+    EXPECT_EQ(fx.fsim.gate_observable(g), reaches[g] != 0) << "gate " << g;
+  }
+  for (netlist::SiteId s = 0; s < fx.sites.size(); ++s) {
+    EXPECT_EQ(fx.fsim.site_observable(s),
+              reaches[fx.sites.site(s).gate] != 0);
+  }
+  // An unobservable site never produces a diff (and is counted as a skip).
+  std::vector<Word> diff;
+  for (netlist::SiteId s = 0; s < fx.sites.size(); ++s) {
+    if (fx.fsim.site_observable(s)) continue;
+    const auto before = fx.fsim.sim_stats().cone_skips;
+    EXPECT_FALSE(fx.fsim.observed_diff({s, FaultPolarity::kSlow}, diff));
+    EXPECT_GT(fx.fsim.sim_stats().cone_skips, before);
+  }
+}
+
+TEST(FaultSimulator, SteadyStateIsAllocationFree) {
+  FaultSimFixture fx(39);
+  std::vector<Word> diff;
+  std::vector<std::uint32_t> touched;
+  // Mixed workload touching every engine path: full diffs with touched
+  // tracking, multi-fault seeds (stem + branch), and early-exit detects.
+  auto workload = [&] {
+    for (netlist::SiteId s = 0; s < fx.sites.size(); s += 5) {
+      fx.fsim.observed_diff({s, kPolarityCycle[s % 5]}, diff, &touched);
+      fx.fsim.detects({s, FaultPolarity::kSlow});
+      const InjectedFault pair[] = {
+          {s, FaultPolarity::kSlowToRise},
+          {static_cast<netlist::SiteId>((s + fx.sites.size() / 2) %
+                                        fx.sites.size()),
+           FaultPolarity::kStuckAt0}};
+      fx.fsim.observed_diff(pair, diff, &touched);
+    }
+  };
+  workload();  // Warm-up: sizes the caller buffers and any lazy pools.
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  workload();
+  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "fault simulation allocated in steady state";
+}
 
 TEST(FaultSimulator, WorkspaceRestoredBetweenCalls) {
   FaultSimFixture fx(31);

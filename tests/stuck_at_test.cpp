@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "atpg/coverage.h"
 #include "atpg/podem.h"
 #include "common/rng.h"
@@ -61,6 +63,105 @@ TEST(StuckAt, ActivationCoversExactlyTheOppositeValue) {
           << "SA0 and SA1 activation must tile every pattern";
     }
   }
+}
+
+/// Brute-force stuck-at re-simulation: force the site's signal to the stuck
+/// constant on every pattern (stem: pin the gate; branch: override the one
+/// pin) and fully re-evaluate the V2 frame in topo order. Independent of the
+/// event-driven engine's cone pruning, epoch restore, and early exit.
+std::vector<sim::Word> stuck_reference_diff(const Netlist& nl,
+                                            const SiteTable& sites,
+                                            const sim::TwoVectorResult& good,
+                                            const InjectedFault& f) {
+  const std::size_t W = good.num_words;
+  const std::size_t rem = good.num_patterns % sim::kWordBits;
+  const sim::Word tail =
+      rem ? (sim::Word{1} << rem) - 1 : ~sim::Word{0};
+  const sim::Word stuck =
+      f.polarity == FaultPolarity::kStuckAt1 ? ~sim::Word{0} : sim::Word{0};
+  const auto& site = sites.site(f.site);
+
+  std::vector<sim::Word> faulty(nl.num_gates() * W);
+  std::vector<sim::Word> ins;
+  for (GateId g : nl.topo_order()) {
+    const auto& gate = nl.gate(g);
+    sim::Word* row = faulty.data() + static_cast<std::size_t>(g) * W;
+    if (site.is_stem() && site.gate == g) {
+      for (std::size_t w = 0; w < W; ++w) row[w] = stuck;
+      continue;
+    }
+    if (gate.type == GateType::kInput) {
+      for (std::size_t w = 0; w < W; ++w) row[w] = good.v2[g * W + w];
+      continue;
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      ins.clear();
+      for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+        const bool overridden = !site.is_stem() && site.gate == g &&
+                                static_cast<std::int16_t>(k) == site.pin;
+        ins.push_back(overridden ? stuck : faulty[gate.fanin[k] * W + w]);
+      }
+      sim::Word out = 0;
+      switch (gate.type) {
+        case GateType::kBuf:
+        case GateType::kMiv:
+        case GateType::kObs: out = ins[0]; break;
+        case GateType::kInv: out = ~ins[0]; break;
+        case GateType::kXor: out = ins[0] ^ ins[1]; break;
+        case GateType::kXnor: out = ~(ins[0] ^ ins[1]); break;
+        case GateType::kAnd:
+        case GateType::kNand:
+          out = ins[0];
+          for (std::size_t k = 1; k < ins.size(); ++k) out &= ins[k];
+          if (gate.type == GateType::kNand) out = ~out;
+          break;
+        case GateType::kOr:
+        case GateType::kNor:
+          out = ins[0];
+          for (std::size_t k = 1; k < ins.size(); ++k) out |= ins[k];
+          if (gate.type == GateType::kNor) out = ~out;
+          break;
+        case GateType::kInput: break;
+      }
+      row[w] = out;
+    }
+  }
+
+  std::vector<sim::Word> diff(nl.num_outputs() * W, 0);
+  for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+    const GateId g = nl.outputs()[o];
+    for (std::size_t w = 0; w < W; ++w) {
+      sim::Word d = faulty[g * W + w] ^ good.v2[g * W + w];
+      if (w + 1 == W) d &= tail;
+      diff[o * W + w] = d;
+    }
+  }
+  return diff;
+}
+
+TEST(StuckAt, EventDrivenMatchesReferenceResimulation) {
+  Fixture fx(310);
+  Rng rng(311);
+  std::vector<sim::Word> diff;
+  int stems = 0, branches = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto site =
+        static_cast<netlist::SiteId>(rng.next_below(fx.sites.size()));
+    const InjectedFault f{site, trial % 2 == 0 ? FaultPolarity::kStuckAt0
+                                               : FaultPolarity::kStuckAt1};
+    (fx.sites.site(site).is_stem() ? stems : branches) += 1;
+    const bool detected = fx.fsim.observed_diff(f, diff);
+    const auto ref = stuck_reference_diff(fx.nl, fx.sites, fx.fsim.good(), f);
+    ASSERT_EQ(diff, ref) << "site " << site << " "
+                         << sim::polarity_name(f.polarity);
+    const bool ref_detected = std::any_of(
+        ref.begin(), ref.end(), [](sim::Word w) { return w != 0; });
+    ASSERT_EQ(detected, ref_detected);
+    // The detect-only fast path agrees and leaves the workspace clean.
+    ASSERT_EQ(fx.fsim.detects(f), detected);
+  }
+  EXPECT_GT(stems, 0);
+  EXPECT_GT(branches, 0);
 }
 
 TEST(StuckAt, StuckSiteIsEasierToDetectThanTdf) {
