@@ -4,10 +4,12 @@
 #include <bit>
 #include <chrono>
 #include <future>
+#include <optional>
 
 #include "common/executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/bitpar/bitpar_sim.h"
 #include "sim/sim_pool.h"
 
 namespace m3dfl::diag {
@@ -72,13 +74,14 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
   static obs::Counter& sim_cone_ctr = reg.counter("sim.cone_skips");
   static obs::Counter& sim_early_ctr = reg.counter("sim.early_exits");
 
+  reg.gauge("sim.backend").set(static_cast<double>(options.backend));
+
   // Simulates [lo, hi) sites into `out`, preserving the site-then-polarity
   // entry order the sequential campaign produces.
   auto build_range = [&](sim::FaultSimulator& sim_, netlist::SiteId lo,
                          netlist::SiteId hi, std::vector<Entry>& out) {
     M3DFL_OBS_SPAN(shard_span, "dictionary.shard");
     const auto t0 = std::chrono::steady_clock::now();
-    const sim::FaultSimulator::SimStats before = sim_.sim_stats();
     std::vector<sim::Word> diff;
     std::vector<std::uint32_t> touched;
     for (netlist::SiteId s = lo; s < hi; ++s) {
@@ -92,31 +95,95 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
         out.push_back(std::move(e));
       }
     }
-    const sim::FaultSimulator::SimStats after = sim_.sim_stats();
-    sim_calls_ctr.add(after.observed_diff_calls - before.observed_diff_calls);
-    sim_det_ctr.add(after.detected - before.detected);
-    sim_events_ctr.add(after.events_processed - before.events_processed);
-    sim_words_ctr.add(after.words_evaluated - before.words_evaluated);
-    sim_cone_ctr.add(after.cone_skips - before.cone_skips);
-    sim_early_ctr.add(after.early_exits - before.early_exits);
+    // take_stats() snapshots-and-resets, so pooled clones re-leased by a
+    // later shard never re-flush counts a previous shard already reported.
+    const sim::FaultSimulator::SimStats d = sim_.take_stats();
+    sim_calls_ctr.add(d.observed_diff_calls);
+    sim_det_ctr.add(d.detected);
+    sim_events_ctr.add(d.events_processed);
+    sim_words_ctr.add(d.words_evaluated);
+    sim_cone_ctr.add(d.cone_skips);
+    sim_early_ctr.add(d.early_exits);
     shard_hist.record(std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count());
   };
 
+  // Bit-parallel variant of build_range: packs the shard's (site, polarity)
+  // jobs up to kMaxLanes per sweep, in site-major order, so the entry
+  // sequence (and thus fingerprint()) matches the event campaign exactly.
+  sim::bitpar::NetlistArena const* arena = nullptr;
+  sim::bitpar::BitParallelSimulator const* bp = nullptr;
+  std::optional<sim::bitpar::NetlistArena> arena_storage;
+  std::optional<sim::bitpar::BitParallelSimulator> bp_storage;
+  if (options.backend == sim::SimBackend::kBitParallel) {
+    arena_storage.emplace(nl, sites);
+    arena = &*arena_storage;
+    bp_storage.emplace(*arena, sites);
+    bp_storage->bind(fsim.good());
+    bp = &*bp_storage;
+    reg.gauge("sim.simd_tier").set(static_cast<double>(bp->tier()));
+  }
+  auto build_range_bp = [&](sim::bitpar::BitParallelSimulator::Workspace& ws,
+                            netlist::SiteId lo, netlist::SiteId hi,
+                            std::vector<Entry>& out) {
+    M3DFL_OBS_SPAN(shard_span, "dictionary.shard");
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<sim::InjectedFault> jobs;
+    jobs.reserve(static_cast<std::size_t>(hi - lo) * 2);
+    for (netlist::SiteId s = lo; s < hi; ++s) {
+      for (sim::FaultPolarity pol : options.polarities) {
+        jobs.push_back({s, pol});
+      }
+    }
+    sim::bitpar::BitParallelSimulator::BatchResult res;
+    std::vector<std::uint64_t> keys;
+    for (std::size_t base = 0; base < jobs.size();
+         base += sim::bitpar::kMaxLanes) {
+      const std::size_t count =
+          std::min(sim::bitpar::kMaxLanes, jobs.size() - base);
+      bp->run(std::span<const sim::InjectedFault>(jobs).subspan(base, count),
+              ws, res);
+      for (std::size_t j = 0; j < count; ++j) {
+        res.keys_of(j, keys);
+        if (keys.empty()) continue;
+        Entry e;
+        e.site = jobs[base + j].site;
+        e.polarity = jobs[base + j].polarity;
+        e.keys = keys;
+        e.hash = hash_keys(e.keys);
+        out.push_back(std::move(e));
+      }
+    }
+    sim::bitpar::flush_bitpar_metrics(ws.stats);
+    shard_hist.record(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+  };
+
+  const bool bitpar = options.backend == sim::SimBackend::kBitParallel;
   std::size_t threads = resolve_num_threads(options.num_threads);
   threads = std::min(threads, std::max<std::size_t>(num_sites, 1));
   if (threads <= 1) {
-    build_range(fsim, 0, static_cast<netlist::SiteId>(num_sites), entries_);
+    if (bitpar) {
+      sim::bitpar::BitParallelSimulator::Workspace ws;
+      build_range_bp(ws, 0, static_cast<netlist::SiteId>(num_sites),
+                     entries_);
+    } else {
+      build_range(fsim, 0, static_cast<netlist::SiteId>(num_sites), entries_);
+    }
   } else {
-    // Contiguous site shards over pooled simulator clones, merged in shard
-    // order — the concatenation is exactly the sequential entry sequence.
+    // Contiguous site shards merged in shard order — the concatenation is
+    // exactly the sequential entry sequence. Event shards lease pooled
+    // simulator clones; bit-parallel shards share the one immutable
+    // simulator and own a private Workspace each.
     // Warm the netlist's lazy topo/level caches before fan-out (they are
-    // unsynchronized; the clones all read the same netlist).
+    // unsynchronized; every shard reads the same netlist).
     nl.topo_order();
     nl.levels();
     nl.depth();
-    sim::SimulatorPool pool(fsim);
+    std::optional<sim::SimulatorPool> pool;
+    if (!bitpar) pool.emplace(fsim);
     Executor exec(threads, "dictionary");
     const std::size_t num_chunks = std::min(num_sites, threads * 4);
     const std::size_t chunk = (num_sites + num_chunks - 1) / num_chunks;
@@ -127,10 +194,17 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
       const auto lo = static_cast<netlist::SiteId>(c * chunk);
       const auto hi = static_cast<netlist::SiteId>(
           std::min(num_sites, (c + 1) * chunk));
-      done.push_back(exec.submit([&build_range, &pool, &shards, c, lo, hi] {
-        auto sim_ = pool.lease();
-        build_range(*sim_, lo, hi, shards[c]);
-      }));
+      if (bitpar) {
+        done.push_back(exec.submit([&build_range_bp, &shards, c, lo, hi] {
+          sim::bitpar::BitParallelSimulator::Workspace ws;
+          build_range_bp(ws, lo, hi, shards[c]);
+        }));
+      } else {
+        done.push_back(exec.submit([&build_range, &pool, &shards, c, lo, hi] {
+          auto sim_ = pool->lease();
+          build_range(*sim_, lo, hi, shards[c]);
+        }));
+      }
     }
     for (auto& f : done) f.get();  // Propagates shard exceptions.
     std::size_t total = 0;

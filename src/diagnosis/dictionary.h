@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "diagnosis/report.h"
+#include "sim/backend.h"
 #include "sim/failure_log.h"
 #include "sim/fault_sim.h"
 
@@ -33,6 +34,10 @@ struct FaultDictionaryOptions {
   /// clones and merged in site order, so the dictionary is bit-identical
   /// at every thread count.
   std::size_t num_threads = 0;
+  /// Simulation engine for the campaign. kBitParallel batches up to 512
+  /// (site, polarity) jobs per sweep; both backends yield bit-identical
+  /// dictionaries (same fingerprint()) at every thread count.
+  sim::SimBackend backend = sim::SimBackend::kEvent;
 };
 
 class FaultDictionary {

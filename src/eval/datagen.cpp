@@ -4,12 +4,15 @@
 #include <cassert>
 #include <chrono>
 #include <future>
+#include <optional>
+#include <span>
 
 #include "common/executor.h"
 #include "common/rng.h"
 #include "compress/compactor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/bitpar/bitpar_sim.h"
 #include "sim/sim_pool.h"
 
 namespace m3dfl::eval {
@@ -67,6 +70,34 @@ std::vector<InjectedFault> draw_faults(const Design& d, FaultMode mode,
   return faults;
 }
 
+/// Post-acceptance labeling shared by both backends: truth sites, tier
+/// label, MIV flag, and the back-traced sub-graph with labels filled.
+void finalize_sample(const Design& design, Sample& sample) {
+  sample.truth_sites.clear();
+  for (const InjectedFault& f : sample.faults) {
+    sample.truth_sites.push_back(f.site);
+  }
+  sample.fault_tier = static_cast<int>(
+      design.sites.tier_of(sample.faults.front().site, design.nl));
+  sample.truth_is_miv =
+      design.sites.is_miv_site(sample.faults.front().site, design.nl);
+
+  // Back-trace and label the sub-graph.
+  sample.sub =
+      graphx::backtrace_subgraph(*design.graph, sample.log, design.scan);
+  sample.sub.label_tier = sample.fault_tier;
+  sample.sub.truth_in_nodes = std::any_of(
+      sample.truth_sites.begin(), sample.truth_sites.end(),
+      [&sample](SiteId s) { return sample.sub.local_of(s) >= 0; });
+  for (std::size_t k = 0; k < sample.sub.miv_local.size(); ++k) {
+    const SiteId site = sample.sub.nodes[sample.sub.miv_local[k]];
+    const bool faulty = std::find(sample.truth_sites.begin(),
+                                  sample.truth_sites.end(),
+                                  site) != sample.truth_sites.end();
+    sample.sub.miv_label[k] = faulty ? 1.0f : 0.0f;
+  }
+}
+
 /// Runs the Fig.-4 flow for sample `index` on its own RNG stream
 /// (derive_seed(opts.seed, index)), making the result a pure function of
 /// (design, opts, index) — the property every parallel shard and the
@@ -98,30 +129,7 @@ bool generate_sample(const Design& design, const DatagenOptions& opts,
     ok = true;
   }
   if (!ok) return false;  // Retry budget exhausted; skip the sample.
-
-  sample.truth_sites.clear();
-  for (const InjectedFault& f : sample.faults) {
-    sample.truth_sites.push_back(f.site);
-  }
-  sample.fault_tier = static_cast<int>(
-      design.sites.tier_of(sample.faults.front().site, design.nl));
-  sample.truth_is_miv =
-      design.sites.is_miv_site(sample.faults.front().site, design.nl);
-
-  // Back-trace and label the sub-graph.
-  sample.sub =
-      graphx::backtrace_subgraph(*design.graph, sample.log, design.scan);
-  sample.sub.label_tier = sample.fault_tier;
-  sample.sub.truth_in_nodes = std::any_of(
-      sample.truth_sites.begin(), sample.truth_sites.end(),
-      [&sample](SiteId s) { return sample.sub.local_of(s) >= 0; });
-  for (std::size_t k = 0; k < sample.sub.miv_local.size(); ++k) {
-    const SiteId site = sample.sub.nodes[sample.sub.miv_local[k]];
-    const bool faulty = std::find(sample.truth_sites.begin(),
-                                  sample.truth_sites.end(),
-                                  site) != sample.truth_sites.end();
-    sample.sub.miv_label[k] = faulty ? 1.0f : 0.0f;
-  }
+  finalize_sample(design, sample);
   return true;
 }
 
@@ -150,11 +158,11 @@ Dataset generate_dataset(const Design& design, const DatagenOptions& opts) {
   static obs::Counter& sim_cone_ctr = reg.counter("sim.cone_skips");
   static obs::Counter& sim_early_ctr = reg.counter("sim.early_exits");
 
+  reg.gauge("sim.backend").set(static_cast<double>(opts.backend));
+
   auto run_range = [&](sim::FaultSimulator& fsim, std::size_t lo,
                        std::size_t hi) {
     M3DFL_OBS_SPAN(shard_span, "datagen.shard");
-    // Clones inherit the source simulator's counters, so flush the delta.
-    const sim::FaultSimulator::SimStats before = fsim.sim_stats();
     std::vector<sim::Word> diff;
     for (std::size_t i = lo; i < hi; ++i) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -165,28 +173,137 @@ Dataset generate_dataset(const Design& design, const DatagenOptions& opts) {
                              .count());
       (present[i] ? samples_ctr : skipped_ctr).add(1);
     }
-    const sim::FaultSimulator::SimStats after = fsim.sim_stats();
-    sim_calls_ctr.add(after.observed_diff_calls - before.observed_diff_calls);
-    sim_det_ctr.add(after.detected - before.detected);
-    sim_events_ctr.add(after.events_processed - before.events_processed);
-    sim_words_ctr.add(after.words_evaluated - before.words_evaluated);
-    sim_cone_ctr.add(after.cone_skips - before.cone_skips);
-    sim_early_ctr.add(after.early_exits - before.early_exits);
+    // take_stats() snapshots-and-resets, so pooled clones re-leased by a
+    // later shard never re-flush counts a previous shard already reported.
+    const sim::FaultSimulator::SimStats d = fsim.take_stats();
+    sim_calls_ctr.add(d.observed_diff_calls);
+    sim_det_ctr.add(d.detected);
+    sim_events_ctr.add(d.events_processed);
+    sim_words_ctr.add(d.words_evaluated);
+    sim_cone_ctr.add(d.cone_skips);
+    sim_early_ctr.add(d.early_exits);
+  };
+
+  // Bit-parallel shard: windows of up to kMaxLanes sample indices run as
+  // simulation waves. Each round draws one attempt for every still-active
+  // sample in the window, sweeps them as one multi-fault batch (one lane
+  // per sample), and judges each lane exactly as generate_sample judges
+  // one observed_diff call. Per-sample RNG streams and retry budgets pass
+  // through untouched, so the Dataset is bit-identical to the event
+  // backend.
+  const bool bitpar = opts.backend == sim::SimBackend::kBitParallel;
+  std::optional<sim::bitpar::NetlistArena> arena;
+  std::optional<sim::bitpar::BitParallelSimulator> bp;
+  if (bitpar) {
+    arena.emplace(design.nl, design.sites);
+    bp.emplace(*arena, design.sites);
+    bp->bind(design.fsim->good());
+    reg.gauge("sim.simd_tier").set(static_cast<double>(bp->tier()));
+  }
+  auto run_range_bp = [&](sim::bitpar::BitParallelSimulator::Workspace& ws,
+                          std::size_t lo, std::size_t hi) {
+    M3DFL_OBS_SPAN(shard_span, "datagen.shard");
+    sim::bitpar::BitParallelSimulator::BatchResult res;
+    std::vector<sim::Word> diff;
+    struct Active {
+      std::size_t index;
+      Rng rng;
+      int attempt = 0;
+    };
+    std::vector<Active> active;
+    std::vector<std::span<const InjectedFault>> machines;
+    for (std::size_t w0 = lo; w0 < hi; w0 += sim::bitpar::kMaxLanes) {
+      const std::size_t w1 = std::min(hi, w0 + sim::bitpar::kMaxLanes);
+      const auto t0 = std::chrono::steady_clock::now();
+      active.clear();
+      for (std::size_t i = w0; i < w1; ++i) {
+        active.push_back({i, Rng(derive_seed(opts.seed, i))});
+      }
+      while (!active.empty()) {
+        machines.clear();
+        std::size_t keep = 0;
+        for (std::size_t a = 0; a < active.size(); ++a) {
+          Active st = std::move(active[a]);
+          Sample& sample = slots[st.index];
+          sample.faults = draw_faults(design, opts.mode, st.rng);
+          if (sample.faults.empty()) {
+            // Nothing to draw (no MIVs) — generate_sample fails such a
+            // sample immediately, outside the retry budget.
+            skipped_ctr.add(1);
+            continue;
+          }
+          machines.push_back(
+              {sample.faults.data(), sample.faults.size()});
+          active[keep++] = std::move(st);
+        }
+        active.resize(keep);
+        if (active.empty()) break;
+        bp->run_machines(machines, ws, res);
+        keep = 0;
+        for (std::size_t j = 0; j < active.size(); ++j) {
+          Active st = std::move(active[j]);
+          Sample& sample = slots[st.index];
+          ++st.attempt;
+          bool ok = false;
+          if (res.detected_lane(j)) {
+            if (opts.compacted) {
+              res.diff_of(j, diff);
+              sample.log = compactor.failure_log_from_diff(
+                  diff, design.fsim->num_words(),
+                  design.fsim->num_patterns());
+              // XOR aliasing can cancel every miscompare; retry within
+              // the same budget (mirrors generate_sample).
+              ok = !sample.log.empty();
+            } else {
+              sample.log = res.failure_log_of(j);
+              ok = true;
+            }
+          }
+          if (ok) {
+            finalize_sample(design, sample);
+            present[st.index] = 1;
+            samples_ctr.add(1);
+          } else if (st.attempt >= opts.max_retries) {
+            skipped_ctr.add(1);
+          } else {
+            active[keep++] = std::move(st);
+          }
+        }
+        active.resize(keep);
+      }
+      // The wave sweeps every lane at once, so individual sample timings
+      // don't exist — record the window's wall time amortized per sample.
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+      for (std::size_t i = w0; i < w1; ++i) {
+        sample_hist.record(elapsed / static_cast<double>(w1 - w0));
+      }
+    }
+    sim::bitpar::flush_bitpar_metrics(ws.stats);
   };
 
   std::size_t threads = resolve_num_threads(opts.num_threads);
   threads = std::min(threads, std::max<std::size_t>(n, 1));
   if (threads <= 1) {
-    run_range(*design.fsim, 0, n);
+    if (bitpar) {
+      sim::bitpar::BitParallelSimulator::Workspace ws;
+      run_range_bp(ws, 0, n);
+    } else {
+      run_range(*design.fsim, 0, n);
+    }
   } else {
-    // Contiguous index shards over pooled simulator clones. The design's
-    // shared simulator is never touched concurrently. The netlist's lazy
-    // topo/level caches are unsynchronized, so warm them before fan-out
-    // (same move as serve::DiagnosisService::register_design).
+    // Contiguous index shards. Event shards lease pooled simulator clones;
+    // bit-parallel shards share the one immutable simulator and own a
+    // private Workspace each. The design's shared simulator is never
+    // touched concurrently. The netlist's lazy topo/level caches are
+    // unsynchronized, so warm them before fan-out (same move as
+    // serve::DiagnosisService::register_design).
     design.nl.topo_order();
     design.nl.levels();
     design.nl.depth();
-    sim::SimulatorPool pool(*design.fsim);
+    std::optional<sim::SimulatorPool> pool;
+    if (!bitpar) pool.emplace(*design.fsim);
     Executor exec(threads, "datagen");
     const std::size_t num_chunks = std::min(n, threads * 4);
     const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
@@ -194,10 +311,17 @@ Dataset generate_dataset(const Design& design, const DatagenOptions& opts) {
     done.reserve(num_chunks);
     for (std::size_t lo = 0; lo < n; lo += chunk) {
       const std::size_t hi = std::min(n, lo + chunk);
-      done.push_back(exec.submit([&run_range, &pool, lo, hi] {
-        auto sim = pool.lease();
-        run_range(*sim, lo, hi);
-      }));
+      if (bitpar) {
+        done.push_back(exec.submit([&run_range_bp, lo, hi] {
+          sim::bitpar::BitParallelSimulator::Workspace ws;
+          run_range_bp(ws, lo, hi);
+        }));
+      } else {
+        done.push_back(exec.submit([&run_range, &pool, lo, hi] {
+          auto sim = pool->lease();
+          run_range(*sim, lo, hi);
+        }));
+      }
     }
     for (auto& f : done) f.get();  // Propagates shard exceptions.
   }

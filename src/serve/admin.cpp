@@ -11,6 +11,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/service.h"
+#include "sim/backend.h"
+#include "sim/bitpar/dispatch.h"
 
 namespace m3dfl::serve {
 
@@ -88,7 +90,16 @@ void register_admin_endpoints(obs::AdminHttpServer& server,
        << ",\"max_wait_us\":" << o.max_wait.count()
        << ",\"cache_capacity\":" << o.cache_capacity
        << ",\"batcher_pending_high_water\":" << service.batcher_high_water()
-       << "}}";
+       << "},\"sim\":{"
+       << "\"backend\":\"" << sim::backend_name(static_cast<sim::SimBackend>(
+              obs::MetricsRegistry::instance().gauge("sim.backend").value()))
+       << "\",\"simd_tier\":\""
+       << sim::bitpar::tier_name(sim::bitpar::resolve_tier())
+       << "\",\"cpu\":{"
+       << "\"sse2\":" << (sim::bitpar::cpu_features().sse2 ? "true" : "false")
+       << ",\"avx2\":" << (sim::bitpar::cpu_features().avx2 ? "true" : "false")
+       << ",\"os_avx\":"
+       << (sim::bitpar::cpu_features().os_avx ? "true" : "false") << "}}}";
     obs::HttpResponse r;
     r.content_type = "application/json";
     r.body = os.str();

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace m3dfl::sim {
+
+/// Selectable fault-simulation engines for the offline campaigns
+/// (dictionary build, dataset generation). Both produce bit-identical
+/// detect sets; they differ only in how the work is batched:
+///  * kEvent — the event-driven FaultSimulator: one fault set per call,
+///    64 patterns per machine word, cone-pruned propagation.
+///  * kBitParallel — the bitpar::BitParallelSimulator: up to 512 faults
+///    per pass, one fault per bit lane, SIMD-dispatched pattern sweep.
+enum class SimBackend : std::uint8_t { kEvent = 0, kBitParallel = 1 };
+
+inline const char* backend_name(SimBackend b) {
+  switch (b) {
+    case SimBackend::kEvent: return "event";
+    case SimBackend::kBitParallel: return "bitpar";
+  }
+  return "?";
+}
+
+inline std::optional<SimBackend> parse_backend(std::string_view s) {
+  if (s == "event") return SimBackend::kEvent;
+  if (s == "bitpar" || s == "bit-parallel") return SimBackend::kBitParallel;
+  return std::nullopt;
+}
+
+}  // namespace m3dfl::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace m3dfl::sim::bitpar {
+
+/// SIMD kernel tiers of the bit-parallel simulator, in ascending width.
+/// Every tier computes bit-identical results; wider tiers just move more
+/// lane words per instruction (scalar: 64 lanes, SSE2: 128, AVX2: 256).
+enum class SimdTier : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+const char* tier_name(SimdTier t);
+std::optional<SimdTier> parse_tier(std::string_view s);
+
+/// CPU capabilities relevant to kernel dispatch, probed once via cpuid
+/// (x86) and cached. On non-x86 hosts everything beyond scalar is false.
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx2 = false;
+  bool os_avx = false;  ///< OS saves YMM state (OSXSAVE + XCR0[2:1]).
+};
+
+const CpuFeatures& cpu_features();
+
+/// True if the tier's kernel is both compiled in and runnable on this host.
+bool tier_available(SimdTier t);
+
+/// Widest available tier on this host.
+SimdTier best_tier();
+
+/// Active tier under the resolution order
+///   force_tier() override > M3DFL_SIMD env var > best_tier().
+/// A forced/env tier the host cannot run falls back to best_tier() with a
+/// one-line stderr notice instead of faulting on an illegal instruction.
+SimdTier resolve_tier();
+
+/// Programmatic override (the CLI's --simd flag). std::nullopt clears it.
+void force_tier(std::optional<SimdTier> t);
+
+}  // namespace m3dfl::sim::bitpar

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "sim/bitpar/sweep.h"
+
+namespace m3dfl::sim::bitpar {
+
+/// One pattern sweep over a compiled batch schedule. Each tier lives in
+/// its own translation unit (the AVX2 one is compiled with -mavx2); the
+/// function-pointer boundary keeps wide instructions from leaking into
+/// code that runs before the cpuid check. Accessors return nullptr when
+/// the tier is not compiled in on this architecture.
+using SweepFn = void (*)(SweepContext&);
+
+SweepFn scalar_sweep();
+SweepFn sse2_sweep();
+SweepFn avx2_sweep();
+
+}  // namespace m3dfl::sim::bitpar

@@ -1,0 +1,54 @@
+// Compiled with -mavx2 on x86 (see src/CMakeLists.txt); the function-
+// pointer boundary in kernels.h keeps AVX2 instructions out of every other
+// translation unit, so they only execute after the cpuid check passes.
+#include "sim/bitpar/kernels_impl.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+namespace m3dfl::sim::bitpar {
+
+namespace {
+
+struct VecAvx2 {
+  static constexpr std::size_t kWords = 4;
+  using Reg = __m256i;
+  static Reg load(const Word* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(Word* p, Reg r) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), r);
+  }
+  static Reg splat(Word w) {
+    return _mm256_set1_epi64x(static_cast<long long>(w));
+  }
+  static Reg zero() { return _mm256_setzero_si256(); }
+  static Reg xor_(Reg a, Reg b) { return _mm256_xor_si256(a, b); }
+  static Reg and_(Reg a, Reg b) { return _mm256_and_si256(a, b); }
+  static Reg or_(Reg a, Reg b) { return _mm256_or_si256(a, b); }
+  static Reg andnot(Reg a, Reg b) { return _mm256_andnot_si256(a, b); }
+  static bool any(Reg r) { return !_mm256_testz_si256(r, r); }
+  /// Expands bits t..t+3 of the packed word into per-lane masks: shift
+  /// each target bit to the sign position, then sign-test.
+  static Reg bitmask(Word bits, std::uint32_t t) {
+    const Reg sh = _mm256_sub_epi64(_mm256_set_epi64x(60, 61, 62, 63),
+                                    _mm256_set1_epi64x(t));
+    const Reg up = _mm256_sllv_epi64(
+        _mm256_set1_epi64x(static_cast<long long>(bits)), sh);
+    return _mm256_cmpgt_epi64(_mm256_setzero_si256(), up);
+  }
+};
+
+}  // namespace
+
+SweepFn avx2_sweep() { return &sweep_impl<VecAvx2>; }
+
+}  // namespace m3dfl::sim::bitpar
+
+#else  // !__AVX2__
+
+namespace m3dfl::sim::bitpar {
+SweepFn avx2_sweep() { return nullptr; }
+}  // namespace m3dfl::sim::bitpar
+
+#endif

@@ -1,0 +1,160 @@
+#pragma once
+
+// Shared body of the sweep kernels, instantiated per SIMD tier. Only the
+// kernel translation units include this header; everything else goes
+// through the SweepFn pointers in kernels.h.
+//
+// The sweep works in delta space: every delta row holds faulty XOR good
+// for one 64-lane block, one word per pattern. The compiled schedule is
+// evaluated bottom-up with vector ops streaming across pattern words
+// (fully overwriting every slot, so no clearing is needed between
+// blocks), and the output taps record (pattern, lanes) words whose delta
+// is nonzero. AND/OR gates re-enter value space via V::bitmask, which
+// expands bit-packed good values to broadcast lane masks in-register:
+// faulty_k = delta_k ^ G_k, and the output good value is the same op over
+// the good bits, so delta_out = op_k(delta_k ^ G_k) ^ op_k(G_k) — one
+// formula for AND and NAND (the complement cancels in the XOR), and
+// dually for OR/NOR. Injection vectors expand the same way from the
+// packed activation rows, so nothing pattern-expanded is ever stored.
+
+#include "sim/bitpar/kernels.h"
+
+namespace m3dfl::sim::bitpar {
+
+/// Injection vector of `point` for the V::kWords patterns starting at p:
+/// lane j's bit is set in word p+k when j's activation fires there.
+template <class V>
+inline typename V::Reg inject_at(const SweepContext& c, std::uint32_t point,
+                                 std::size_t p) {
+  const InjectPoint& pt = c.points[point];
+  const std::size_t pw = p >> 6;
+  const std::uint32_t t = static_cast<std::uint32_t>(p & 63);
+  const LaneInject& x0 = c.lane_injects[pt.begin];
+  auto acc = V::and_(
+      V::bitmask(c.act_rows[static_cast<std::size_t>(x0.act_row) * c.W + pw],
+                 t),
+      V::splat(Word{1} << (x0.lane & 63)));
+  for (std::uint32_t li = pt.begin + 1; li < pt.begin + pt.count; ++li) {
+    const LaneInject& x = c.lane_injects[li];
+    acc = V::or_(
+        acc,
+        V::and_(V::bitmask(
+                    c.act_rows[static_cast<std::size_t>(x.act_row) * c.W + pw],
+                    t),
+                V::splat(Word{1} << (x.lane & 63))));
+  }
+  return acc;
+}
+
+template <class V>
+void sweep_impl(SweepContext& c) {
+  const std::size_t RW = c.row_words;
+  const std::size_t W = c.W;
+  std::uint64_t fail_records = 0;
+
+  for (std::uint32_t i = 0; i < c.sched_size; ++i) {
+    const CompiledGate& g = c.sched[i];
+    Word* out = c.delta + static_cast<std::size_t>(i + 1) * RW;
+    const Word* in[4] = {nullptr, nullptr, nullptr, nullptr};
+    const Word* gv[4] = {nullptr, nullptr, nullptr, nullptr};
+    for (std::uint32_t k = 0; k < g.nfanin; ++k) {
+      const Word* row =
+          c.delta + static_cast<std::size_t>(g.fanin_slot[k]) * RW;
+      if (g.ov_point[k] != kNoPoint) {
+        // Branch override: the faulty value of this pin is derived from
+        // the good machine, so it masks out any upstream delta on the
+        // overriding lanes and contributes the activation bits instead.
+        const auto m = V::splat(c.point_masks[g.ov_point[k]]);
+        Word* e = c.eff + static_cast<std::size_t>(k) * RW;
+        for (std::size_t w = 0; w < RW; w += V::kWords) {
+          V::store(e + w, V::or_(V::andnot(m, V::load(row + w)),
+                                 inject_at<V>(c, g.ov_point[k], w)));
+        }
+        row = e;
+      }
+      in[k] = row;
+      gv[k] = c.v2 + static_cast<std::size_t>(g.fanin_gate[k]) * W;
+    }
+    switch (g.op) {
+      case OpKind::kInput:
+        for (std::size_t w = 0; w < RW; w += V::kWords) {
+          V::store(out + w, V::zero());
+        }
+        break;
+      case OpKind::kPass:
+        for (std::size_t w = 0; w < RW; w += V::kWords) {
+          V::store(out + w, V::load(in[0] + w));
+        }
+        break;
+      case OpKind::kXor2:
+        for (std::size_t w = 0; w < RW; w += V::kWords) {
+          V::store(out + w, V::xor_(V::load(in[0] + w), V::load(in[1] + w)));
+        }
+        break;
+      case OpKind::kAnd:
+        for (std::size_t w = 0; w < RW; w += V::kWords) {
+          const std::size_t pw = w >> 6;
+          const std::uint32_t t = static_cast<std::uint32_t>(w & 63);
+          auto g0 = V::bitmask(gv[0][pw], t);
+          auto acc = V::xor_(V::load(in[0] + w), g0);
+          auto gacc = g0;
+          for (std::uint32_t k = 1; k < g.nfanin; ++k) {
+            const auto gk = V::bitmask(gv[k][pw], t);
+            acc = V::and_(acc, V::xor_(V::load(in[k] + w), gk));
+            gacc = V::and_(gacc, gk);
+          }
+          V::store(out + w, V::xor_(acc, gacc));
+        }
+        break;
+      case OpKind::kOr:
+        for (std::size_t w = 0; w < RW; w += V::kWords) {
+          const std::size_t pw = w >> 6;
+          const std::uint32_t t = static_cast<std::uint32_t>(w & 63);
+          auto g0 = V::bitmask(gv[0][pw], t);
+          auto acc = V::xor_(V::load(in[0] + w), g0);
+          auto gacc = g0;
+          for (std::uint32_t k = 1; k < g.nfanin; ++k) {
+            const auto gk = V::bitmask(gv[k][pw], t);
+            acc = V::or_(acc, V::xor_(V::load(in[k] + w), gk));
+            gacc = V::or_(gacc, gk);
+          }
+          V::store(out + w, V::xor_(acc, gacc));
+        }
+        break;
+    }
+    if (g.pin_point != kNoPoint) {
+      // Stem pin: the event engine forces the whole row of a pinned gate,
+      // masking out effects arriving from upstream on that lane.
+      const auto m = V::splat(c.point_masks[g.pin_point]);
+      for (std::size_t w = 0; w < RW; w += V::kWords) {
+        V::store(out + w, V::or_(V::andnot(m, V::load(out + w)),
+                                 inject_at<V>(c, g.pin_point, w)));
+      }
+    }
+  }
+
+  // Tap the observation points: any nonzero word means some lanes of this
+  // block fail that (output, pattern). Vector any-test first — most rows
+  // are clean — then a scalar refinement over the hit group.
+  for (std::uint32_t t = 0; t < c.num_taps; ++t) {
+    const Word* row = c.delta + static_cast<std::size_t>(c.taps[t].slot) * RW;
+    for (std::size_t w = 0; w < RW; w += V::kWords) {
+      if (!V::any(V::load(row + w))) continue;
+      const std::size_t e = std::size_t{w} + V::kWords;
+      for (std::size_t p = w; p < e; ++p) {
+        if (row[p] == 0) continue;
+        c.fails->push_back({c.taps[t].output, static_cast<std::uint32_t>(p),
+                            c.block, row[p]});
+        *c.detected |= row[p];
+        ++fail_records;
+      }
+    }
+  }
+
+  c.stats->patterns_swept += c.num_patterns;
+  c.stats->gate_evals += c.sched_size;
+  c.stats->lane_words_evaluated += std::uint64_t{c.sched_size} * RW;
+  c.stats->fail_records += fail_records;
+}
+
+}  // namespace m3dfl::sim::bitpar

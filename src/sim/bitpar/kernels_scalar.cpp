@@ -1,0 +1,29 @@
+#include "sim/bitpar/kernels_impl.h"
+
+namespace m3dfl::sim::bitpar {
+
+namespace {
+
+struct VecScalar {
+  static constexpr std::size_t kWords = 1;
+  using Reg = Word;
+  static Reg load(const Word* p) { return *p; }
+  static void store(Word* p, Reg r) { *p = r; }
+  static Reg splat(Word w) { return w; }
+  static Reg zero() { return 0; }
+  static Reg xor_(Reg a, Reg b) { return a ^ b; }
+  static Reg and_(Reg a, Reg b) { return a & b; }
+  static Reg or_(Reg a, Reg b) { return a | b; }
+  static Reg andnot(Reg a, Reg b) { return ~a & b; }
+  static bool any(Reg r) { return r != 0; }
+  /// Expands bit t of the packed word into an all-ones/all-zeros mask.
+  static Reg bitmask(Word bits, std::uint32_t t) {
+    return Word{0} - ((bits >> t) & 1);
+  }
+};
+
+}  // namespace
+
+SweepFn scalar_sweep() { return &sweep_impl<VecScalar>; }
+
+}  // namespace m3dfl::sim::bitpar

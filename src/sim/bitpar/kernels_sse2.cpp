@@ -1,0 +1,49 @@
+#include "sim/bitpar/kernels_impl.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+
+namespace m3dfl::sim::bitpar {
+
+namespace {
+
+struct VecSse2 {
+  static constexpr std::size_t kWords = 2;
+  using Reg = __m128i;
+  static Reg load(const Word* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store(Word* p, Reg r) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), r);
+  }
+  static Reg splat(Word w) {
+    return _mm_set1_epi64x(static_cast<long long>(w));
+  }
+  static Reg zero() { return _mm_setzero_si128(); }
+  static Reg xor_(Reg a, Reg b) { return _mm_xor_si128(a, b); }
+  static Reg and_(Reg a, Reg b) { return _mm_and_si128(a, b); }
+  static Reg or_(Reg a, Reg b) { return _mm_or_si128(a, b); }
+  static Reg andnot(Reg a, Reg b) { return _mm_andnot_si128(a, b); }
+  static bool any(Reg r) {
+    return _mm_movemask_epi8(_mm_cmpeq_epi8(r, _mm_setzero_si128())) != 0xffff;
+  }
+  /// Expands bits t and t+1 of the packed word into per-lane masks.
+  static Reg bitmask(Word bits, std::uint32_t t) {
+    return _mm_set_epi64x(-static_cast<long long>((bits >> (t + 1)) & 1),
+                          -static_cast<long long>((bits >> t) & 1));
+  }
+};
+
+}  // namespace
+
+SweepFn sse2_sweep() { return &sweep_impl<VecSse2>; }
+
+}  // namespace m3dfl::sim::bitpar
+
+#else  // !__SSE2__
+
+namespace m3dfl::sim::bitpar {
+SweepFn sse2_sweep() { return nullptr; }
+}  // namespace m3dfl::sim::bitpar
+
+#endif

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/bitpar/arena.h"
+#include "sim/logic_sim.h"
+
+namespace m3dfl::sim::bitpar {
+
+/// Lane geometry: one fault (or fault machine) per bit lane, up to 512
+/// lanes per pass. A pass is executed as independent *blocks* of 64 lanes
+/// (one machine word), each with its own union-cone schedule, so a tight
+/// cluster of related faults never pays for an unrelated cone. Within a
+/// block, every delta row holds one word per pattern (word p = the lanes
+/// whose faulty machine differs from good at pattern p) and the SIMD
+/// kernels stream across adjacent pattern words.
+inline constexpr std::size_t kMaxLanes = 512;
+inline constexpr std::size_t kBlockLanes = kWordBits;
+inline constexpr std::size_t kLaneWords = kMaxLanes / kWordBits;
+
+/// Delta/injection rows are padded to a multiple of kRowStride words so
+/// every vector width divides the row cleanly; pad words stay zero.
+inline constexpr std::size_t kRowStride = 4;
+
+inline constexpr std::uint16_t kNoPoint = 0xffff;
+
+/// One lane's contribution to an injection point: when activation row
+/// `act_row` has pattern p set, lane `lane` gets its injection bit.
+struct LaneInject {
+  std::uint16_t lane;
+  std::uint16_t act_row;
+};
+
+/// A group of lane injections sharing one (gate, pin) location: a stem pin
+/// (pin < 0) or a branch override (pin >= 0). `begin/count` index the
+/// lane-inject array; the point also owns a constant lane mask (lanes that
+/// inject here at all) and a per-pattern injection row built per block.
+struct InjectPoint {
+  std::uint32_t begin = 0;
+  std::uint32_t count = 0;
+};
+
+/// One gate of the block schedule, compiled against dense delta slots.
+/// Slot 0 is a constant-zero row standing in for every unscheduled fanin
+/// (their delta is zero by definition). Scheduled gate i writes slot i+1.
+struct CompiledGate {
+  OpKind op = OpKind::kPass;
+  std::uint8_t nfanin = 0;
+  std::uint16_t pin_point = kNoPoint;  ///< Stem pin, or kNoPoint.
+  std::uint32_t fanin_slot[4] = {0, 0, 0, 0};
+  std::uint32_t fanin_gate[4] = {0, 0, 0, 0};  ///< Arena ids (good rows).
+  std::uint16_t ov_point[4] = {kNoPoint, kNoPoint, kNoPoint, kNoPoint};
+};
+
+/// A scheduled gate feeding observation point `output`.
+struct OutputTap {
+  std::uint32_t slot;
+  std::uint32_t output;
+};
+
+/// One recorded miscompare: at (output, pattern), the lanes of block
+/// `word` (batch lanes [word*64, word*64+64)) whose faulty machine
+/// differs from the good machine.
+struct FailRecord {
+  std::uint32_t output;
+  std::uint32_t pattern;
+  std::uint32_t word;
+  Word lanes;
+};
+
+/// Workload counters of the bit-parallel engine (per workspace; shards
+/// flush them into the sim.bitpar.* metrics).
+struct BitParStats {
+  std::uint64_t batches = 0;
+  std::uint64_t machines = 0;          ///< Lanes occupied across batches.
+  std::uint64_t faults = 0;            ///< Faults submitted.
+  std::uint64_t faults_injected = 0;   ///< Observable, nonzero activation.
+  std::uint64_t cone_skips = 0;        ///< Faults outside every output cone.
+  std::uint64_t inactive_faults = 0;   ///< All-zero activation masks.
+  std::uint64_t patterns_swept = 0;    ///< Patterns x blocks executed.
+  std::uint64_t patterns_skipped = 0;  ///< Union activation bit clear.
+  std::uint64_t gate_evals = 0;
+  std::uint64_t lane_words_evaluated = 0;  ///< Row words written by kernels.
+  std::uint64_t fail_records = 0;
+};
+
+/// Everything a sweep kernel needs for one 64-lane block, laid out by
+/// BitParallelSimulator. All rows are row_words long (num_patterns rounded
+/// up to kRowStride; pad words are zero and stay zero). Good values and
+/// activation masks stay bit-packed (64 patterns per word) and are
+/// expanded to broadcast lane masks in-register — the kernel's working
+/// set is the delta slots plus two small packed tables, not a pre-expanded
+/// copy of the netlist.
+struct SweepContext {
+  std::uint32_t num_patterns = 0;
+  std::uint32_t row_words = 0;
+  std::uint32_t W = 0;      ///< Packed pattern words (ceil(patterns / 64)).
+  std::uint32_t block = 0;  ///< Lane-word index within the batch.
+
+  const CompiledGate* sched = nullptr;
+  std::uint32_t sched_size = 0;
+  Word* delta = nullptr;  ///< (sched_size + 1) * row_words; slot 0 zero.
+  Word* eff = nullptr;    ///< 4 * row_words override scratch.
+
+  const Word* v2 = nullptr;  ///< Arena-major packed capture-frame values.
+
+  const Word* point_masks = nullptr;  ///< One lane word per point.
+  const InjectPoint* points = nullptr;
+  const LaneInject* lane_injects = nullptr;
+  const Word* act_rows = nullptr;  ///< Packed activation rows, W words each.
+
+  const OutputTap* taps = nullptr;
+  std::uint32_t num_taps = 0;
+
+  std::vector<FailRecord>* fails = nullptr;
+  Word* detected = nullptr;  ///< This block's word; ORed with failing lanes.
+  BitParStats* stats = nullptr;
+};
+
+}  // namespace m3dfl::sim::bitpar

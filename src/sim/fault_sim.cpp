@@ -117,6 +117,9 @@ void FaultSimulator::reserve_workspace() {
 
 std::unique_ptr<FaultSimulator> FaultSimulator::clone() const {
   auto copy = std::unique_ptr<FaultSimulator>(new FaultSimulator(*this));
+  // A clone's counters start at zero: pooled shards flush whole snapshots
+  // via take_stats(), which must never re-count the source's history.
+  copy->stats_ = SimStats{};
   // Vector copies keep sizes but drop spare capacity; re-reserve so clones
   // inherit the allocation-free steady state (they power every parallel
   // shard, where per-call allocation would hurt most).

@@ -74,9 +74,10 @@ struct InjectedFault {
 class FaultSimulator {
  public:
   /// Lifetime workload counters. Plain (non-atomic) members on purpose: a
-  /// simulator is only ever driven by one thread at a time, and clone()
-  /// relies on the defaulted copy constructor (a clone starts with a copy of
-  /// the counters; callers that flush deltas must snapshot at clone time).
+  /// simulator is only ever driven by one thread at a time. clone() starts
+  /// the copy's counters at zero, and take_stats() snapshots-and-resets, so
+  /// shard flushes (datagen, dictionary campaigns) can add whole snapshots
+  /// without double-counting work inherited from a pooled clone's source.
   struct SimStats {
     std::uint64_t observed_diff_calls = 0;  ///< Faulty-machine simulations
                                             ///< (observed_diff + detects).
@@ -155,8 +156,18 @@ class FaultSimulator {
   /// capacity).
   std::unique_ptr<FaultSimulator> clone() const;
 
-  /// Workload counters since construction (or since the clone source's).
+  /// Workload counters since construction, the last take_stats(), or
+  /// clone() (clones start at zero).
   const SimStats& sim_stats() const { return stats_; }
+
+  /// Snapshots the counters and resets them to zero — the shard-flush
+  /// primitive: every flush site consumes exactly the work it observed,
+  /// no matter how often the simulator is reused or pooled.
+  SimStats take_stats() {
+    SimStats s = stats_;
+    stats_ = SimStats{};
+    return s;
+  }
 
  private:
   FaultSimulator(const FaultSimulator&) = default;

@@ -156,6 +156,50 @@ TEST_P(PackedVsScalar, Agree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PackedVsScalar,
                          ::testing::Values(1, 2, 3, 10, 77));
 
+/// Word-boundary pattern counts: a single pattern, one short of a full
+/// word, one past it, and one short of two full words. The packed rows
+/// must agree with the scalar reference at the edge patterns of the set.
+class PackedTailWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackedTailWidths, EdgePatternsAgreeWithScalar) {
+  const std::size_t patterns = GetParam();
+  netlist::GeneratorParams p;
+  p.num_logic_gates = 140;
+  p.num_scan_cells = 12;
+  p.num_levels = 6;
+  p.seed = 91;
+  const Netlist nl = generate_netlist(p);
+  Rng rng(92);
+  const PatternSet inputs =
+      PatternSet::random(nl.num_inputs(), patterns, rng);
+  ASSERT_EQ(inputs.num_words(), words_for(patterns));
+  const std::vector<Word> packed = LogicSimulator(nl).run(inputs);
+  const std::size_t W = inputs.num_words();
+
+  for (const std::size_t pat :
+       {std::size_t{0}, patterns / 2, patterns - 1}) {
+    std::vector<bool> val(nl.num_gates(), false);
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+      val[nl.inputs()[i]] = inputs.bit(i, pat);
+    }
+    for (GateId g : nl.topo_order()) {
+      const auto& gate = nl.gate(g);
+      if (gate.type == GateType::kInput) continue;
+      std::vector<bool> in;
+      for (GateId d : gate.fanin) in.push_back(val[d]);
+      val[g] = eval_ref(gate.type, in);
+    }
+    for (GateId g = 0; g < nl.num_gates(); ++g) {
+      const bool packed_bit =
+          (packed[g * W + pat / kWordBits] >> (pat % kWordBits)) & 1;
+      ASSERT_EQ(packed_bit, val[g]) << "gate " << g << " pattern " << pat;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, PackedTailWidths,
+                         ::testing::Values<std::size_t>(1, 63, 65, 127));
+
 TEST(LaunchOffCapture, V2ScanStateIsV1Capture) {
   netlist::GeneratorParams p;
   p.num_logic_gates = 120;
@@ -516,8 +560,9 @@ constexpr FaultPolarity kPolarityCycle[] = {
     FaultPolarity::kSlowToRise, FaultPolarity::kSlowToFall,
     FaultPolarity::kSlow, FaultPolarity::kStuckAt0, FaultPolarity::kStuckAt1};
 
-/// Seed x pattern-count sweep; pattern counts cover partial-tail words
-/// (70 % 64 != 0, 96 % 64 != 0) and the exact multi-word boundary (128).
+/// Seed x pattern-count sweep; pattern counts cover the single-bit word
+/// (1), both sides of every word boundary (63/65, 127), interior partial
+/// tails (70, 96) and the exact multi-word boundary (128).
 class GoldenEquivalence
     : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
 };
@@ -581,8 +626,35 @@ TEST_P(GoldenEquivalence, MultiFaultSeeds) {
 
 INSTANTIATE_TEST_SUITE_P(
     SeedsAndTails, GoldenEquivalence,
-    ::testing::Combine(::testing::Values<std::uint64_t>(41, 42, 43),
-                       ::testing::Values<std::size_t>(70, 96, 128)));
+    ::testing::Combine(
+        ::testing::Values<std::uint64_t>(41, 42, 43),
+        ::testing::Values<std::size_t>(1, 63, 65, 70, 96, 127, 128)));
+
+TEST(SimStats, ClonesStartAtZeroAndTakeStatsFlushes) {
+  FaultSimFixture fx(77);
+  std::vector<Word> diff;
+  fx.fsim.observed_diff({0, FaultPolarity::kSlow}, diff);
+  ASSERT_GT(fx.fsim.sim_stats().observed_diff_calls, 0u);
+
+  // A pooled clone must not inherit the source's counters — flushing the
+  // clone's stats after a shard would otherwise re-report (double-count)
+  // work the source already did.
+  const auto clone = fx.fsim.clone();
+  EXPECT_EQ(clone->sim_stats().observed_diff_calls, 0u);
+  EXPECT_EQ(clone->sim_stats().events_processed, 0u);
+  EXPECT_EQ(clone->sim_stats().words_evaluated, 0u);
+
+  clone->observed_diff({0, FaultPolarity::kSlow}, diff);
+  const FaultSimulator::SimStats first = clone->take_stats();
+  EXPECT_EQ(first.observed_diff_calls, 1u);
+  // take_stats() consumed the counters: a second flush reports nothing.
+  const FaultSimulator::SimStats second = clone->take_stats();
+  EXPECT_EQ(second.observed_diff_calls, 0u);
+  EXPECT_EQ(second.events_processed, 0u);
+
+  // The source's counters are untouched by its clones.
+  EXPECT_GT(fx.fsim.sim_stats().observed_diff_calls, 0u);
+}
 
 TEST(FaultSimulator, TouchedOutputsDuplicateFreeAndComplete) {
   FaultSimFixture fx(34);

@@ -71,6 +71,8 @@
 #include "obs/trace.h"
 #include "serve/admin.h"
 #include "serve/service.h"
+#include "sim/backend.h"
+#include "sim/bitpar/dispatch.h"
 
 namespace m3dfl {
 namespace {
@@ -82,6 +84,10 @@ constexpr int kExitUsage = 2;
 /// Service metrics JSON captured by cmd_serve after drain(); main() folds
 /// it into the --metrics-json payload (the service is long gone by then).
 std::string g_service_metrics_json;
+
+/// Campaign simulation engine selected with --sim-backend (main() parses
+/// it once for every subcommand; train and inject consume it).
+sim::SimBackend g_sim_backend = sim::SimBackend::kEvent;
 
 int usage() {
   std::fputs(
@@ -97,7 +103,9 @@ int usage() {
       "           --logs F1,F2,... [--threads N] [--batch N] [--wait-us N]\n"
       "           [--repeat N] [--quiet] [--admin-port N] [--linger-ms N]\n"
       "all subcommands also take [--trace out.json] [--metrics-json out.json]\n"
-      "[--log-json]; gen/train also take [--progress]\n"
+      "[--log-json] [--sim-backend event|bitpar] [--simd scalar|sse2|avx2]\n"
+      "(M3DFL_SIMD env is the no-flag equivalent of --simd);\n"
+      "gen/train also take [--progress]\n"
       "m3dfl --version prints build metadata\n"
       "benchmarks: aes tate netcard leon3mp tiny\n"
       "configs:    Syn-1 TPI Syn-2 Par\n"
@@ -211,6 +219,7 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   const bool compacted = flags.count("compacted") > 0;
   eval::RunScale scale;
   if (spec->name == "tiny") scale = eval::RunScale::tiny();
+  scale.sim_backend = g_sim_backend;
   if (flags.count("threads")) {
     const auto parsed = parse_u64(flags.at("threads"));
     if (!parsed || *parsed < 1) {
@@ -275,6 +284,7 @@ int cmd_inject(const std::map<std::string, std::string>& flags) {
   opts.num_samples = 1;
   opts.compacted = flags.count("compacted") > 0;
   opts.seed = seed;
+  opts.backend = g_sim_backend;
   const eval::Dataset ds = eval::generate_dataset(d, opts);
   if (ds.samples.empty()) {
     M3DFL_LOG_ERROR("cli", "drew no detectable fault; try another --seed");
@@ -597,10 +607,12 @@ int main(int argc, char** argv) {
     M3DFL_LOG_ERROR("cli", "unknown subcommand '%s'", cmd.c_str());
     return usage();
   }
-  // Every subcommand records spans and metrics, and can switch its
-  // diagnostics to JSON-lines.
+  // Every subcommand records spans and metrics, can switch its diagnostics
+  // to JSON-lines, and can pick the campaign simulation engine / SIMD tier.
   spec.value_flags.insert("trace");
   spec.value_flags.insert("metrics-json");
+  spec.value_flags.insert("sim-backend");
+  spec.value_flags.insert("simd");
   spec.switch_flags.insert("log-json");
 
   // --log-json must take effect before any parse error is reported, so scan
@@ -613,6 +625,24 @@ int main(int argc, char** argv) {
 
   const auto flags = parse_flags(argc, argv, 2, spec);
   if (!flags) return usage();
+
+  if (flags->count("sim-backend")) {
+    const auto b = sim::parse_backend(flags->at("sim-backend"));
+    if (!b) {
+      M3DFL_LOG_ERROR("cli", "--sim-backend wants event|bitpar");
+      return usage();
+    }
+    g_sim_backend = *b;
+  }
+  if (flags->count("simd")) {
+    const auto t = sim::bitpar::parse_tier(flags->at("simd"));
+    if (!t) {
+      M3DFL_LOG_ERROR("cli", "--simd wants scalar|sse2|avx2");
+      return usage();
+    }
+    // resolve_tier() falls back (with a notice) if the host lacks it.
+    sim::bitpar::force_tier(*t);
+  }
 
   const bool want_obs = flags->count("trace") || flags->count("progress") ||
                         flags->count("metrics-json");
