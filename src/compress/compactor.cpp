@@ -42,9 +42,7 @@ FailureLog ResponseCompactor::failure_log_from_diff(
           m &= m - 1;
           const std::size_t p = w * sim::kWordBits + static_cast<std::size_t>(bit);
           if (p < num_patterns) {
-            log.cfails.push_back({static_cast<std::uint32_t>(p),
-                                  static_cast<std::uint16_t>(ch),
-                                  static_cast<std::uint16_t>(cyc)});
+            log.cfails.push_back({static_cast<std::uint32_t>(p), ch, cyc});
           }
         }
       }
@@ -62,11 +60,11 @@ FailureLog ResponseCompactor::failure_log_from_diff(
 FailureLog ResponseCompactor::compact_log(const FailureLog& uncompacted) const {
   assert(!uncompacted.compacted);
   // Parity per (pattern, channel, cycle).
-  std::map<std::tuple<std::uint32_t, std::uint16_t, std::uint16_t>, int>
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>, int>
       parity;
   for (const FailureLog::Obs& f : uncompacted.fails) {
-    const auto ch = static_cast<std::uint16_t>(cfg_.channel_of(f.output));
-    const auto cyc = static_cast<std::uint16_t>(cfg_.position_of(f.output));
+    const std::uint32_t ch = cfg_.channel_of(f.output);
+    const std::uint32_t cyc = cfg_.position_of(f.output);
     ++parity[{f.pattern, ch, cyc}];
   }
   FailureLog log;

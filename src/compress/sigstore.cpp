@@ -1,0 +1,142 @@
+#include "compress/sigstore.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "compress/varint.h"
+
+#if defined(_WIN32)
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace m3dfl::compress {
+
+void SignatureStore::encode_keys(std::span<const std::uint64_t> sorted_keys,
+                                 std::vector<std::uint8_t>& out) {
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (std::uint64_t k : sorted_keys) {
+    put_varint(out, first ? k : k - prev);
+    prev = k;
+    first = false;
+  }
+}
+
+bool SignatureStore::decode_keys(const std::uint8_t* p, std::size_t n,
+                                 std::uint32_t count,
+                                 std::vector<std::uint64_t>& out) {
+  out.clear();
+  out.reserve(count);
+  const std::uint8_t* end = p + n;
+  std::uint64_t acc = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t v = 0;
+    p = get_varint(p, end, v);
+    if (p == nullptr) return false;
+    acc = i == 0 ? v : acc + v;
+    out.push_back(acc);
+  }
+  return p == end;
+}
+
+SignatureStore::SignatureStore(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("SignatureStore: cannot open spill file '" +
+                             path_ + "' for writing");
+  }
+}
+
+SignatureStore::~SignatureStore() {
+#if !defined(_WIN32)
+  if (mapped_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(mapped_), mapped_size_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  if (file_ != nullptr) std::fclose(file_);
+  std::remove(path_.c_str());
+}
+
+SigRef SignatureStore::append(std::span<const std::uint64_t> sorted_keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sealed_ || file_ == nullptr) {
+    throw std::runtime_error("SignatureStore: append after seal");
+  }
+  scratch_.clear();
+  encode_keys(sorted_keys, scratch_);
+  SigRef ref;
+  ref.offset = size_;
+  ref.bytes = static_cast<std::uint32_t>(scratch_.size());
+  ref.count = static_cast<std::uint32_t>(sorted_keys.size());
+  if (!scratch_.empty() &&
+      std::fwrite(scratch_.data(), 1, scratch_.size(), file_) !=
+          scratch_.size()) {
+    throw std::runtime_error("SignatureStore: short write to '" + path_ + "'");
+  }
+  size_ += scratch_.size();
+  return ref;
+}
+
+void SignatureStore::seal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sealed_) return;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+#if !defined(_WIN32)
+  if (size_ > 0) {
+    fd_ = ::open(path_.c_str(), O_RDONLY);
+    if (fd_ < 0) {
+      throw std::runtime_error("SignatureStore: cannot reopen '" + path_ +
+                               "' for mapping");
+    }
+    void* m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+    if (m == MAP_FAILED) {
+      throw std::runtime_error("SignatureStore: mmap failed on '" + path_ +
+                               "'");
+    }
+    mapped_ = static_cast<const std::uint8_t*>(m);
+    mapped_size_ = size_;
+  }
+#else
+  // Portability fallback (non-POSIX): read the file back into an owned
+  // buffer. Loses the out-of-core property but keeps decode() working.
+  if (size_ > 0) {
+    fallback_.resize(size_);
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    if (f == nullptr || std::fread(fallback_.data(), 1, size_, f) != size_) {
+      if (f != nullptr) std::fclose(f);
+      throw std::runtime_error("SignatureStore: readback failed on '" + path_ +
+                               "'");
+    }
+    std::fclose(f);
+    mapped_ = fallback_.data();
+    mapped_size_ = size_;
+  }
+#endif
+  sealed_ = true;
+}
+
+void SignatureStore::decode(const SigRef& ref,
+                            std::vector<std::uint64_t>& out) const {
+  if (!sealed_) {
+    throw std::runtime_error("SignatureStore: decode before seal");
+  }
+  if (ref.count == 0) {
+    out.clear();
+    return;
+  }
+  if (ref.offset + ref.bytes > mapped_size_ ||
+      !decode_keys(mapped_ + ref.offset, ref.bytes, ref.count, out)) {
+    throw std::runtime_error("SignatureStore: corrupt record in '" + path_ +
+                             "'");
+  }
+}
+
+}  // namespace m3dfl::compress

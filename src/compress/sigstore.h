@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace m3dfl::compress {
+
+/// Locator of one encoded signature inside a SignatureStore file.
+struct SigRef {
+  std::uint64_t offset = 0;  ///< Byte offset of the encoded record.
+  std::uint32_t bytes = 0;   ///< Encoded length in bytes.
+  std::uint32_t count = 0;   ///< Number of keys in the signature.
+};
+
+/// Out-of-core storage for fault-signature key sets. A signature is a
+/// sorted, duplicate-free stream of 64-bit (output << 32 | pattern) keys;
+/// the store delta-encodes each stream (first key, then successive gaps) as
+/// LEB128 varints and appends it to a spill file, so a paper-scale
+/// dictionary campaign never holds more than the in-flight shard's
+/// signatures in memory.
+///
+/// Lifecycle: construct (creates/truncates the file) -> append() from any
+/// number of threads while the campaign runs -> seal() once -> decode() at
+/// lookup time against the memory-mapped file. The destructor unmaps and
+/// deletes the spill file (it is scratch state owned by the dictionary, not
+/// an interchange format).
+class SignatureStore {
+ public:
+  /// Creates/truncates the spill file. Throws std::runtime_error when the
+  /// file cannot be opened for writing.
+  explicit SignatureStore(std::string path);
+  ~SignatureStore();
+
+  SignatureStore(const SignatureStore&) = delete;
+  SignatureStore& operator=(const SignatureStore&) = delete;
+
+  /// Encodes and appends one signature. Thread-safe; callable only before
+  /// seal(). Record order in the file follows append order (racy under
+  /// threads), but every caller gets back the exact Ref of its own record,
+  /// so decoded content is deterministic regardless of interleaving.
+  SigRef append(std::span<const std::uint64_t> sorted_keys);
+
+  /// Flushes the writer and memory-maps the file for decode(). Idempotent.
+  void seal();
+  bool sealed() const { return sealed_; }
+
+  /// Decodes the signature at `ref` into `out` (cleared first). Requires
+  /// seal(). Throws std::runtime_error on a corrupt record.
+  void decode(const SigRef& ref, std::vector<std::uint64_t>& out) const;
+
+  /// Total encoded bytes written.
+  std::uint64_t bytes_on_disk() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+  /// Codec core, exposed for unit tests: encode appends to `out`; decode
+  /// reads `count` keys from [p, p + n). decode_keys returns false on
+  /// truncated/corrupt input.
+  static void encode_keys(std::span<const std::uint64_t> sorted_keys,
+                          std::vector<std::uint8_t>& out);
+  static bool decode_keys(const std::uint8_t* p, std::size_t n,
+                          std::uint32_t count,
+                          std::vector<std::uint64_t>& out);
+
+ private:
+  std::string path_;
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;      ///< Write handle; null after seal().
+  std::uint64_t size_ = 0;         ///< Bytes appended so far.
+  std::vector<std::uint8_t> scratch_;  ///< Encode buffer (under mu_).
+  const std::uint8_t* mapped_ = nullptr;
+  std::uint64_t mapped_size_ = 0;
+  int fd_ = -1;
+  bool sealed_ = false;
+  std::vector<std::uint8_t> fallback_;  ///< Non-POSIX seal() readback.
+};
+
+}  // namespace m3dfl::compress

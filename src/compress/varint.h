@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace m3dfl::compress {
+
+/// LEB128 variable-length unsigned integer codec — the byte-oriented varint
+/// used by the out-of-core signature store. Small values (the common case
+/// for delta-encoded sorted key streams) cost one byte; a full 64-bit value
+/// costs ten.
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Decodes one varint from [p, end). Returns the position one past the last
+/// consumed byte, or nullptr on truncated/overlong input.
+inline const std::uint8_t* get_varint(const std::uint8_t* p,
+                                      const std::uint8_t* end,
+                                      std::uint64_t& v) {
+  v = 0;
+  int shift = 0;
+  while (p < end && shift < 64) {
+    const std::uint8_t byte = *p++;
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return p;
+    shift += 7;
+  }
+  return nullptr;
+}
+
+}  // namespace m3dfl::compress

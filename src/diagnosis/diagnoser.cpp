@@ -4,7 +4,9 @@
 #include <bit>
 #include <cassert>
 #include <chrono>
+#include <future>
 
+#include "common/executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -48,7 +50,10 @@ Diagnoser::Diagnoser(const Netlist& nl, const SiteTable& sites,
   }
 }
 
-void Diagnoser::bind(FaultSimulator& fsim) { fsim_ = &fsim; }
+void Diagnoser::bind(FaultSimulator& fsim) {
+  fsim_ = &fsim;
+  pool_.reset();  // Clones of the previous simulator are stale.
+}
 
 bool Diagnoser::gate_in_cone_of_output(GateId g, std::uint32_t output) const {
   const Word* bits = cone_.data() + static_cast<std::size_t>(output) * cone_words_;
@@ -107,11 +112,72 @@ std::vector<GateId> Diagnoser::collect_suspect_gates(const FailureLog& log) {
     return false;
   };
 
+  // Suspect counting. Gates are scanned either exhaustively or — with a
+  // partition attached — region by region, skipping every region whose
+  // output closure misses all failing observation points (no such gate can
+  // pass the cone test, so its count stays 0 either way). count[] slots are
+  // disjoint across regions/ranges, which makes the parallel fan-out
+  // deterministic: the merged counts are identical at every thread count.
   std::vector<std::uint32_t> count(num_gates, 0);
-  for (const Response& r : responses) {
-    for (GateId g = 0; g < num_gates; ++g) {
-      if (passes(g, r)) ++count[g];
+  auto count_gates = [&](std::span<const GateId> gates) {
+    for (const Response& r : responses) {
+      for (GateId g : gates) {
+        if (passes(g, r)) ++count[g];
+      }
     }
+  };
+  auto count_range = [&](GateId lo, GateId hi) {
+    for (const Response& r : responses) {
+      for (GateId g = lo; g < hi; ++g) {
+        if (passes(g, r)) ++count[g];
+      }
+    }
+  };
+  std::size_t threads = resolve_num_threads(opts_.num_threads);
+  if (partition_ != nullptr) {
+    static obs::Counter& skipped_ctr =
+        obs::MetricsRegistry::instance().counter("diag.regions_skipped");
+    std::vector<std::uint8_t> touched(partition_->num_regions(), 0);
+    for (const Response& r : responses) {
+      for (std::uint32_t o : r.outputs) {
+        for (std::uint32_t reg : partition_->regions_of_output(o)) {
+          touched[reg] = 1;
+        }
+      }
+    }
+    std::vector<std::uint32_t> active;
+    active.reserve(touched.size());
+    for (std::uint32_t r = 0; r < touched.size(); ++r) {
+      if (touched[r]) active.push_back(r);
+    }
+    skipped_ctr.add(touched.size() - active.size());
+    if (threads <= 1 || active.size() < 2) {
+      for (std::uint32_t r : active) count_gates(partition_->region(r).gates);
+    } else {
+      Executor exec(std::min(threads, active.size()), "diag.backtrace");
+      std::vector<std::future<void>> done;
+      done.reserve(active.size());
+      for (std::uint32_t r : active) {
+        done.push_back(exec.submit(
+            [&count_gates, this, r] { count_gates(partition_->region(r).gates); }));
+      }
+      for (auto& f : done) f.get();
+    }
+  } else if (threads > 1 && num_gates >= 4096) {
+    const std::size_t num_chunks = std::min<std::size_t>(num_gates, threads * 4);
+    const std::size_t chunk = (num_gates + num_chunks - 1) / num_chunks;
+    Executor exec(threads, "diag.backtrace");
+    std::vector<std::future<void>> done;
+    for (std::size_t lo = 0; lo < num_gates; lo += chunk) {
+      const GateId hi =
+          static_cast<GateId>(std::min<std::size_t>(num_gates, lo + chunk));
+      done.push_back(exec.submit([&count_range, lo, hi] {
+        count_range(static_cast<GateId>(lo), hi);
+      }));
+    }
+    for (auto& f : done) f.get();
+  } else {
+    count_range(0, static_cast<GateId>(num_gates));
   }
   (void)W;
 
@@ -202,116 +268,176 @@ std::vector<Candidate> Diagnoser::score_candidates(
   std::vector<Candidate> scored;
   scored.reserve(cand_sites.size());
 
-  // Sparse compaction scratch: one row per compactor cell.
-  if (log.compacted && cell_scratch_.size() < num_rows * W) {
-    cell_scratch_.assign(num_rows * W, 0);
-  }
-
-  std::vector<std::size_t> touched_cells;
   std::vector<FaultPolarity> polarities = {FaultPolarity::kSlowToRise,
                                            FaultPolarity::kSlowToFall};
   if (opts_.include_stuck_at) {
     polarities.push_back(FaultPolarity::kStuckAt0);
     polarities.push_back(FaultPolarity::kStuckAt1);
   }
-  for (netlist::SiteId site : cand_sites) {
-    Candidate best;
-    Signature best_sig;
-    for (FaultPolarity pol : polarities) {
-      const InjectedFault fault{site, pol};
-      if (!fsim_->observed_diff(fault, pred_diff_, &pred_touched_)) continue;
 
-      std::size_t matched = 0;
-      std::size_t mispred = 0;
-      Signature sig;
-      if (!log.compacted) {
-        for (std::uint32_t o : pred_touched_) {
-          const Word* p = pred_diff_.data() + static_cast<std::size_t>(o) * W;
-          const Word* ob = obs_mask_.data() + static_cast<std::size_t>(o) * W;
-          for (std::size_t w = 0; w < W; ++w) {
-            matched += static_cast<std::size_t>(std::popcount(p[w] & ob[w]));
-            mispred += static_cast<std::size_t>(std::popcount(p[w] & ~ob[w]));
-          }
-          if (opts_.multifault) {
-            for (std::size_t w = 0; w < W; ++w) {
-              Word m = p[w];
-              while (m) {
-                const int bit = std::countr_zero(m);
-                m &= m - 1;
-                sig.keys.push_back((static_cast<std::uint64_t>(o) << 32) |
-                                   (w * kWordBits + bit));
-              }
-            }
-          }
-        }
-      } else {
-        // Fold predicted diffs through the XOR compactor, sparsely.
-        touched_cells.clear();
-        for (std::uint32_t o : pred_touched_) {
-          const std::size_t cell =
-              static_cast<std::size_t>(scan_.channel_of(o)) *
-                  scan_.chain_length +
-              scan_.position_of(o);
-          const Word* p = pred_diff_.data() + static_cast<std::size_t>(o) * W;
-          Word any = 0;
-          for (std::size_t w = 0; w < W; ++w) {
-            cell_scratch_[cell * W + w] ^= p[w];
-            any |= p[w];
-          }
-          if (any) touched_cells.push_back(cell);
-        }
-        std::sort(touched_cells.begin(), touched_cells.end());
-        touched_cells.erase(
-            std::unique(touched_cells.begin(), touched_cells.end()),
-            touched_cells.end());
-        for (std::size_t cell : touched_cells) {
-          const Word* p = cell_scratch_.data() + cell * W;
-          const Word* ob = obs_mask_.data() + cell * W;
-          for (std::size_t w = 0; w < W; ++w) {
-            matched += static_cast<std::size_t>(std::popcount(p[w] & ob[w]));
-            mispred += static_cast<std::size_t>(std::popcount(p[w] & ~ob[w]));
-          }
-          if (opts_.multifault) {
-            for (std::size_t w = 0; w < W; ++w) {
-              Word m = p[w];
-              while (m) {
-                const int bit = std::countr_zero(m);
-                m &= m - 1;
-                sig.keys.push_back((static_cast<std::uint64_t>(cell) << 32) |
-                                   (w * kWordBits + bit));
-              }
-            }
-          }
-        }
-        // Clear the scratch rows we dirtied.
-        for (std::size_t cell : touched_cells) {
-          std::fill_n(cell_scratch_.begin() + cell * W, W, Word{0});
-        }
+  const std::size_t threads =
+      std::min(resolve_num_threads(opts_.num_threads), cand_sites.size());
+  if (threads <= 1) {
+    for (netlist::SiteId site : cand_sites) {
+      Candidate best;
+      Signature best_sig;
+      if (!score_site(*fsim_, scratch_, log, num_rows, polarities, site, best,
+                      best_sig)) {
+        continue;
       }
-      if (matched == 0) continue;
-      const std::size_t missed = obs_total_fails_ - matched;
-      const double denom = static_cast<double>(matched + mispred + missed);
-      const double score = denom > 0 ? static_cast<double>(matched) / denom : 0;
-      if (score > best.score) {
-        best.site = site;
-        best.polarity = pol;
-        best.score = score;
-        best.matched = static_cast<std::uint32_t>(matched);
-        best.mispredicted = static_cast<std::uint32_t>(mispred);
-        best.missed = static_cast<std::uint32_t>(missed);
-        best_sig = std::move(sig);
+      scored.push_back(best);
+      if (opts_.multifault) signatures_.push_back(std::move(best_sig));
+    }
+    return scored;
+  }
+
+  // Parallel scoring: contiguous candidate chunks, each on a pooled
+  // simulator clone with private scratch, merged back in chunk order —
+  // the scored sequence is identical to the sequential pass.
+  if (!pool_) pool_ = std::make_unique<sim::SimulatorPool>(*fsim_);
+  const std::size_t num_chunks =
+      std::min(cand_sites.size(), threads * 4);
+  const std::size_t chunk = (cand_sites.size() + num_chunks - 1) / num_chunks;
+  struct ChunkOut {
+    std::vector<Candidate> cands;
+    std::vector<Signature> sigs;
+  };
+  std::vector<ChunkOut> outs((cand_sites.size() + chunk - 1) / chunk);
+  Executor exec(threads, "diag.score");
+  std::vector<std::future<void>> done;
+  done.reserve(outs.size());
+  for (std::size_t c = 0; c < outs.size(); ++c) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(cand_sites.size(), lo + chunk);
+    const std::span<const netlist::SiteId> sites_span(
+        cand_sites.data() + lo, hi - lo);
+    done.push_back(exec.submit([this, &log, num_rows, &polarities, sites_span,
+                                out = &outs[c]] {
+      auto sim = pool_->lease();
+      ScoreScratch sc;
+      for (netlist::SiteId site : sites_span) {
+        Candidate best;
+        Signature best_sig;
+        if (!score_site(*sim, sc, log, num_rows, polarities, site, best,
+                        best_sig)) {
+          continue;
+        }
+        out->cands.push_back(best);
+        if (opts_.multifault) out->sigs.push_back(std::move(best_sig));
       }
-    }
-    if (best.site == netlist::kNoSite) continue;
-    best.tier = sites_->tier_of(best.site, *nl_);
-    best.is_miv = sites_->is_miv_site(best.site, *nl_);
-    scored.push_back(best);
-    if (opts_.multifault) {
-      std::sort(best_sig.keys.begin(), best_sig.keys.end());
-      signatures_.push_back(std::move(best_sig));
-    }
+    }));
+  }
+  for (auto& f : done) f.get();  // Propagates shard exceptions.
+  for (ChunkOut& out : outs) {
+    for (Candidate& c : out.cands) scored.push_back(c);
+    for (Signature& s : out.sigs) signatures_.push_back(std::move(s));
   }
   return scored;
+}
+
+bool Diagnoser::score_site(FaultSimulator& sim, ScoreScratch& sc,
+                           const FailureLog& log, std::size_t num_rows,
+                           std::span<const FaultPolarity> polarities,
+                           netlist::SiteId site, Candidate& best,
+                           Signature& best_sig) const {
+  const std::size_t W = sim.num_words();
+  // Sparse compaction scratch: one row per compactor cell, kept all-zero
+  // between candidates (dirtied rows are wiped after each fold).
+  if (log.compacted && sc.cell_scratch.size() < num_rows * W) {
+    sc.cell_scratch.assign(num_rows * W, 0);
+  }
+  for (FaultPolarity pol : polarities) {
+    const InjectedFault fault{site, pol};
+    if (!sim.observed_diff(fault, sc.pred_diff, &sc.pred_touched)) continue;
+
+    std::size_t matched = 0;
+    std::size_t mispred = 0;
+    Signature sig;
+    if (!log.compacted) {
+      for (std::uint32_t o : sc.pred_touched) {
+        const Word* p = sc.pred_diff.data() + static_cast<std::size_t>(o) * W;
+        const Word* ob = obs_mask_.data() + static_cast<std::size_t>(o) * W;
+        for (std::size_t w = 0; w < W; ++w) {
+          matched += static_cast<std::size_t>(std::popcount(p[w] & ob[w]));
+          mispred += static_cast<std::size_t>(std::popcount(p[w] & ~ob[w]));
+        }
+        if (opts_.multifault) {
+          for (std::size_t w = 0; w < W; ++w) {
+            Word m = p[w];
+            while (m) {
+              const int bit = std::countr_zero(m);
+              m &= m - 1;
+              sig.keys.push_back((static_cast<std::uint64_t>(o) << 32) |
+                                 (w * kWordBits + bit));
+            }
+          }
+        }
+      }
+    } else {
+      // Fold predicted diffs through the XOR compactor, sparsely.
+      sc.touched_cells.clear();
+      for (std::uint32_t o : sc.pred_touched) {
+        const std::size_t cell =
+            static_cast<std::size_t>(scan_.channel_of(o)) *
+                scan_.chain_length +
+            scan_.position_of(o);
+        const Word* p = sc.pred_diff.data() + static_cast<std::size_t>(o) * W;
+        Word any = 0;
+        for (std::size_t w = 0; w < W; ++w) {
+          sc.cell_scratch[cell * W + w] ^= p[w];
+          any |= p[w];
+        }
+        if (any) sc.touched_cells.push_back(cell);
+      }
+      std::sort(sc.touched_cells.begin(), sc.touched_cells.end());
+      sc.touched_cells.erase(
+          std::unique(sc.touched_cells.begin(), sc.touched_cells.end()),
+          sc.touched_cells.end());
+      for (std::size_t cell : sc.touched_cells) {
+        const Word* p = sc.cell_scratch.data() + cell * W;
+        const Word* ob = obs_mask_.data() + cell * W;
+        for (std::size_t w = 0; w < W; ++w) {
+          matched += static_cast<std::size_t>(std::popcount(p[w] & ob[w]));
+          mispred += static_cast<std::size_t>(std::popcount(p[w] & ~ob[w]));
+        }
+        if (opts_.multifault) {
+          for (std::size_t w = 0; w < W; ++w) {
+            Word m = p[w];
+            while (m) {
+              const int bit = std::countr_zero(m);
+              m &= m - 1;
+              sig.keys.push_back((static_cast<std::uint64_t>(cell) << 32) |
+                                 (w * kWordBits + bit));
+            }
+          }
+        }
+      }
+      // Clear the scratch rows we dirtied.
+      for (std::size_t cell : sc.touched_cells) {
+        std::fill_n(sc.cell_scratch.begin() + cell * W, W, Word{0});
+      }
+    }
+    if (matched == 0) continue;
+    const std::size_t missed = obs_total_fails_ - matched;
+    const double denom = static_cast<double>(matched + mispred + missed);
+    const double score = denom > 0 ? static_cast<double>(matched) / denom : 0;
+    if (score > best.score) {
+      best.site = site;
+      best.polarity = pol;
+      best.score = score;
+      best.matched = static_cast<std::uint32_t>(matched);
+      best.mispredicted = static_cast<std::uint32_t>(mispred);
+      best.missed = static_cast<std::uint32_t>(missed);
+      best_sig = std::move(sig);
+    }
+  }
+  if (best.site == netlist::kNoSite) return false;
+  best.tier = sites_->tier_of(best.site, *nl_);
+  best.is_miv = sites_->is_miv_site(best.site, *nl_);
+  if (opts_.multifault) {
+    std::sort(best_sig.keys.begin(), best_sig.keys.end());
+  }
+  return true;
 }
 
 DiagnosisReport Diagnoser::assemble_single(std::vector<Candidate> scored) {

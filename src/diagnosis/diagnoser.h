@@ -1,14 +1,18 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "atpg/scan_config.h"
 #include "compress/compactor.h"
 #include "diagnosis/report.h"
 #include "netlist/fault_site.h"
+#include "partition/hier.h"
 #include "sim/failure_log.h"
 #include "sim/fault_sim.h"
+#include "sim/sim_pool.h"
 
 namespace m3dfl::diag {
 
@@ -43,6 +47,11 @@ struct DiagnoserOptions {
   /// fails patterns it never transitions on). Enables diagnosing stuck-at
   /// defects with the same engine.
   bool include_stuck_at = false;
+  /// Worker threads for the structural back-trace and per-candidate fault
+  /// simulation (0 = one per hardware thread). Parallel runs shard over
+  /// disjoint gate/candidate ranges and merge in order, so reports are
+  /// bit-identical at every thread count.
+  std::size_t num_threads = 1;
 };
 
 /// Effect-cause TDF diagnosis with per-candidate fault-signature matching —
@@ -65,6 +74,14 @@ class Diagnoser {
   /// Attaches the fault simulator (already bound to the pattern set).
   void bind(FaultSimulator& fsim);
 
+  /// Attaches a hierarchical campaign partition (borrowed; pass nullptr to
+  /// detach; must outlive diagnose() calls). The structural back-trace then
+  /// skips whole regions whose output closure misses the failing
+  /// observation points and, with num_threads > 1, fans per-region suspect
+  /// counting out over a thread pool. Reports are bit-identical with or
+  /// without a partition.
+  void set_partition(const part::HierPartition* hp) { partition_ = hp; }
+
   /// Diagnoses one failure log (compacted or not). Thread-compatible per
   /// instance (not thread-safe across concurrent calls).
   DiagnosisReport diagnose(const FailureLog& log);
@@ -72,9 +89,30 @@ class Diagnoser {
   const DiagnoserOptions& options() const { return opts_; }
 
  private:
+  // Per-candidate predicted signatures (multi-fault greedy cover).
+  struct Signature {
+    std::vector<std::uint64_t> keys;  ///< Sorted (cell, pattern) keys.
+  };
+  // Per-worker scratch for signature matching (one per scoring shard).
+  struct ScoreScratch {
+    std::vector<Word> pred_diff;
+    std::vector<std::uint32_t> pred_touched;
+    std::vector<Word> cell_scratch;
+    std::vector<std::size_t> touched_cells;
+  };
+
   std::vector<netlist::GateId> collect_suspect_gates(const FailureLog& log);
   std::vector<Candidate> score_candidates(
       const FailureLog& log, const std::vector<netlist::GateId>& suspects);
+  /// Scores one candidate site (all polarities) against obs_mask_. Returns
+  /// false when no polarity produced a match. Reads only immutable state
+  /// plus obs_mask_/obs_total_fails_, so shards may run it concurrently
+  /// with private simulators and scratch.
+  bool score_site(FaultSimulator& sim, ScoreScratch& sc,
+                  const FailureLog& log, std::size_t num_rows,
+                  std::span<const FaultPolarity> polarities,
+                  netlist::SiteId site, Candidate& best,
+                  Signature& best_sig) const;
   DiagnosisReport assemble_single(std::vector<Candidate> scored);
   DiagnosisReport assemble_multifault(std::vector<Candidate> scored,
                                       const FailureLog& log);
@@ -87,6 +125,10 @@ class Diagnoser {
   compress::ResponseCompactor compactor_;
   DiagnoserOptions opts_;
   FaultSimulator* fsim_ = nullptr;
+  const part::HierPartition* partition_ = nullptr;
+  /// Simulator clones for parallel candidate scoring (lazily built from
+  /// fsim_ on the first multi-threaded score pass; reset by bind()).
+  std::unique_ptr<sim::SimulatorPool> pool_;
 
   // cone_[o] is a bitset over gates: the fan-in cone of observation o.
   std::size_t cone_words_ = 0;
@@ -95,14 +137,8 @@ class Diagnoser {
   // Scratch for signature matching.
   std::vector<Word> obs_mask_;       ///< Observed diff masks (per obs/cell).
   std::size_t obs_total_fails_ = 0;  ///< Popcount of obs_mask_.
-  std::vector<Word> pred_diff_;
-  std::vector<std::uint32_t> pred_touched_;
-  std::vector<Word> cell_scratch_;
+  ScoreScratch scratch_;             ///< Sequential-path scoring scratch.
 
-  // Per-candidate predicted signatures (multi-fault greedy cover).
-  struct Signature {
-    std::vector<std::uint64_t> keys;  ///< Sorted (cell, pattern) keys.
-  };
   std::vector<Signature> signatures_;
 };
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <future>
 #include <optional>
+#include <queue>
 
 #include "common/executor.h"
 #include "obs/metrics.h"
@@ -41,6 +42,24 @@ std::vector<std::uint64_t> keys_from_diff(
   return keys;
 }
 
+/// Count-only sorted intersection (no materialized output).
+std::size_t intersection_size(const std::vector<std::uint64_t>& a,
+                              const std::vector<std::uint64_t>& b) {
+  std::size_t n = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
 }  // namespace
 
 std::uint64_t FaultDictionary::hash_keys(
@@ -56,11 +75,18 @@ std::uint64_t FaultDictionary::hash_keys(
   return h;
 }
 
+const std::vector<std::uint64_t>& FaultDictionary::keys_of(
+    const Entry& e, std::vector<std::uint64_t>& scratch) const {
+  if (store_ == nullptr) return e.keys;
+  store_->decode(e.ref, scratch);
+  return scratch;
+}
+
 FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
                                  const netlist::SiteTable& sites,
                                  sim::FaultSimulator& fsim,
                                  FaultDictionaryOptions options)
-    : nl_(&nl), sites_(&sites) {
+    : nl_(&nl), sites_(&sites), options_(options) {
   M3DFL_OBS_SPAN(build_span, "dictionary.build");
   const std::size_t W = fsim.num_words();
   const std::size_t num_sites = sites.size();
@@ -76,22 +102,40 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
 
   reg.gauge("sim.backend").set(static_cast<double>(options.backend));
 
-  // Simulates [lo, hi) sites into `out`, preserving the site-then-polarity
-  // entry order the sequential campaign produces.
-  auto build_range = [&](sim::FaultSimulator& sim_, netlist::SiteId lo,
-                         netlist::SiteId hi, std::vector<Entry>& out) {
+  if (!options.spill_path.empty()) {
+    store_ = std::make_unique<compress::SignatureStore>(options.spill_path);
+  }
+
+  // Completes an entry whose keys were just simulated: hash + count always;
+  // in spill mode the keys move to the store and only the ref stays
+  // resident, so a shard's memory high-water mark is one signature.
+  auto finish_entry = [this](Entry& e) {
+    e.hash = hash_keys(e.keys);
+    e.count = static_cast<std::uint32_t>(e.keys.size());
+    if (store_ != nullptr) {
+      e.ref = store_->append(e.keys);
+      e.keys = {};
+    }
+  };
+
+  // Simulates the given sites (ascending within the list) into `out`,
+  // preserving the site-then-polarity entry order the sequential campaign
+  // produces.
+  auto build_sites = [&](sim::FaultSimulator& sim_,
+                         std::span<const netlist::SiteId> site_list,
+                         std::vector<Entry>& out) {
     M3DFL_OBS_SPAN(shard_span, "dictionary.shard");
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<sim::Word> diff;
     std::vector<std::uint32_t> touched;
-    for (netlist::SiteId s = lo; s < hi; ++s) {
+    for (netlist::SiteId s : site_list) {
       for (sim::FaultPolarity pol : options.polarities) {
         if (!sim_.observed_diff({s, pol}, diff, &touched)) continue;
         Entry e;
         e.site = s;
         e.polarity = pol;
         e.keys = keys_from_diff(diff, touched, W, sim_.num_patterns());
-        e.hash = hash_keys(e.keys);
+        finish_entry(e);
         out.push_back(std::move(e));
       }
     }
@@ -109,7 +153,7 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
                           .count());
   };
 
-  // Bit-parallel variant of build_range: packs the shard's (site, polarity)
+  // Bit-parallel variant of build_sites: packs the shard's (site, polarity)
   // jobs up to kMaxLanes per sweep, in site-major order, so the entry
   // sequence (and thus fingerprint()) matches the event campaign exactly.
   sim::bitpar::NetlistArena const* arena = nullptr;
@@ -124,14 +168,14 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
     bp = &*bp_storage;
     reg.gauge("sim.simd_tier").set(static_cast<double>(bp->tier()));
   }
-  auto build_range_bp = [&](sim::bitpar::BitParallelSimulator::Workspace& ws,
-                            netlist::SiteId lo, netlist::SiteId hi,
+  auto build_sites_bp = [&](sim::bitpar::BitParallelSimulator::Workspace& ws,
+                            std::span<const netlist::SiteId> site_list,
                             std::vector<Entry>& out) {
     M3DFL_OBS_SPAN(shard_span, "dictionary.shard");
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<sim::InjectedFault> jobs;
-    jobs.reserve(static_cast<std::size_t>(hi - lo) * 2);
-    for (netlist::SiteId s = lo; s < hi; ++s) {
+    jobs.reserve(site_list.size() * 2);
+    for (netlist::SiteId s : site_list) {
       for (sim::FaultPolarity pol : options.polarities) {
         jobs.push_back({s, pol});
       }
@@ -151,7 +195,7 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
         e.site = jobs[base + j].site;
         e.polarity = jobs[base + j].polarity;
         e.keys = keys;
-        e.hash = hash_keys(e.keys);
+        finish_entry(e);
         out.push_back(std::move(e));
       }
     }
@@ -162,19 +206,59 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
   };
 
   const bool bitpar = options.backend == sim::SimBackend::kBitParallel;
+
+  // Shard plan: either cone-closed hierarchical regions (paper-scale mode)
+  // or contiguous site ranges. Both are lists of ascending site ids; the
+  // region lists are non-contiguous across shards, so that mode re-sorts
+  // the merged entries back into canonical (site, polarity) order below.
+  std::optional<part::HierPartition> hp;
+  std::vector<netlist::SiteId> all_sites;
+  std::vector<std::span<const netlist::SiteId>> shard_sites;
+  const bool partitioned = options.partition_max_gates > 0;
+  if (partitioned) {
+    hp.emplace(nl, sites,
+               part::HierPartitionOptions{options.partition_max_gates});
+    shard_sites.reserve(hp->num_regions());
+    for (const part::Region& r : hp->regions()) {
+      if (!r.sites.empty()) shard_sites.push_back(r.sites);
+    }
+    reg.gauge("dictionary.partition_regions")
+        .set(static_cast<double>(hp->num_regions()));
+  } else {
+    all_sites.resize(num_sites);
+    for (netlist::SiteId s = 0; s < num_sites; ++s) all_sites[s] = s;
+  }
+
   std::size_t threads = resolve_num_threads(options.num_threads);
   threads = std::min(threads, std::max<std::size_t>(num_sites, 1));
+  if (!partitioned) {
+    // Contiguous ranges sized for the pool: concatenating the shard outputs
+    // in shard order reproduces the sequential entry sequence exactly.
+    const std::size_t num_chunks =
+        threads <= 1 ? 1 : std::min(num_sites, threads * 4);
+    const std::size_t chunk =
+        num_chunks == 0 ? 1 : (num_sites + num_chunks - 1) / num_chunks;
+    for (std::size_t c = 0; c * chunk < num_sites; ++c) {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(num_sites, (c + 1) * chunk);
+      shard_sites.push_back(
+          std::span<const netlist::SiteId>(all_sites).subspan(lo, hi - lo));
+    }
+  }
+
   if (threads <= 1) {
     if (bitpar) {
       sim::bitpar::BitParallelSimulator::Workspace ws;
-      build_range_bp(ws, 0, static_cast<netlist::SiteId>(num_sites),
-                     entries_);
+      for (const auto& span_ : shard_sites) {
+        build_sites_bp(ws, span_, entries_);
+      }
     } else {
-      build_range(fsim, 0, static_cast<netlist::SiteId>(num_sites), entries_);
+      for (const auto& span_ : shard_sites) {
+        build_sites(fsim, span_, entries_);
+      }
     }
   } else {
-    // Contiguous site shards merged in shard order — the concatenation is
-    // exactly the sequential entry sequence. Event shards lease pooled
+    // One task per shard, merged in shard order. Event shards lease pooled
     // simulator clones; bit-parallel shards share the one immutable
     // simulator and own a private Workspace each.
     // Warm the netlist's lazy topo/level caches before fan-out (they are
@@ -185,24 +269,20 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
     std::optional<sim::SimulatorPool> pool;
     if (!bitpar) pool.emplace(fsim);
     Executor exec(threads, "dictionary");
-    const std::size_t num_chunks = std::min(num_sites, threads * 4);
-    const std::size_t chunk = (num_sites + num_chunks - 1) / num_chunks;
-    std::vector<std::vector<Entry>> shards((num_sites + chunk - 1) / chunk);
+    std::vector<std::vector<Entry>> shards(shard_sites.size());
     std::vector<std::future<void>> done;
     done.reserve(shards.size());
-    for (std::size_t c = 0; c * chunk < num_sites; ++c) {
-      const auto lo = static_cast<netlist::SiteId>(c * chunk);
-      const auto hi = static_cast<netlist::SiteId>(
-          std::min(num_sites, (c + 1) * chunk));
+    for (std::size_t c = 0; c < shard_sites.size(); ++c) {
+      const std::span<const netlist::SiteId> span_ = shard_sites[c];
       if (bitpar) {
-        done.push_back(exec.submit([&build_range_bp, &shards, c, lo, hi] {
+        done.push_back(exec.submit([&build_sites_bp, &shards, c, span_] {
           sim::bitpar::BitParallelSimulator::Workspace ws;
-          build_range_bp(ws, lo, hi, shards[c]);
+          build_sites_bp(ws, span_, shards[c]);
         }));
       } else {
-        done.push_back(exec.submit([&build_range, &pool, &shards, c, lo, hi] {
+        done.push_back(exec.submit([&build_sites, &pool, &shards, c, span_] {
           auto sim_ = pool->lease();
-          build_range(*sim_, lo, hi, shards[c]);
+          build_sites(*sim_, span_, shards[c]);
         }));
       }
     }
@@ -215,7 +295,33 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
     }
   }
 
+  if (partitioned) {
+    // Region shards are disjoint but interleaved in site id; restore the
+    // canonical (site, polarity-rank) order so fingerprint() is
+    // bit-identical to an unpartitioned build. Keys stay wherever they are
+    // (heap or spill file) — only the entry index moves.
+    auto pol_rank = [&](sim::FaultPolarity p) {
+      return p == options_.polarities[0] ? 0 : 1;
+    };
+    std::sort(entries_.begin(), entries_.end(),
+              [&](const Entry& a, const Entry& b) {
+                if (a.site != b.site) return a.site < b.site;
+                return pol_rank(a.polarity) < pol_rank(b.polarity);
+              });
+  }
+
+  if (store_ != nullptr) store_->seal();
+
   reg.counter("dictionary.entries").add(entries_.size());
+  const SignatureFootprint fp = footprint();
+  reg.gauge("dictionary.signature_resident_bytes")
+      .set(static_cast<double>(fp.resident_bytes));
+  reg.gauge("dictionary.signature_disk_bytes")
+      .set(static_cast<double>(fp.disk_bytes));
+  reg.gauge("dictionary.signature_logical_bytes")
+      .set(static_cast<double>(fp.logical_bytes));
+  reg.gauge("process.peak_rss_bytes")
+      .set(static_cast<double>(obs::peak_rss_bytes()));
 
   by_hash_.reserve(entries_.size());
   for (std::uint32_t i = 0; i < entries_.size(); ++i) {
@@ -231,11 +337,12 @@ std::uint64_t FaultDictionary::fingerprint() const {
       h *= 0x100000001b3ULL;
     }
   };
+  std::vector<std::uint64_t> scratch;
   for (const Entry& e : entries_) {
     mix(e.site);
     mix(static_cast<std::uint64_t>(e.polarity));
-    mix(e.keys.size());
-    for (std::uint64_t k : e.keys) mix(k);
+    mix(e.count);
+    for (std::uint64_t k : keys_of(e, scratch)) mix(k);
   }
   return h;
 }
@@ -246,6 +353,19 @@ std::size_t FaultDictionary::signature_bytes() const {
     total += e.keys.size() * sizeof(std::uint64_t);
   }
   return total;
+}
+
+FaultDictionary::SignatureFootprint FaultDictionary::footprint() const {
+  SignatureFootprint fp;
+  fp.resident_bytes = signature_bytes();
+  fp.disk_bytes = store_ != nullptr
+                      ? static_cast<std::size_t>(store_->bytes_on_disk())
+                      : 0;
+  for (const Entry& e : entries_) {
+    fp.logical_bytes += static_cast<std::size_t>(e.count) *
+                        sizeof(std::uint64_t);
+  }
+  return fp;
 }
 
 DiagnosisReport FaultDictionary::diagnose(const sim::FailureLog& log) const {
@@ -270,13 +390,15 @@ DiagnosisReport FaultDictionary::diagnose(const sim::FailureLog& log) const {
     return c;
   };
 
+  std::vector<std::uint64_t> scratch;
+
   // Exact matches first: hash bucket + full verification.
   const std::uint64_t h = hash_keys(keys);
   const auto bucket = by_hash_.find(h);
   if (bucket != by_hash_.end()) {
     for (std::uint32_t idx : bucket->second) {
       const Entry& e = entries_[idx];
-      if (e.keys == keys) {
+      if (e.count == keys.size() && keys_of(e, scratch) == keys) {
         Candidate c = make_candidate(e, 1.0);
         c.matched = static_cast<std::uint32_t>(keys.size());
         report.candidates.push_back(c);
@@ -291,33 +413,52 @@ DiagnosisReport FaultDictionary::diagnose(const sim::FailureLog& log) const {
     return report;
   }
 
-  // Nearest-signature fallback: Jaccard over the stored signatures.
+  // Nearest-signature fallback: bounded top-K Jaccard instead of the old
+  // score-everything-then-sort scan. A bounded worst-on-top heap keeps the
+  // current best max_candidates, and the Jaccard upper bound
+  // min(|q|,|e|)/max(|q|,|e|) — reached only when one signature contains
+  // the other — lets most entries skip the set intersection (and, in spill
+  // mode, the decode) entirely once the heap is full. Selection and order
+  // are identical to the full scan: replace only on a strictly better
+  // score, so ties keep the lowest entry index, exactly like the old
+  // (score desc, idx asc) sort.
   struct Scored {
     double score;
     std::uint32_t idx;
   };
-  std::vector<Scored> scored;
-  std::vector<std::uint64_t> inter;
-  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
-    const Entry& e = entries_[i];
-    inter.clear();
-    std::set_intersection(keys.begin(), keys.end(), e.keys.begin(),
-                          e.keys.end(), std::back_inserter(inter));
-    if (inter.empty()) continue;
-    const double uni = static_cast<double>(keys.size() + e.keys.size() -
-                                           inter.size());
-    scored.push_back({static_cast<double>(inter.size()) / uni, i});
-  }
-  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+  auto better = [](const Scored& a, const Scored& b) {
     if (a.score != b.score) return a.score > b.score;
     return a.idx < b.idx;
-  });
-  const FaultDictionaryOptions defaults;
+  };
+  std::priority_queue<Scored, std::vector<Scored>, decltype(better)> heap(
+      better);  // top() = worst kept candidate.
+  const std::size_t cap = std::max<std::size_t>(options_.max_candidates, 1);
+  const double nq = static_cast<double>(keys.size());
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const double ne = static_cast<double>(e.count);
+    const double upper = std::min(nq, ne) / std::max(nq, ne);
+    if (heap.size() == cap && upper <= heap.top().score) continue;
+    const std::size_t inter = intersection_size(keys, keys_of(e, scratch));
+    if (inter == 0) continue;
+    const double score =
+        static_cast<double>(inter) / (nq + ne - static_cast<double>(inter));
+    if (heap.size() < cap) {
+      heap.push({score, i});
+    } else if (score > heap.top().score) {
+      heap.pop();
+      heap.push({score, i});
+    }
+  }
+  std::vector<Scored> scored;
+  scored.reserve(heap.size());
+  while (!heap.empty()) {
+    scored.push_back(heap.top());
+    heap.pop();
+  }
+  std::sort(scored.begin(), scored.end(), better);
   for (const Scored& s : scored) {
-    if (report.candidates.size() >= defaults.max_candidates) break;
-    const Entry& e = entries_[s.idx];
-    Candidate c = make_candidate(e, s.score);
-    report.candidates.push_back(c);
+    report.candidates.push_back(make_candidate(entries_[s.idx], s.score));
   }
   return report;
 }

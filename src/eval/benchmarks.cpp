@@ -144,6 +144,43 @@ BenchmarkSpec tiny_spec() {
   return s;
 }
 
+BenchmarkSpec paper_scale_spec(std::uint32_t num_logic_gates,
+                               std::uint64_t seed) {
+  BenchmarkSpec s;
+  s.name = "m3d" + std::to_string(num_logic_gates / 1000) + "k";
+  s.gen.num_logic_gates = num_logic_gates;
+  // Paper-like flop density (~1 scan cell per 24 gates) keeps scan-out
+  // responses proportional to design size without making the output space
+  // dominate memory.
+  s.gen.num_scan_cells = std::max<std::uint32_t>(256, num_logic_gates / 24);
+  s.gen.num_primary_inputs = 64;
+  s.gen.num_levels = 32;
+  s.gen.buffer_fraction = 0.18;
+  s.gen.buffer_chain_len = 3;
+  s.gen.xor_fraction = 0.12;
+  s.gen.wide_gate_fraction = 0.22;
+  s.gen.locality = 8;
+  s.gen.column_radius = 0.06;
+  s.gen.rent_exponent = 0.65;
+  s.gen.seed = derive_seed(seed, num_logic_gates);
+  s.num_chains = 256;
+  s.compaction_ratio = 20;
+  // Reduced pattern budget, no deterministic top-off: the subject under
+  // test at this scale is the partitioned campaign + out-of-core
+  // dictionary, not ATPG closure.
+  s.num_patterns = 64;
+  s.max_topoff_patterns = 0;
+  s.diag.max_candidates = 48;
+  s.diag.keep_score_ratio = 0.30;
+  s.diag.min_score = 0.10;
+  s.diag.single_fault_relax = 0.55;
+  s.seed = derive_seed(seed, 0x5ca1e);
+  return s;
+}
+
+BenchmarkSpec m3d100k_spec() { return paper_scale_spec(100'000); }
+BenchmarkSpec m3d338k_spec() { return paper_scale_spec(338'000); }
+
 diag::Diagnoser Design::make_diagnoser(bool multifault) const {
   diag::DiagnoserOptions opts = spec.diag;
   opts.multifault = multifault;

@@ -64,6 +64,21 @@ std::vector<BenchmarkSpec> all_benchmark_specs();
 /// A small spec for unit/integration tests (sub-second end-to-end).
 BenchmarkSpec tiny_spec();
 
+/// Paper-scale spec: an actual-size design (the paper's benchmarks span
+/// 98K–338K gates) with rent-style heavy-tailed fanout
+/// (GeneratorParams::rent_exponent) and paper-like scan-chain counts.
+/// Deterministic PODEM top-off is disabled and the random pattern budget is
+/// reduced — at this scale the dictionary/diagnosis campaigns are the
+/// subject under test, not ATPG closure. Campaigns over these specs should
+/// use FaultDictionaryOptions::partition_max_gates (cone-closed region
+/// sharding) and, for dictionaries, spill_path (out-of-core signatures).
+BenchmarkSpec paper_scale_spec(std::uint32_t num_logic_gates,
+                               std::uint64_t seed = 0x9a9e0001ull);
+
+/// Named paper-scale presets, CLI-visible as "m3d100k" / "m3d338k".
+BenchmarkSpec m3d100k_spec();
+BenchmarkSpec m3d338k_spec();
+
 /// A fully built design: M3D netlist + scan + patterns + bound simulator +
 /// heterogeneous graph. Heap-held and immovable once built (the simulator
 /// and graph hold pointers into the owning struct).

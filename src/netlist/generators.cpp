@@ -125,6 +125,47 @@ Netlist generate_netlist(const GeneratorParams& params) {
     unobserved.push_back(g);
   };
 
+  // Rent-style hub state (rent_exponent > 0 only; the default path draws
+  // nothing from the RNG here, keeping legacy seeds bit-identical). Gates
+  // with a drawn capacity >= 2 sit in an open-hub list; fanin selection
+  // preferentially reuses them until their budget is spent, which is what
+  // produces the heavy-tailed fanout distribution of real placed designs.
+  const bool rent = params.rent_exponent > 0.0;
+  constexpr std::size_t kNotOpen = static_cast<std::size_t>(-1);
+  std::vector<GateId> open_gates;
+  std::vector<std::uint32_t> open_rem;
+  std::vector<std::size_t> pos_in_open;
+  if (rent) {
+    pos_in_open.assign(num_inputs + params.num_logic_gates * 3, kNotOpen);
+  }
+  auto open_add = [&](GateId g) {
+    if (!rent) return;
+    // P(cap >= k) = k^(-1/rent_exponent): an inverse-transform Pareto draw.
+    const double u = std::max(rng.uniform(), 1e-12);
+    const double cap = std::pow(u, -params.rent_exponent);
+    const auto budget =
+        static_cast<std::uint32_t>(std::clamp(cap, 1.0, 64.0));
+    if (budget <= 1) return;  // The common case: an ordinary net.
+    pos_in_open[g] = open_gates.size();
+    open_gates.push_back(g);
+    open_rem.push_back(budget);
+  };
+  auto open_consume = [&](GateId g) {
+    if (!rent || pos_in_open[g] == kNotOpen) return;
+    const std::size_t at = pos_in_open[g];
+    if (--open_rem[at] > 0) return;
+    const GateId last = open_gates.back();
+    open_gates[at] = last;
+    open_rem[at] = open_rem.back();
+    pos_in_open[last] = at;
+    open_gates.pop_back();
+    open_rem.pop_back();
+    pos_in_open[g] = kNotOpen;
+  };
+  if (rent) {
+    for (GateId g : nl.inputs()) open_add(g);
+  }
+
   const std::uint32_t gates_per_level =
       std::max<std::uint32_t>(1, params.num_logic_gates / params.num_levels);
 
@@ -169,6 +210,21 @@ Netlist generate_netlist(const GeneratorParams& params) {
               }
             }
           }
+          if (d == kNoGate && rent && !open_gates.empty() &&
+              rng.bernoulli(0.5)) {
+            // Hub reuse: draw from the open-capacity list. Hubs may sit up
+            // to 3x the column radius away — high-fanout nets are exactly
+            // the longer wires Rent's rule predicts.
+            for (int attempt = 0; attempt < 8; ++attempt) {
+              const GateId cand = open_gates[rng.pick_index(open_gates)];
+              if (cand < level_start && !is_dup(cand) &&
+                  std::abs(nl.gate(cand).pos - my_pos) <=
+                      3.0 * params.column_radius) {
+                d = cand;
+                break;
+              }
+            }
+          }
           if (d == kNoGate) {
             // Pick a column-local driver from the locality window.
             for (int attempt = 0; attempt < 16 && d == kNoGate; ++attempt) {
@@ -195,6 +251,9 @@ Netlist generate_netlist(const GeneratorParams& params) {
           assert(d != kNoGate && !is_dup(d));
           fanin.push_back(d);
         }
+        if (rent) {
+          for (GateId d : fanin) open_consume(d);
+        }
         if (!is_constant_sig(eval_signature(type, sig, fanin))) break;
         if (gate_attempt == 6) {
           // Guaranteed non-constant last resort: XOR of two distinct
@@ -216,6 +275,7 @@ Netlist generate_netlist(const GeneratorParams& params) {
       per_level[level].push_back(g);
       for (GateId d : fanin) mark_observed(d);
       mark_unobserved(g);
+      open_add(g);
       ++created;
       // Repeater chains behind buffers/inverters: every chain gate is a
       // fault-equivalent of its driver, growing the equivalence classes
@@ -242,6 +302,8 @@ Netlist generate_netlist(const GeneratorParams& params) {
           per_level[level].push_back(link);
           mark_observed(g);
           mark_unobserved(link);
+          if (rent) open_consume(g);
+          open_add(link);
           g = link;
           ++created;
         }

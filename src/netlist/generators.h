@@ -40,6 +40,18 @@ struct GeneratorParams {
   double column_radius = 0.10;
   double fresh_driver_bias = 0.55;        ///< Probability of picking a
                                           ///< not-yet-observed driver.
+  /// Rent-style fanout scaling for paper-scale designs. 0 disables the
+  /// mechanism entirely — the generator then consumes the RNG stream
+  /// exactly as before, so existing seeds reproduce bit-identical
+  /// netlists. When > 0 (typical 0.55–0.75), every gate created during the
+  /// levelized pass draws a target fanout capacity from the heavy-tailed
+  /// law P(cap >= k) = k^(-1/rent_exponent), and fanin selection routes
+  /// through still-open high-capacity drivers (within a relaxed 3x column
+  /// radius). The result is the fanout distribution Rent's rule implies
+  /// for real placed netlists: a few hub nets driving tens of sinks over
+  /// longer wires, instead of the near-uniform fanout of the small
+  /// synthetic benchmarks.
+  double rent_exponent = 0.0;
   std::uint64_t seed = 1;
 };
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+
+#if !defined(_WIN32)
+#include <sys/resource.h>
+#endif
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -440,6 +444,21 @@ std::vector<std::string> prometheus_lint(const std::string& exposition) {
     }
   }
   return errors;
+}
+
+std::size_t peak_rss_bytes() {
+#if defined(_WIN32)
+  return 0;
+#else
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+#endif
+#endif
 }
 
 }  // namespace m3dfl::obs

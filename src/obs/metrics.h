@@ -128,6 +128,12 @@ std::string prometheus_metric_name(const std::string& name);
 /// quote, newline).
 std::string prometheus_escape_label(const std::string& value);
 
+/// Peak resident-set size of this process so far, in bytes (getrusage
+/// ru_maxrss). Returns 0 on platforms without the facility. The paper-scale
+/// campaigns publish it as the `process.peak_rss_bytes` gauge so the
+/// out-of-core dictionary's memory claim is checkable from metrics.
+std::size_t peak_rss_bytes();
+
 /// Structural conformance lint of an exposition page: every sample needs a
 /// preceding # TYPE (with a # HELP), TYPE values must be known, histogram
 /// bucket series must be cumulative/monotone and end in le="+Inf" matching

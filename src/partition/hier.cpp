@@ -1,0 +1,148 @@
+#include "partition/hier.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace m3dfl::part {
+
+namespace {
+
+using netlist::GateId;
+
+struct SplitKeys {
+  const std::vector<float>* pos;
+  const std::vector<std::uint32_t>* level;
+};
+
+// Recursively bisects `group` (a contiguous slice of the work vector) until
+// every leaf holds at most max_gates gates, appending leaf groups to `out`.
+// The split axis is whichever of (placement pos, topo level) spreads wider
+// over the group, normalized to [0, 1]; the median split uses a total order
+// (key, gate id), so the resulting leaf *sets* are implementation- and
+// platform-independent.
+void bisect(std::span<GateId> group, const SplitKeys& keys, float depth_norm,
+            std::size_t max_gates, std::vector<std::vector<GateId>>& out) {
+  if (group.size() <= max_gates) {
+    out.emplace_back(group.begin(), group.end());
+    return;
+  }
+  float lo_pos = 1.0f, hi_pos = 0.0f;
+  std::uint32_t lo_lvl = 0xffffffffu, hi_lvl = 0;
+  for (GateId g : group) {
+    lo_pos = std::min(lo_pos, (*keys.pos)[g]);
+    hi_pos = std::max(hi_pos, (*keys.pos)[g]);
+    lo_lvl = std::min(lo_lvl, (*keys.level)[g]);
+    hi_lvl = std::max(hi_lvl, (*keys.level)[g]);
+  }
+  const float pos_spread = hi_pos - lo_pos;
+  const float lvl_spread = static_cast<float>(hi_lvl - lo_lvl) * depth_norm;
+  const bool by_pos = pos_spread >= lvl_spread;
+  const auto mid = group.begin() + static_cast<std::ptrdiff_t>(group.size() / 2);
+  if (by_pos) {
+    std::nth_element(group.begin(), mid, group.end(),
+                     [&](GateId a, GateId b) {
+                       const float pa = (*keys.pos)[a], pb = (*keys.pos)[b];
+                       return pa != pb ? pa < pb : a < b;
+                     });
+  } else {
+    std::nth_element(group.begin(), mid, group.end(),
+                     [&](GateId a, GateId b) {
+                       const std::uint32_t la = (*keys.level)[a];
+                       const std::uint32_t lb = (*keys.level)[b];
+                       return la != lb ? la < lb : a < b;
+                     });
+  }
+  bisect(group.subspan(0, group.size() / 2), keys, depth_norm, max_gates, out);
+  bisect(group.subspan(group.size() / 2), keys, depth_norm, max_gates, out);
+}
+
+}  // namespace
+
+HierPartition::HierPartition(const netlist::Netlist& nl,
+                             const netlist::SiteTable& sites,
+                             HierPartitionOptions opts) {
+  const std::size_t n = nl.num_gates();
+  const std::size_t max_gates = std::max<std::size_t>(opts.max_gates_per_region, 1);
+
+  std::vector<float> pos(n);
+  for (GateId g = 0; g < n; ++g) pos[g] = nl.gate(g).pos;
+  const std::vector<std::uint32_t>& level = nl.levels();
+  const std::uint32_t depth = nl.depth();
+  const float depth_norm = depth > 0 ? 1.0f / static_cast<float>(depth) : 0.0f;
+
+  std::vector<GateId> work(n);
+  for (GateId g = 0; g < n; ++g) work[g] = g;
+  std::vector<std::vector<GateId>> groups;
+  if (n > 0) {
+    bisect(std::span<GateId>(work), {&pos, &level}, depth_norm, max_gates,
+           groups);
+  }
+
+  // Canonical region order: ascending by smallest member gate id.
+  for (auto& g : groups) std::sort(g.begin(), g.end());
+  std::sort(groups.begin(), groups.end(),
+            [](const std::vector<GateId>& a, const std::vector<GateId>& b) {
+              return a.front() < b.front();
+            });
+
+  regions_.resize(groups.size());
+  region_of_gate_.assign(n, 0);
+  for (std::uint32_t r = 0; r < groups.size(); ++r) {
+    regions_[r].gates = std::move(groups[r]);
+    max_region_gates_ = std::max(max_region_gates_, regions_[r].gates.size());
+    for (GateId g : regions_[r].gates) region_of_gate_[g] = r;
+  }
+
+  // Sites follow their owning gate; scanning site ids in order keeps each
+  // region's list ascending.
+  for (netlist::SiteId s = 0; s < sites.size(); ++s) {
+    regions_[region_of_gate_[sites.site(s).gate]].sites.push_back(s);
+  }
+
+  // Forward output closure: reach[g] = set of regions with a gate that can
+  // reach g, as a per-gate region bitset propagated along fanin edges in
+  // topological order. An output o then belongs to every region whose bit
+  // is set at its driving gate.
+  const std::size_t words = (regions_.size() + 63) / 64;
+  std::vector<std::uint64_t> reach(n * words, 0);
+  for (GateId g : nl.topo_order()) {
+    std::uint64_t* row = reach.data() + static_cast<std::size_t>(g) * words;
+    row[region_of_gate_[g] / 64] |= 1ull << (region_of_gate_[g] % 64);
+    for (GateId f : nl.gate(g).fanin) {
+      const std::uint64_t* src =
+          reach.data() + static_cast<std::size_t>(f) * words;
+      for (std::size_t w = 0; w < words; ++w) row[w] |= src[w];
+      if (region_of_gate_[f] != region_of_gate_[g]) ++cut_edges_;
+    }
+  }
+
+  output_offsets_.assign(nl.num_outputs() + 1, 0);
+  for (std::uint32_t o = 0; o < nl.num_outputs(); ++o) {
+    const std::uint64_t* row =
+        reach.data() + static_cast<std::size_t>(nl.outputs()[o]) * words;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t m = row[w];
+      while (m) {
+        const auto r = static_cast<std::uint32_t>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(m)));
+        m &= m - 1;
+        regions_[r].outputs.push_back(o);
+        ++output_offsets_[o + 1];
+      }
+    }
+  }
+  for (std::uint32_t o = 0; o < nl.num_outputs(); ++o) {
+    output_offsets_[o + 1] += output_offsets_[o];
+  }
+  regions_by_output_.resize(output_offsets_.back());
+  std::vector<std::size_t> cursor(output_offsets_.begin(),
+                                  output_offsets_.end() - 1);
+  for (std::uint32_t r = 0; r < regions_.size(); ++r) {
+    for (std::uint32_t o : regions_[r].outputs) {
+      regions_by_output_[cursor[o]++] = r;
+    }
+  }
+}
+
+}  // namespace m3dfl::part

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/fault_site.h"
+#include "netlist/netlist.h"
+
+namespace m3dfl::part {
+
+/// Hierarchical campaign partitioning for paper-scale designs (GROOT-style:
+/// partition the netlist graph, then shard the heavy per-site work per
+/// partition). This is orthogonal to the two-*tier* partitioning in
+/// m3d/partition.h: tiers model the physical M3D stack; these regions are a
+/// scheduling decomposition of one (already tier-assigned) design so that
+/// fault-simulation campaigns and diagnosis back-tracing touch one bounded
+/// chunk of the circuit at a time.
+///
+/// Construction recursively bisects the gate set — along the placement
+/// coordinate or the topological level, whichever currently spreads wider —
+/// until every region holds at most `max_gates_per_region` gates. The split
+/// key is total-ordered (ties broken by gate id), so the region structure is
+/// deterministic across platforms and thread counts.
+///
+/// Each region is *cone-closed* on the output side: it records the exact set
+/// of observation points reachable from any of its gates. A fault campaign
+/// sharded by region therefore knows every output its faults can disturb,
+/// and diagnosis back-tracing can skip whole regions whose output footprint
+/// misses the failing outputs.
+struct HierPartitionOptions {
+  /// Regions are split until they hold at most this many gates.
+  std::size_t max_gates_per_region = 4096;
+};
+
+struct Region {
+  std::vector<netlist::GateId> gates;  ///< Member gates, ascending.
+  std::vector<netlist::SiteId> sites;  ///< Fault sites owned by member
+                                       ///< gates (stem + branches), ascending.
+  std::vector<std::uint32_t> outputs;  ///< Output indices reachable from any
+                                       ///< member gate (forward closure),
+                                       ///< ascending.
+};
+
+class HierPartition {
+ public:
+  HierPartition(const netlist::Netlist& nl, const netlist::SiteTable& sites,
+                HierPartitionOptions opts = {});
+
+  std::size_t num_regions() const { return regions_.size(); }
+  const Region& region(std::size_t r) const { return regions_[r]; }
+  const std::vector<Region>& regions() const { return regions_; }
+
+  /// Region owning gate `g`.
+  std::uint32_t region_of_gate(netlist::GateId g) const {
+    return region_of_gate_[g];
+  }
+
+  /// Regions whose output footprint contains output index `o` — i.e. the
+  /// regions a failure at `o` could have originated in.
+  std::span<const std::uint32_t> regions_of_output(std::uint32_t o) const {
+    return {regions_by_output_.data() + output_offsets_[o],
+            output_offsets_[o + 1] - output_offsets_[o]};
+  }
+
+  /// Fanin edges whose driver and receiver live in different regions.
+  std::size_t cut_edges() const { return cut_edges_; }
+
+  /// Largest region, in gates.
+  std::size_t max_region_gates() const { return max_region_gates_; }
+
+ private:
+  std::vector<Region> regions_;
+  std::vector<std::uint32_t> region_of_gate_;
+  /// CSR: regions_by_output_[output_offsets_[o] .. output_offsets_[o+1])
+  /// lists the regions reaching output o, ascending.
+  std::vector<std::uint32_t> regions_by_output_;
+  std::vector<std::size_t> output_offsets_;
+  std::size_t cut_edges_ = 0;
+  std::size_t max_region_gates_ = 0;
+};
+
+}  // namespace m3dfl::part

@@ -1,8 +1,8 @@
 #include "sim/bitpar/dispatch.h"
 
-#include <cstdio>
 #include <cstdlib>
 
+#include "obs/log.h"
 #include "sim/bitpar/kernels.h"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -92,20 +92,19 @@ SimdTier resolve_tier() {
       want = parse_tier(env);
       origin = "M3DFL_SIMD";
       if (!want && env[0] != '\0') {
-        std::fprintf(stderr,
-                     "m3dfl: ignoring unknown M3DFL_SIMD value '%s' "
-                     "(want scalar|sse2|avx2)\n",
-                     env);
+        M3DFL_LOG_WARN("simd",
+                       "ignoring unknown M3DFL_SIMD value '%s' "
+                       "(want scalar|sse2|avx2)",
+                       env);
       }
     }
   }
   if (!want) return best_tier();
   if (tier_available(*want)) return *want;
   const SimdTier fallback = best_tier();
-  std::fprintf(stderr,
-               "m3dfl: %s=%s is not available on this host; falling back "
-               "to %s\n",
-               origin, tier_name(*want), tier_name(fallback));
+  M3DFL_LOG_WARN("simd",
+                 "%s=%s is not available on this host; falling back to %s",
+                 origin, tier_name(*want), tier_name(fallback));
   return fallback;
 }
 

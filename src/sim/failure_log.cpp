@@ -93,15 +93,7 @@ FailureLogParseResult failure_log_from_text(const std::string& text) {
         r.message = "malformed compacted entry";
         return r;
       }
-      // CObs stores channel/cycle as uint16_t; anything wider would wrap
-      // silently and point diagnosis at the wrong compactor position.
-      if (channel > 0xffff || cycle > 0xffff) {
-        r.ok = false;
-        r.message = "compacted entry out of range (channel/cycle max 65535)";
-        return r;
-      }
-      r.log.cfails.push_back({pattern, static_cast<std::uint16_t>(channel),
-                              static_cast<std::uint16_t>(cycle)});
+      r.log.cfails.push_back({pattern, channel, cycle});
     } else {
       std::uint32_t pattern = 0;
       std::uint32_t output = 0;

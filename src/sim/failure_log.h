@@ -25,8 +25,8 @@ struct FailureLog {
   };
   struct CObs {
     std::uint32_t pattern;
-    std::uint16_t channel;
-    std::uint16_t cycle;  ///< Shift-cycle == chain position.
+    std::uint32_t channel;
+    std::uint32_t cycle;  ///< Shift-cycle == chain position.
     bool operator==(const CObs&) const = default;
   };
 

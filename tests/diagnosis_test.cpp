@@ -197,6 +197,90 @@ TEST(Diagnoser, MultiFaultModeFindsAllInjected) {
   EXPECT_GE(all_found, tested / 2) << "multi-fault accuracy collapsed";
 }
 
+// Field-exact report equality: the partitioned / multi-threaded paths must
+// reproduce the sequential reports bit for bit.
+void expect_reports_identical(const DiagnosisReport& a,
+                              const DiagnosisReport& b) {
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    const Candidate& x = a.candidates[i];
+    const Candidate& y = b.candidates[i];
+    EXPECT_EQ(x.site, y.site) << "rank " << i;
+    EXPECT_EQ(x.polarity, y.polarity) << "rank " << i;
+    EXPECT_EQ(x.tier, y.tier) << "rank " << i;
+    EXPECT_EQ(x.is_miv, y.is_miv) << "rank " << i;
+    EXPECT_EQ(x.score, y.score) << "rank " << i;
+    EXPECT_EQ(x.matched, y.matched) << "rank " << i;
+    EXPECT_EQ(x.mispredicted, y.mispredicted) << "rank " << i;
+    EXPECT_EQ(x.missed, y.missed) << "rank " << i;
+  }
+}
+
+TEST(Diagnoser, PartitionedAndParallelReportsBitIdentical) {
+  Fixture fx(93);
+  const part::HierPartition hp(fx.nl, fx.sites, {64});
+  ASSERT_GT(hp.num_regions(), 1u);
+
+  Diagnoser base = fx.make_diagnoser();
+  DiagnoserOptions par_opts;
+  par_opts.num_threads = 4;
+  Diagnoser parallel = fx.make_diagnoser(par_opts);
+  Diagnoser partitioned = fx.make_diagnoser();
+  partitioned.set_partition(&hp);
+  Diagnoser part_par = fx.make_diagnoser(par_opts);
+  part_par.set_partition(&hp);
+
+  Rng rng(94);
+  int tested = 0;
+  for (int trial = 0; trial < 40 && tested < 12; ++trial) {
+    const InjectedFault f{
+        static_cast<SiteId>(rng.next_below(fx.sites.size())),
+        FaultPolarity::kSlow};
+    for (bool compacted : {false, true}) {
+      const sim::FailureLog log = fx.inject(f, compacted);
+      if (log.empty()) continue;
+      ++tested;
+      const DiagnosisReport want = base.diagnose(log);
+      expect_reports_identical(want, parallel.diagnose(log));
+      expect_reports_identical(want, partitioned.diagnose(log));
+      expect_reports_identical(want, part_par.diagnose(log));
+    }
+  }
+  EXPECT_GE(tested, 8);
+}
+
+TEST(Diagnoser, MultiFaultPartitionedParallelBitIdentical) {
+  Fixture fx(95);
+  const part::HierPartition hp(fx.nl, fx.sites, {64});
+  DiagnoserOptions opts;
+  opts.multifault = true;
+  opts.max_candidates = 64;
+  Diagnoser base = fx.make_diagnoser(opts);
+  DiagnoserOptions par_opts = opts;
+  par_opts.num_threads = 4;
+  Diagnoser part_par = fx.make_diagnoser(par_opts);
+  part_par.set_partition(&hp);
+
+  Rng rng(96);
+  int tested = 0;
+  for (int trial = 0; trial < 30 && tested < 8; ++trial) {
+    const InjectedFault faults[2] = {
+        {static_cast<SiteId>(rng.next_below(fx.sites.size())),
+         FaultPolarity::kSlow},
+        {static_cast<SiteId>(rng.next_below(fx.sites.size())),
+         FaultPolarity::kSlow}};
+    if (faults[0].site == faults[1].site) continue;
+    std::vector<sim::Word> diff;
+    if (!fx.fsim.observed_diff(faults, diff)) continue;
+    const auto log = sim::failure_log_from_diff(diff, fx.nl.num_outputs(),
+                                                fx.fsim.num_patterns());
+    if (log.empty()) continue;
+    ++tested;
+    expect_reports_identical(base.diagnose(log), part_par.diagnose(log));
+  }
+  EXPECT_GE(tested, 5);
+}
+
 // --- Report metrics -----------------------------------------------------------
 
 TEST(Report, FirstHitIndexAndSingleTier) {

@@ -154,22 +154,25 @@ TEST(FailureLogText, RejectsBadHeaderAndBody) {
       sim::failure_log_from_text("m3dfl-faillog v1 compacted\nfail 1 2").ok);
 }
 
-// Regression: channel/cycle used to be silently narrowed to uint16_t, so a
-// 65536 in the text wrapped to 0 and diagnosis chased the wrong compactor
-// position. Out-of-range entries must be a parse error, not a wrap.
-TEST(FailureLogText, RejectsCompactedEntriesBeyondUint16) {
-  EXPECT_FALSE(sim::failure_log_from_text(
-                   "m3dfl-faillog v1 compacted\nfail 3 65536 0")
-                   .ok);
-  EXPECT_FALSE(sim::failure_log_from_text(
-                   "m3dfl-faillog v1 compacted\nfail 3 0 70000")
-                   .ok);
-  const auto max_ok = sim::failure_log_from_text(
+// Regression: channel/cycle used to be uint16_t, so paper-scale scan chains
+// (positions beyond 65535) either wrapped or were rejected. They are uint32_t
+// now: wide entries must round-trip exactly, and logs written by older
+// versions (all values <= 65535) must keep parsing unchanged.
+TEST(FailureLogText, CompactedEntriesBeyondUint16RoundTrip) {
+  sim::FailureLog log;
+  log.compacted = true;
+  log.cfails = {{3, 65536, 0}, {3, 0, 70000}, {9, 1u << 20, 338000}};
+  const auto parsed = sim::failure_log_from_text(sim::to_text(log));
+  ASSERT_TRUE(parsed.ok) << parsed.message;
+  EXPECT_EQ(parsed.log.cfails, log.cfails);
+
+  // Old-format logs (fits-in-uint16 values) still parse to the same entries.
+  const auto legacy = sim::failure_log_from_text(
       "m3dfl-faillog v1 compacted\nfail 3 65535 65535");
-  ASSERT_TRUE(max_ok.ok) << max_ok.message;
-  ASSERT_EQ(max_ok.log.cfails.size(), 1u);
-  EXPECT_EQ(max_ok.log.cfails[0].channel, 65535);
-  EXPECT_EQ(max_ok.log.cfails[0].cycle, 65535);
+  ASSERT_TRUE(legacy.ok) << legacy.message;
+  ASSERT_EQ(legacy.log.cfails.size(), 1u);
+  EXPECT_EQ(legacy.log.cfails[0].channel, 65535u);
+  EXPECT_EQ(legacy.log.cfails[0].cycle, 65535u);
 }
 
 // --- Model serialization -----------------------------------------------------------

@@ -1,0 +1,179 @@
+// Invariant tests of the hierarchical campaign partitioner (partition/hier.h):
+// disjoint bounded cover, ascending member lists, cone-closed output
+// footprints vs. brute-force reachability, CSR consistency, cut-edge
+// accounting, and cross-construction determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "netlist/generators.h"
+#include "partition/hier.h"
+
+namespace m3dfl::part {
+namespace {
+
+using netlist::GateId;
+using netlist::SiteId;
+
+netlist::Netlist make_netlist(std::uint64_t seed,
+                              std::uint32_t gates = 1200) {
+  netlist::GeneratorParams p;
+  p.num_logic_gates = gates;
+  p.num_scan_cells = 64;
+  p.num_levels = 12;
+  p.seed = seed;
+  return netlist::generate_netlist(p);
+}
+
+/// Brute-force forward closure: output indices reachable from each gate,
+/// computed by per-output fan-in cone DFS (the transposed question).
+std::vector<std::set<GateId>> output_cones(const netlist::Netlist& nl) {
+  std::vector<std::set<GateId>> cones(nl.num_outputs());
+  for (std::uint32_t o = 0; o < nl.num_outputs(); ++o) {
+    std::vector<GateId> stack{nl.outputs()[o]};
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      if (!cones[o].insert(g).second) continue;
+      for (GateId f : nl.gate(g).fanin) stack.push_back(f);
+    }
+  }
+  return cones;
+}
+
+TEST(HierPartition, DisjointCoverWithBoundedAscendingRegions) {
+  const netlist::Netlist nl = make_netlist(11);
+  const netlist::SiteTable sites(nl);
+  const std::size_t kMax = 128;
+  const HierPartition hp(nl, sites, {kMax});
+
+  ASSERT_GE(hp.num_regions(), 2u);
+  std::vector<int> seen(nl.num_gates(), 0);
+  std::size_t largest = 0;
+  for (std::size_t r = 0; r < hp.num_regions(); ++r) {
+    const Region& reg = hp.region(r);
+    ASSERT_FALSE(reg.gates.empty());
+    ASSERT_LE(reg.gates.size(), kMax);
+    largest = std::max(largest, reg.gates.size());
+    ASSERT_TRUE(std::is_sorted(reg.gates.begin(), reg.gates.end()));
+    ASSERT_TRUE(std::is_sorted(reg.sites.begin(), reg.sites.end()));
+    ASSERT_TRUE(std::is_sorted(reg.outputs.begin(), reg.outputs.end()));
+    for (GateId g : reg.gates) {
+      ASSERT_LT(g, nl.num_gates());
+      ++seen[g];
+      EXPECT_EQ(hp.region_of_gate(g), r);
+    }
+  }
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    EXPECT_EQ(seen[g], 1) << "gate " << g << " covered " << seen[g]
+                          << " times";
+  }
+  EXPECT_EQ(hp.max_region_gates(), largest);
+}
+
+TEST(HierPartition, SitesPartitionedByOwningGate) {
+  const netlist::Netlist nl = make_netlist(12);
+  const netlist::SiteTable sites(nl);
+  const HierPartition hp(nl, sites, {96});
+
+  std::vector<int> seen(sites.size(), 0);
+  for (std::size_t r = 0; r < hp.num_regions(); ++r) {
+    for (SiteId s : hp.region(r).sites) {
+      ASSERT_LT(s, sites.size());
+      ++seen[s];
+      // A region owns exactly the sites whose owning gate it contains.
+      EXPECT_EQ(hp.region_of_gate(sites.site(s).gate), r);
+    }
+  }
+  for (SiteId s = 0; s < sites.size(); ++s) {
+    EXPECT_EQ(seen[s], 1) << "site " << s << " covered " << seen[s]
+                          << " times";
+  }
+}
+
+TEST(HierPartition, OutputClosureMatchesBruteForceReachability) {
+  const netlist::Netlist nl = make_netlist(13, 800);
+  const netlist::SiteTable sites(nl);
+  const HierPartition hp(nl, sites, {64});
+  const auto cones = output_cones(nl);
+
+  for (std::size_t r = 0; r < hp.num_regions(); ++r) {
+    const Region& reg = hp.region(r);
+    std::vector<std::uint32_t> expect;
+    for (std::uint32_t o = 0; o < nl.num_outputs(); ++o) {
+      const bool reaches = std::any_of(
+          reg.gates.begin(), reg.gates.end(),
+          [&](GateId g) { return cones[o].count(g) != 0; });
+      if (reaches) expect.push_back(o);
+    }
+    EXPECT_EQ(reg.outputs, expect) << "region " << r;
+  }
+}
+
+TEST(HierPartition, RegionsOfOutputIsTransposeOfRegionOutputs) {
+  const netlist::Netlist nl = make_netlist(14);
+  const netlist::SiteTable sites(nl);
+  const HierPartition hp(nl, sites, {100});
+
+  for (std::uint32_t o = 0; o < nl.num_outputs(); ++o) {
+    std::vector<std::uint32_t> expect;
+    for (std::uint32_t r = 0; r < hp.num_regions(); ++r) {
+      const auto& outs = hp.region(r).outputs;
+      if (std::binary_search(outs.begin(), outs.end(), o)) expect.push_back(r);
+    }
+    const auto got = hp.regions_of_output(o);
+    ASSERT_EQ(std::vector<std::uint32_t>(got.begin(), got.end()), expect)
+        << "output " << o;
+    EXPECT_FALSE(expect.empty()) << "output " << o << " reachable by nothing";
+  }
+}
+
+TEST(HierPartition, CutEdgesCountsCrossRegionFanins) {
+  const netlist::Netlist nl = make_netlist(15);
+  const netlist::SiteTable sites(nl);
+  const HierPartition hp(nl, sites, {80});
+
+  std::size_t expect = 0;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    for (GateId f : nl.gate(g).fanin) {
+      expect += hp.region_of_gate(f) != hp.region_of_gate(g);
+    }
+  }
+  EXPECT_EQ(hp.cut_edges(), expect);
+  EXPECT_GT(hp.cut_edges(), 0u);
+}
+
+TEST(HierPartition, DeterministicAcrossConstructions) {
+  const netlist::Netlist nl = make_netlist(16);
+  const netlist::SiteTable sites(nl);
+  const HierPartition a(nl, sites, {72});
+  const HierPartition b(nl, sites, {72});
+
+  ASSERT_EQ(a.num_regions(), b.num_regions());
+  for (std::size_t r = 0; r < a.num_regions(); ++r) {
+    EXPECT_EQ(a.region(r).gates, b.region(r).gates);
+    EXPECT_EQ(a.region(r).sites, b.region(r).sites);
+    EXPECT_EQ(a.region(r).outputs, b.region(r).outputs);
+  }
+  EXPECT_EQ(a.cut_edges(), b.cut_edges());
+}
+
+TEST(HierPartition, SingleRegionWhenCapExceedsDesign) {
+  const netlist::Netlist nl = make_netlist(17, 400);
+  const netlist::SiteTable sites(nl);
+  const HierPartition hp(nl, sites, {1u << 30});
+
+  ASSERT_EQ(hp.num_regions(), 1u);
+  EXPECT_EQ(hp.region(0).gates.size(), nl.num_gates());
+  EXPECT_EQ(hp.region(0).sites.size(), sites.size());
+  EXPECT_EQ(hp.cut_edges(), 0u);
+  EXPECT_EQ(hp.max_region_gates(), nl.num_gates());
+  // Every output is reachable from the single region.
+  EXPECT_EQ(hp.region(0).outputs.size(), nl.num_outputs());
+}
+
+}  // namespace
+}  // namespace m3dfl::part

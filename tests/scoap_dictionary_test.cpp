@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <iterator>
+
 #include "common/rng.h"
 #include "diagnosis/dictionary.h"
 #include "netlist/generators.h"
@@ -207,6 +211,203 @@ TEST(FaultDictionary, RejectsCompactedLogs) {
   log.compacted = true;
   log.cfails = {{0, 0, 0}};
   EXPECT_TRUE(dict.diagnose(log).candidates.empty());
+}
+
+/// Independently reconstructed dictionary entry: the (site, polarity, keys)
+/// sequence the sequential campaign produces, rebuilt without going through
+/// FaultDictionary.
+struct RefEntry {
+  netlist::SiteId site;
+  sim::FaultPolarity polarity;
+  std::vector<std::uint64_t> keys;
+};
+
+std::vector<RefEntry> reference_entries(DictFixture& fx) {
+  std::vector<RefEntry> refs;
+  std::vector<sim::Word> diff;
+  const std::size_t W = fx.fsim.num_words();
+  for (netlist::SiteId s = 0; s < fx.sites.size(); ++s) {
+    for (sim::FaultPolarity pol : {sim::FaultPolarity::kSlowToRise,
+                                   sim::FaultPolarity::kSlowToFall}) {
+      if (!fx.fsim.observed_diff({s, pol}, diff)) continue;
+      RefEntry e{s, pol, {}};
+      for (std::uint32_t o = 0; o < fx.nl.num_outputs(); ++o) {
+        for (std::size_t w = 0; w < W; ++w) {
+          sim::Word m = diff[static_cast<std::size_t>(o) * W + w];
+          while (m) {
+            const auto bit = static_cast<std::size_t>(std::countr_zero(m));
+            m &= m - 1;
+            const std::size_t p = w * sim::kWordBits + bit;
+            if (p < fx.fsim.num_patterns()) {
+              e.keys.push_back((static_cast<std::uint64_t>(o) << 32) | p);
+            }
+          }
+        }
+      }
+      refs.push_back(std::move(e));
+    }
+  }
+  return refs;
+}
+
+// Regression for the bounded-heap nearest-signature short-circuit: the
+// selection (and order) must be identical to the old score-everything-then-
+// sort scan, reconstructed here from first principles.
+TEST(FaultDictionary, FallbackShortCircuitMatchesFullScan) {
+  DictFixture fx(76);
+  diag::FaultDictionaryOptions opts;
+  const diag::FaultDictionary dict(fx.nl, fx.sites, fx.fsim, opts);
+  const std::vector<RefEntry> refs = reference_entries(fx);
+  ASSERT_EQ(refs.size(), dict.num_entries());
+
+  Rng rng(77);
+  std::vector<sim::Word> diff;
+  int tested = 0;
+  while (tested < 8) {
+    const auto site =
+        static_cast<netlist::SiteId>(rng.next_below(fx.sites.size()));
+    if (!fx.fsim.observed_diff({site, sim::FaultPolarity::kSlow}, diff)) {
+      continue;
+    }
+    auto log = sim::failure_log_from_diff(diff, fx.nl.num_outputs(),
+                                          fx.fsim.num_patterns());
+    if (log.fails.size() < 3) continue;
+    log.fails.pop_back();  // Corrupt so the exact-match path misses.
+
+    std::vector<std::uint64_t> query;
+    for (const auto& f : log.fails) {
+      query.push_back((static_cast<std::uint64_t>(f.output) << 32) |
+                      f.pattern);
+    }
+    std::sort(query.begin(), query.end());
+    query.erase(std::unique(query.begin(), query.end()), query.end());
+    const bool exact_exists =
+        std::any_of(refs.begin(), refs.end(),
+                    [&](const RefEntry& e) { return e.keys == query; });
+    if (exact_exists) continue;  // Different (exact) code path; not under test.
+    ++tested;
+
+    // Full scan: Jaccard against every entry, stable (score desc, idx asc)
+    // order, truncated to max_candidates — the pre-short-circuit behavior.
+    struct Scored {
+      double score;
+      std::size_t idx;
+    };
+    std::vector<Scored> full;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      std::vector<std::uint64_t> inter;
+      std::set_intersection(query.begin(), query.end(), refs[i].keys.begin(),
+                            refs[i].keys.end(), std::back_inserter(inter));
+      if (inter.empty()) continue;
+      const double uni = static_cast<double>(query.size()) +
+                         static_cast<double>(refs[i].keys.size()) -
+                         static_cast<double>(inter.size());
+      full.push_back({static_cast<double>(inter.size()) / uni, i});
+    }
+    std::sort(full.begin(), full.end(), [](const Scored& a, const Scored& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.idx < b.idx;
+    });
+    if (full.size() > opts.max_candidates) full.resize(opts.max_candidates);
+
+    const diag::DiagnosisReport report = dict.diagnose(log);
+    ASSERT_EQ(report.candidates.size(), full.size());
+    for (std::size_t r = 0; r < full.size(); ++r) {
+      const auto& c = report.candidates[r];
+      const auto& e = refs[full[r].idx];
+      EXPECT_EQ(c.site, e.site) << "rank " << r;
+      EXPECT_EQ(c.polarity, e.polarity) << "rank " << r;
+      EXPECT_DOUBLE_EQ(c.score, full[r].score) << "rank " << r;
+    }
+  }
+}
+
+TEST(FaultDictionary, PartitionedAndSpilledBuildsShareFingerprint) {
+  DictFixture fx(78);
+  const diag::FaultDictionary base(fx.nl, fx.sites, fx.fsim);
+  const auto base_fp = base.footprint();
+  EXPECT_GT(base_fp.resident_bytes, 0u);
+  EXPECT_EQ(base_fp.disk_bytes, 0u);
+  EXPECT_EQ(base_fp.resident_bytes, base_fp.logical_bytes);
+
+  struct Variant {
+    const char* name;
+    sim::SimBackend backend;
+    std::size_t threads;
+    std::size_t partition;
+    const char* spill;
+  };
+  const Variant variants[] = {
+      {"event-part", sim::SimBackend::kEvent, 1, 32, ""},
+      {"event-part-t4-spill", sim::SimBackend::kEvent, 4, 32,
+       "dict_fx78_ev.sig"},
+      {"bitpar-t4", sim::SimBackend::kBitParallel, 4, 0, ""},
+      {"bitpar-part-t4-spill", sim::SimBackend::kBitParallel, 4, 32,
+       "dict_fx78_bp.sig"},
+  };
+  for (const Variant& v : variants) {
+    diag::FaultDictionaryOptions opts;
+    opts.backend = v.backend;
+    opts.num_threads = v.threads;
+    opts.partition_max_gates = v.partition;
+    opts.spill_path = v.spill;
+    const diag::FaultDictionary dict(fx.nl, fx.sites, fx.fsim, opts);
+    EXPECT_EQ(dict.fingerprint(), base.fingerprint()) << v.name;
+    EXPECT_EQ(dict.num_entries(), base.num_entries()) << v.name;
+    const auto fp = dict.footprint();
+    EXPECT_EQ(fp.logical_bytes, base_fp.logical_bytes) << v.name;
+    if (*v.spill) {
+      EXPECT_EQ(fp.resident_bytes, 0u) << v.name;
+      EXPECT_GT(fp.disk_bytes, 0u) << v.name;
+      EXPECT_LT(fp.disk_bytes, fp.logical_bytes) << v.name;
+      EXPECT_EQ(dict.signature_bytes(), 0u) << v.name;
+    } else {
+      EXPECT_EQ(fp.resident_bytes, base_fp.resident_bytes) << v.name;
+    }
+  }
+}
+
+// Out-of-core lookups must be observationally identical to in-memory ones —
+// on the exact-match path and on the nearest-signature fallback.
+TEST(FaultDictionary, SpilledDiagnosisMatchesInMemory) {
+  DictFixture fx(79);
+  const diag::FaultDictionary base(fx.nl, fx.sites, fx.fsim);
+  diag::FaultDictionaryOptions opts;
+  opts.spill_path = "dict_fx79.sig";
+  const diag::FaultDictionary spilled(fx.nl, fx.sites, fx.fsim, opts);
+  ASSERT_EQ(spilled.fingerprint(), base.fingerprint());
+
+  auto expect_same = [](const diag::DiagnosisReport& a,
+                        const diag::DiagnosisReport& b) {
+    ASSERT_EQ(a.candidates.size(), b.candidates.size());
+    for (std::size_t r = 0; r < a.candidates.size(); ++r) {
+      EXPECT_EQ(a.candidates[r].site, b.candidates[r].site) << "rank " << r;
+      EXPECT_EQ(a.candidates[r].polarity, b.candidates[r].polarity)
+          << "rank " << r;
+      EXPECT_DOUBLE_EQ(a.candidates[r].score, b.candidates[r].score)
+          << "rank " << r;
+      EXPECT_EQ(a.candidates[r].matched, b.candidates[r].matched)
+          << "rank " << r;
+    }
+  };
+
+  Rng rng(80);
+  std::vector<sim::Word> diff;
+  int tested = 0;
+  while (tested < 10) {
+    const auto site =
+        static_cast<netlist::SiteId>(rng.next_below(fx.sites.size()));
+    if (!fx.fsim.observed_diff({site, sim::FaultPolarity::kSlow}, diff)) {
+      continue;
+    }
+    auto log = sim::failure_log_from_diff(diff, fx.nl.num_outputs(),
+                                          fx.fsim.num_patterns());
+    if (log.fails.size() < 3) continue;
+    ++tested;
+    expect_same(base.diagnose(log), spilled.diagnose(log));  // Exact path.
+    log.fails.pop_back();
+    expect_same(base.diagnose(log), spilled.diagnose(log));  // Fallback path.
+  }
 }
 
 }  // namespace

@@ -15,6 +15,15 @@
 //             [--framework framework.m3dfl]
 //             Run ATPG-style diagnosis; with a framework, also apply the
 //             GNN candidate pruning & reordering policy.
+//   dict      --benchmark <name> [--config <cfg>] [--threads N]
+//             [--partition-gates N] [--spill sigs.bin] [--faillog F]
+//             Run the full fault-dictionary campaign (the paper-scale
+//             workload). --partition-gates shards it over cone-closed
+//             hierarchical regions; --spill streams signatures to an
+//             out-of-core compressed store instead of the heap. Prints the
+//             entry count, fingerprint, signature footprint and peak RSS;
+//             with --faillog, also diagnoses the log against the
+//             dictionary.
 //   serve     --benchmark <name> --config <cfg> --framework framework.m3dfl
 //             --logs a.faillog,b.faillog,... [--threads N] [--batch N]
 //             [--wait-us N] [--repeat N] [--quiet] [--admin-port N]
@@ -35,7 +44,10 @@
 //   --trace out.json          Write a Chrome/Perfetto trace-event file
 //                             covering the command's pipeline spans.
 //   --metrics-json out.json   Dump the process metrics registry (and, for
-//                             serve, the service metrics) as JSON.
+//                             serve, the service metrics) as JSON. "-"
+//                             writes the JSON to stdout; the surrounding
+//                             notice lines go through the logger (stderr),
+//                             so stdout stays machine-parseable.
 // gen/train additionally take --progress (per-epoch training lines plus a
 // per-span summary table at exit).
 //
@@ -61,6 +73,7 @@
 #include <thread>
 #include <vector>
 
+#include "diagnosis/dictionary.h"
 #include "eval/framework_io.h"
 #include "netlist/verilog.h"
 #include "obs/build_info.h"
@@ -91,7 +104,7 @@ sim::SimBackend g_sim_backend = sim::SimBackend::kEvent;
 
 int usage() {
   std::fputs(
-      "usage: m3dfl <gen|train|inject|diagnose|serve> [options]\n"
+      "usage: m3dfl <gen|train|inject|diagnose|dict|serve> [options]\n"
       "  gen      --benchmark B --config C [--out design.v]\n"
       "  train    --benchmark B [--compacted] [--threads N]\n"
       "           [--out framework.m3dfl]\n"
@@ -99,15 +112,17 @@ int usage() {
       "           [--out chip.faillog]\n"
       "  diagnose --benchmark B --config C --faillog F\n"
       "           [--framework framework.m3dfl]\n"
+      "  dict     --benchmark B [--config C] [--threads N]\n"
+      "           [--partition-gates N] [--spill sigs.bin] [--faillog F]\n"
       "  serve    --benchmark B --config C --framework framework.m3dfl\n"
       "           --logs F1,F2,... [--threads N] [--batch N] [--wait-us N]\n"
       "           [--repeat N] [--quiet] [--admin-port N] [--linger-ms N]\n"
-      "all subcommands also take [--trace out.json] [--metrics-json out.json]\n"
+      "all subcommands also take [--trace out.json] [--metrics-json out.json|-]\n"
       "[--log-json] [--sim-backend event|bitpar] [--simd scalar|sse2|avx2]\n"
       "(M3DFL_SIMD env is the no-flag equivalent of --simd);\n"
       "gen/train also take [--progress]\n"
       "m3dfl --version prints build metadata\n"
-      "benchmarks: aes tate netcard leon3mp tiny\n"
+      "benchmarks: aes tate netcard leon3mp tiny m3d100k m3d338k\n"
       "configs:    Syn-1 TPI Syn-2 Par\n"
       "exit codes: 0 ok, 1 runtime failure, 2 usage error\n",
       stderr);
@@ -120,6 +135,8 @@ std::optional<eval::BenchmarkSpec> spec_by_name(const std::string& name) {
   if (name == "netcard") return eval::netcard_spec();
   if (name == "leon3mp") return eval::leon3mp_spec();
   if (name == "tiny") return eval::tiny_spec();
+  if (name == "m3d100k") return eval::m3d100k_spec();
+  if (name == "m3d338k") return eval::m3d338k_spec();
   return std::nullopt;
 }
 
@@ -379,6 +396,77 @@ int cmd_diagnose(const std::map<std::string, std::string>& flags) {
   return kExitOk;
 }
 
+int cmd_dict(const std::map<std::string, std::string>& flags) {
+  const auto spec = spec_by_name(flags.count("benchmark")
+                                     ? flags.at("benchmark")
+                                     : "");
+  const auto config = config_by_name(
+      flags.count("config") ? flags.at("config") : "Syn-1");
+  if (!spec || !config) return usage();
+
+  diag::FaultDictionaryOptions opts;
+  opts.backend = g_sim_backend;
+  opts.num_threads = 1;
+  if (flags.count("threads")) {
+    const auto parsed = parse_u64(flags.at("threads"));
+    if (!parsed || *parsed < 1) {
+      M3DFL_LOG_ERROR("cli", "--threads wants an integer >= 1");
+      return usage();
+    }
+    opts.num_threads = static_cast<std::size_t>(*parsed);
+  }
+  if (flags.count("partition-gates")) {
+    const auto parsed = parse_u64(flags.at("partition-gates"));
+    if (!parsed || *parsed < 1) {
+      M3DFL_LOG_ERROR("cli", "--partition-gates wants an integer >= 1");
+      return usage();
+    }
+    opts.partition_max_gates = static_cast<std::size_t>(*parsed);
+  }
+  if (flags.count("spill")) opts.spill_path = flags.at("spill");
+
+  const eval::Design& d = eval::cached_design(*spec, *config);
+  const auto t0 = std::chrono::steady_clock::now();
+  const diag::FaultDictionary dict(d.nl, d.sites, *d.fsim, opts);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Campaign stats are notices, not primary output: they go through the
+  // logger (stderr) so `--metrics-json -` leaves stdout pure JSON.
+  const diag::FaultDictionary::SignatureFootprint fp = dict.footprint();
+  M3DFL_LOG_INFO("cli",
+                 "dictionary: %zu entries over %zu sites in %.2f s "
+                 "(fingerprint %016llx)",
+                 dict.num_entries(), d.sites.size(), seconds,
+                 static_cast<unsigned long long>(dict.fingerprint()));
+  M3DFL_LOG_INFO("cli",
+                 "signatures: %.1f MB resident, %.1f MB on disk "
+                 "(%.1f MB logical); peak RSS %.1f MB",
+                 fp.resident_bytes / 1048576.0, fp.disk_bytes / 1048576.0,
+                 fp.logical_bytes / 1048576.0,
+                 obs::peak_rss_bytes() / 1048576.0);
+  if (opts.partition_max_gates > 0) {
+    M3DFL_LOG_INFO("cli", "partitioned campaign: <= %zu gates per region",
+                   opts.partition_max_gates);
+  }
+
+  if (flags.count("faillog")) {
+    const auto log = read_faillog(flags.at("faillog"));
+    if (!log) return kExitRuntime;
+    if (log->compacted) {
+      M3DFL_LOG_ERROR(
+          "cli", "dictionary diagnosis wants a bypass (non-compacted) log");
+      return kExitRuntime;
+    }
+    const diag::DiagnosisReport report = dict.diagnose(*log);
+    std::printf("dictionary diagnosis: %zu candidates\n",
+                report.resolution());
+    print_report(report);
+  }
+  return kExitOk;
+}
+
 int cmd_serve(const std::map<std::string, std::string>& flags) {
   const auto spec = spec_by_name(flags.count("benchmark")
                                      ? flags.at("benchmark")
@@ -535,13 +623,13 @@ int write_observability(const std::map<std::string, std::string>& flags) {
     if (!os) {
       M3DFL_LOG_ERROR("cli", "cannot write trace file %s", path.c_str());
       rc = kExitRuntime;
+    } else if (const std::uint64_t d = tracer.dropped()) {
+      M3DFL_LOG_INFO("cli", "wrote trace to %s (%zu spans, %llu dropped)",
+                     path.c_str(), tracer.snapshot().size(),
+                     static_cast<unsigned long long>(d));
     } else {
-      std::printf("wrote trace to %s (%zu spans", path.c_str(),
-                  tracer.snapshot().size());
-      if (const std::uint64_t d = tracer.dropped()) {
-        std::printf(", %llu dropped", static_cast<unsigned long long>(d));
-      }
-      std::printf(")\n");
+      M3DFL_LOG_INFO("cli", "wrote trace to %s (%zu spans)", path.c_str(),
+                     tracer.snapshot().size());
     }
   }
 
@@ -561,18 +649,28 @@ int write_observability(const std::map<std::string, std::string>& flags) {
 
   if (flags.count("metrics-json")) {
     const std::string& path = flags.at("metrics-json");
-    std::ofstream os(path);
-    if (os) {
-      os << "{\"registry\": " << obs::MetricsRegistry::instance().to_json()
-         << ", \"service\": "
-         << (g_service_metrics_json.empty() ? "null" : g_service_metrics_json)
-         << "}\n";
-    }
-    if (!os) {
-      M3DFL_LOG_ERROR("cli", "cannot write metrics file %s", path.c_str());
-      rc = kExitRuntime;
+    const std::string payload =
+        "{\"registry\": " + obs::MetricsRegistry::instance().to_json() +
+        ", \"service\": " +
+        (g_service_metrics_json.empty() ? "null" : g_service_metrics_json) +
+        "}\n";
+    if (path == "-") {
+      // Machine-readable mode: the JSON document is the only stdout output
+      // of this block; the notice goes through the logger (stderr). This is
+      // what keeps `m3dfl ... --metrics-json - | python3 -c 'json.load...'`
+      // parseable.
+      std::fwrite(payload.data(), 1, payload.size(), stdout);
+      std::fflush(stdout);
+      M3DFL_LOG_INFO("cli", "wrote metrics to stdout");
     } else {
-      std::printf("wrote metrics to %s\n", path.c_str());
+      std::ofstream os(path);
+      if (os) os << payload;
+      if (!os) {
+        M3DFL_LOG_ERROR("cli", "cannot write metrics file %s", path.c_str());
+        rc = kExitRuntime;
+      } else {
+        M3DFL_LOG_INFO("cli", "wrote metrics to %s", path.c_str());
+      }
     }
   }
   return rc;
@@ -599,6 +697,10 @@ int main(int argc, char** argv) {
     spec = {{"benchmark", "config", "seed", "out"}, {"compacted"}};
   } else if (cmd == "diagnose") {
     spec = {{"benchmark", "config", "faillog", "framework"}, {}};
+  } else if (cmd == "dict") {
+    spec = {{"benchmark", "config", "threads", "partition-gates", "spill",
+             "faillog"},
+            {}};
   } else if (cmd == "serve") {
     spec = {{"benchmark", "config", "framework", "logs", "threads", "batch",
              "wait-us", "repeat", "admin-port", "linger-ms"},
@@ -661,6 +763,7 @@ int main(int argc, char** argv) {
   else if (cmd == "train") rc = cmd_train(*flags);
   else if (cmd == "inject") rc = cmd_inject(*flags);
   else if (cmd == "diagnose") rc = cmd_diagnose(*flags);
+  else if (cmd == "dict") rc = cmd_dict(*flags);
   else rc = cmd_serve(*flags);
 
   if (want_obs) {
