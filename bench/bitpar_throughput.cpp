@@ -20,6 +20,7 @@
 #include "common/rng.h"
 #include "netlist/generators.h"
 #include "obs/build_info.h"
+#include "obs/prof/counters.h"
 #include "sim/bitpar/arena.h"
 #include "sim/bitpar/bitpar_sim.h"
 #include "sim/bitpar/dispatch.h"
@@ -39,12 +40,56 @@ struct Run {
   std::string name;
   std::size_t items = 0;
   double wall_seconds = 0.0;
+  /// Extra JSON fields (",\n      \"ipc\": ..."), empty without hardware
+  /// counters — additive keys bench_compare notes but never gates on.
+  std::string hw_extra;
 
   double per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(items) / wall_seconds
                               : 0.0;
   }
 };
+
+#if M3DFL_OBS_ENABLED
+/// Snapshots the calling thread's counter group; diff() renders the IPC /
+/// cache fields of the region since construction. The bench is single-
+/// threaded, so thread-local counters cover every timed loop exactly.
+class HwRegion {
+ public:
+  HwRegion() { valid_ = m3dfl::obs::prof::read_thread_counters(&start_); }
+
+  std::string diff() const {
+    m3dfl::obs::prof::CounterValues end;
+    if (!valid_ || !m3dfl::obs::prof::read_thread_counters(&end) ||
+        !start_.hw_valid || !end.hw_valid ||
+        end.instructions <= start_.instructions) {
+      return {};
+    }
+    const double instr =
+        static_cast<double>(end.instructions - start_.instructions);
+    const double cycles = static_cast<double>(end.cycles - start_.cycles);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n      \"ipc\": %.3f"
+                  ",\n      \"llc_misses_per_kinstr\": %.3f"
+                  ",\n      \"branch_misses_per_kinstr\": %.3f",
+                  cycles > 0.0 ? instr / cycles : 0.0,
+                  1e3 * static_cast<double>(end.llc_misses -
+                                            start_.llc_misses) / instr,
+                  1e3 * static_cast<double>(end.branch_misses -
+                                            start_.branch_misses) / instr);
+    return buf;
+  }
+
+ private:
+  bool valid_ = false;
+  m3dfl::obs::prof::CounterValues start_;
+};
+#else
+struct HwRegion {
+  std::string diff() const { return {}; }
+};
+#endif
 
 /// Per-job digest: detection flag folded with an FNV-1a over the sorted
 /// miscompare keys — equal digests mean equal detect sets.
@@ -112,6 +157,7 @@ int main() {
     std::vector<std::uint32_t> touched;
     std::vector<std::uint64_t> keys;
     const std::size_t W = fsim.num_words();
+    const HwRegion hw;
     const auto t0 = Clock::now();
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       const bool detected = fsim.observed_diff(jobs[j], diff, &touched);
@@ -131,7 +177,8 @@ int main() {
       std::sort(keys.begin(), keys.end());
       event_digests[j] = keys_digest(detected, keys);
     }
-    runs.push_back({"faultsim/event", jobs.size(), seconds_since(t0)});
+    runs.push_back(
+        {"faultsim/event", jobs.size(), seconds_since(t0), hw.diff()});
   }
 
   // Untimed equivalence pass: every job's detect set must match the event
@@ -158,6 +205,7 @@ int main() {
   ws.stats = sim::bitpar::BitParStats{};
   for (const std::size_t batch :
        {std::size_t{1}, std::size_t{64}, std::size_t{256}, std::size_t{512}}) {
+    const HwRegion hw;
     const auto t0 = Clock::now();
     for (std::size_t base = 0; base < jobs.size(); base += batch) {
       const std::size_t count = std::min(batch, jobs.size() - base);
@@ -165,7 +213,7 @@ int main() {
              ws, res);
     }
     runs.push_back({"faultsim/bitpar_batch" + std::to_string(batch),
-                    jobs.size(), seconds_since(t0)});
+                    jobs.size(), seconds_since(t0), hw.diff()});
     std::printf("  batch %3zu: %.1fM row words, %.2fM gate evals\n", batch,
                 ws.stats.lane_words_evaluated / 1e6, ws.stats.gate_evals / 1e6);
     ws.stats = sim::bitpar::BitParStats{};
@@ -204,10 +252,21 @@ int main() {
        << "      \"iterations\": " << r.items << ",\n"
        << "      \"real_time\": " << r.wall_seconds * 1e3 << ",\n"
        << "      \"time_unit\": \"ms\",\n"
-       << "      \"items_per_second\": " << r.per_second() << "\n"
-       << "    }" << (i + 1 == runs.size() ? "\n" : ",\n");
+       << "      \"items_per_second\": " << r.per_second() << r.hw_extra
+       << "\n    }" << (i + 1 == runs.size() ? "\n" : ",\n");
   }
-  os << "  ]\n}\n";
+  os << "  ]";
+#if M3DFL_OBS_ENABLED
+  {
+    // Counter availability as context, so a scrape of the JSON says whether
+    // missing ipc fields mean "no hardware counters" or "regression".
+    const m3dfl::obs::prof::CounterAvailability& av =
+        m3dfl::obs::prof::counter_availability();
+    os << ",\n  \"hw_counters\": {\"mode\": \""
+       << m3dfl::obs::prof::counter_mode_name(av.mode) << "\"}";
+  }
+#endif
+  os << "\n}\n";
   std::puts("wrote BENCH_bitpar_throughput.json");
   return 0;
 }

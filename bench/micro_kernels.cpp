@@ -10,9 +10,54 @@
 #include "eval/benchmarks.h"
 #include "eval/datagen.h"
 #include "graphx/backtrace.h"
+#include "obs/prof/counters.h"
 
 namespace m3dfl {
 namespace {
+
+#if M3DFL_OBS_ENABLED
+/// Attaches hardware-counter rates to a kernel's report: reads the calling
+/// thread's counter group at construction and, at destruction (after the
+/// timing loop, before the runner collects state.counters), publishes
+/// "ipc" / "llc_misses_per_kinstr" / "branch_misses_per_kinstr". Publishes
+/// nothing when the machine's rung has no hardware counters, so the JSON
+/// only gains keys where they are real — bench_compare treats them as
+/// additive either way.
+class HwCounters {
+ public:
+  explicit HwCounters(benchmark::State& state) : state_(state) {
+    valid_ = obs::prof::read_thread_counters(&start_);
+  }
+  ~HwCounters() {
+    obs::prof::CounterValues end;
+    if (!valid_ || !obs::prof::read_thread_counters(&end) ||
+        !start_.hw_valid || !end.hw_valid ||
+        end.instructions <= start_.instructions) {
+      return;
+    }
+    const double instr =
+        static_cast<double>(end.instructions - start_.instructions);
+    const double cycles = static_cast<double>(end.cycles - start_.cycles);
+    state_.counters["ipc"] = cycles > 0.0 ? instr / cycles : 0.0;
+    state_.counters["llc_misses_per_kinstr"] =
+        1e3 * static_cast<double>(end.llc_misses - start_.llc_misses) / instr;
+    state_.counters["branch_misses_per_kinstr"] =
+        1e3 * static_cast<double>(end.branch_misses - start_.branch_misses) /
+        instr;
+  }
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+
+ private:
+  benchmark::State& state_;
+  bool valid_ = false;
+  obs::prof::CounterValues start_;
+};
+#else
+struct HwCounters {
+  explicit HwCounters(benchmark::State&) {}
+};
+#endif
 
 const eval::Design& fixture() {
   static const eval::Design& d =
@@ -22,6 +67,7 @@ const eval::Design& fixture() {
 
 void BM_LogicSimulation(benchmark::State& state) {
   const eval::Design& d = fixture();
+  const HwCounters hw(state);
   sim::LogicSimulator simulator(d.nl);
   std::vector<sim::Word> out(d.nl.num_gates() * d.patterns.num_words());
   for (auto _ : state) {
@@ -39,6 +85,7 @@ BENCHMARK(BM_LogicSimulation);
 // measured. Items = fault-pattern evaluations.
 void BM_FaultSimulation(benchmark::State& state) {
   const eval::Design& d = fixture();
+  const HwCounters hw(state);
   std::vector<sim::Word> diff;
   netlist::SiteId site = 0;
   std::size_t pol = 0;
@@ -57,6 +104,7 @@ BENCHMARK(BM_FaultSimulation);
 // first failing observation point and no diff is materialized.
 void BM_FaultSimulation_EarlyExit(benchmark::State& state) {
   const eval::Design& d = fixture();
+  const HwCounters hw(state);
   netlist::SiteId site = 0;
   std::size_t pol = 0;
   for (auto _ : state) {
@@ -81,6 +129,7 @@ BENCHMARK(BM_HeteroGraphConstruction);
 
 void BM_BacktraceSubgraph(benchmark::State& state) {
   const eval::Design& d = fixture();
+  const HwCounters hw(state);
   eval::DatagenOptions opts;
   opts.num_samples = 1;
   opts.seed = 99;
@@ -113,6 +162,7 @@ BENCHMARK(BM_PodemGenerate);
 
 void BM_TierPredictorInference(benchmark::State& state) {
   const eval::Design& d = fixture();
+  const HwCounters hw(state);
   eval::DatagenOptions opts;
   opts.num_samples = 1;
   opts.seed = 123;

@@ -18,6 +18,8 @@
 #include "eval/datagen.h"
 #include "obs/build_info.h"
 #include "obs/metrics.h"
+#include "obs/prof/counters.h"
+#include "obs/prof/profiler.h"
 #include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/service.h"
@@ -60,7 +62,8 @@ void add_run_row(TablePrinter& t, const Run& r) {
              fmt(percentile(r.latencies, 99) * 1e3, 2)});
 }
 
-void json_run(std::ofstream& os, const Run& r, bool last) {
+void json_run(std::ofstream& os, const Run& r, const std::string& extra,
+              bool last) {
   os << "    {\n"
      << "      \"name\": \"" << r.name << "\",\n"
      << "      \"run_type\": \"iteration\",\n"
@@ -70,19 +73,82 @@ void json_run(std::ofstream& os, const Run& r, bool last) {
      << "      \"requests_per_second\": " << r.rps() << ",\n"
      << "      \"p50_ms\": " << percentile(r.latencies, 50) * 1e3 << ",\n"
      << "      \"p95_ms\": " << percentile(r.latencies, 95) * 1e3 << ",\n"
-     << "      \"p99_ms\": " << percentile(r.latencies, 99) * 1e3 << "\n"
-     << "    }" << (last ? "\n" : ",\n");
+     << "      \"p99_ms\": " << percentile(r.latencies, 99) * 1e3 << extra
+     << "\n    }" << (last ? "\n" : ",\n");
+}
+
+#if M3DFL_OBS_ENABLED
+/// Per-run hardware-counter fields ("ipc", "llc_misses_per_kinstr", ...)
+/// for the named counter scope — additive keys the bench_compare gate
+/// lists in a NOTE and never gates on. Empty when the run recorded no
+/// instructions (rusage rung, or counters disabled).
+std::string hw_json_fields(const char* scope_name) {
+  for (const auto& [name, totals] :
+       m3dfl::obs::prof::CounterRegistry::instance().snapshot()) {
+    if (name != scope_name || totals.instructions == 0) continue;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n      \"ipc\": %.3f"
+                  ",\n      \"llc_misses_per_kinstr\": %.3f"
+                  ",\n      \"branch_misses_per_kinstr\": %.3f",
+                  totals.ipc(), totals.llc_misses_per_kinstr(),
+                  totals.branch_misses_per_kinstr());
+    return buf;
+  }
+  return {};
+}
+#endif
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--profile out.folded] [--counters]\n", argv0);
+  return 2;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string profile_path;
+  bool want_counters = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--profile" && i + 1 < argc) {
+      profile_path = argv[++i];
+    } else if (arg == "--counters") {
+      want_counters = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+#if !M3DFL_OBS_ENABLED
+  if (!profile_path.empty() || want_counters) {
+    std::fputs("note: built with -DM3DFL_OBS=OFF; "
+               "--profile/--counters are inert\n", stderr);
+  }
+#endif
   std::puts("Serve throughput: sequential diagnosis vs concurrent serving");
   std::puts("(same failure logs, same trained framework; served results are");
   std::puts(" bit-identical to sequential — tests/serve_test.cpp asserts it)\n");
 
   obs::MetricsRegistry::instance().reset();
   obs::Tracer::instance().set_enabled(true);
+#if M3DFL_OBS_ENABLED
+  if (want_counters) {
+    obs::prof::CounterRegistry::instance().set_enabled(true);
+    const obs::prof::CounterAvailability& av =
+        obs::prof::counter_availability();
+    std::printf("counters: %s (%s)\n", obs::prof::counter_mode_name(av.mode),
+                av.detail.c_str());
+  }
+  if (!profile_path.empty()) {
+    std::string error;
+    if (!obs::prof::CpuProfiler::instance().start(obs::prof::ProfilerOptions{},
+                                                  &error)) {
+      std::fprintf(stderr, "cannot start profiler: %s\n", error.c_str());
+      return 1;
+    }
+  }
+#endif
 
   const eval::RunScale scale = bench::bench_scale();
   const bool fast = std::getenv("M3DFL_FAST") != nullptr;
@@ -103,6 +169,7 @@ int main() {
   Run seq;
   seq.name = "sequential";
   {
+    M3DFL_OBS_COUNTERS(ctrs, "bench.sequential");
     const auto t0 = Clock::now();
     for (int r = 0; r < repeat; ++r) {
       for (const eval::Sample& s : ds.samples) {
@@ -128,6 +195,10 @@ int main() {
     serve::DiagnosisService service(registry, opts);
     service.register_design(design);
 
+    // The served run's cycles burn on the executor workers, which the
+    // "serve.process" CounterScope inside the service already attributes;
+    // this scope only measures the submit/collect shell on the main thread.
+    M3DFL_OBS_COUNTERS(ctrs, "bench.served");
     const auto t0 = Clock::now();
     std::vector<std::future<serve::DiagnosisResponse>> futures;
     futures.reserve(ds.samples.size() * static_cast<std::size_t>(repeat));
@@ -167,6 +238,27 @@ int main() {
 
   obs::Tracer::instance().set_enabled(false);
 
+  std::string seq_extra, served_extra, hw_counters_json;
+#if M3DFL_OBS_ENABLED
+  if (!profile_path.empty()) {
+    auto& prof = obs::prof::CpuProfiler::instance();
+    prof.stop();
+    std::ofstream folded(profile_path);
+    prof.write_folded(folded);
+    std::printf("\nwrote %s (%llu samples, %llu dropped)\n",
+                profile_path.c_str(),
+                static_cast<unsigned long long>(prof.samples()),
+                static_cast<unsigned long long>(prof.dropped()));
+  }
+  if (want_counters) {
+    seq_extra = hw_json_fields("bench.sequential");
+    // The served run's work happens on the executor workers under the
+    // service's own "serve.process" scope — that is the row's IPC.
+    served_extra = hw_json_fields("serve.process");
+    hw_counters_json = obs::prof::CounterRegistry::instance().to_json();
+  }
+#endif
+
   std::ofstream os("BENCH_serve_throughput.json");
   os << "{\n  \"context\": {\n"
      << "    \"executable\": \"bench_serve_throughput\",\n"
@@ -174,10 +266,15 @@ int main() {
      << "    \"num_logs\": " << num_logs << ",\n"
      << "    \"repeat\": " << repeat << "\n  },\n"
      << "  \"benchmarks\": [\n";
-  json_run(os, seq, false);
-  json_run(os, served, true);
-  os << "  ],\n"
-     << "  \"service_metrics\": " << service_metrics_json << ",\n"
+  json_run(os, seq, seq_extra, false);
+  json_run(os, served, served_extra, true);
+  os << "  ],\n";
+  // Additive when --counters is on: the committed baseline predates this
+  // key, and bench_compare's additive-key rule keeps it non-gating.
+  if (!hw_counters_json.empty()) {
+    os << "  \"hw_counters\": " << hw_counters_json << ",\n";
+  }
+  os << "  \"service_metrics\": " << service_metrics_json << ",\n"
      << "  \"stage_metrics\": " << obs::MetricsRegistry::instance().to_json()
      << "\n}\n";
   std::puts("\nwrote BENCH_serve_throughput.json");

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/prof/profiler.h"
 #include "obs/trace.h"
 
 namespace m3dfl {
@@ -73,6 +74,12 @@ Executor::Stats Executor::stats() const {
 }
 
 void Executor::worker_loop() {
+  // Register with the sampling profiler for the worker's lifetime: pool
+  // threads are where the pipeline burns its cycles, so they must be
+  // sampleable whenever a profile window opens (CLI --profile or
+  // /profilez). Unregisters — and disarms any active timer — on exit,
+  // before the thread's CPU clock dies with it.
+  M3DFL_PROF_THREAD(prof_registration);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });

@@ -9,6 +9,7 @@
 
 #include "common/executor.h"
 #include "obs/metrics.h"
+#include "obs/prof/counters.h"
 #include "obs/trace.h"
 #include "sim/bitpar/bitpar_sim.h"
 #include "sim/sim_pool.h"
@@ -88,6 +89,7 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
                                  FaultDictionaryOptions options)
     : nl_(&nl), sites_(&sites), options_(options) {
   M3DFL_OBS_SPAN(build_span, "dictionary.build");
+  M3DFL_OBS_COUNTERS(build_ctrs, "dictionary.build");
   const std::size_t W = fsim.num_words();
   const std::size_t num_sites = sites.size();
 
@@ -125,6 +127,7 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
                          std::span<const netlist::SiteId> site_list,
                          std::vector<Entry>& out) {
     M3DFL_OBS_SPAN(shard_span, "dictionary.shard");
+    M3DFL_OBS_COUNTERS(shard_ctrs, "dictionary.shard");
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<sim::Word> diff;
     std::vector<std::uint32_t> touched;
@@ -172,6 +175,7 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& nl,
                             std::span<const netlist::SiteId> site_list,
                             std::vector<Entry>& out) {
     M3DFL_OBS_SPAN(shard_span, "dictionary.shard");
+    M3DFL_OBS_COUNTERS(shard_ctrs, "dictionary.shard");
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<sim::InjectedFault> jobs;
     jobs.reserve(site_list.size() * 2);

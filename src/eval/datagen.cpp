@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "compress/compactor.h"
 #include "obs/metrics.h"
+#include "obs/prof/counters.h"
 #include "obs/trace.h"
 #include "sim/bitpar/bitpar_sim.h"
 #include "sim/sim_pool.h"
@@ -163,6 +164,7 @@ Dataset generate_dataset(const Design& design, const DatagenOptions& opts) {
   auto run_range = [&](sim::FaultSimulator& fsim, std::size_t lo,
                        std::size_t hi) {
     M3DFL_OBS_SPAN(shard_span, "datagen.shard");
+    M3DFL_OBS_COUNTERS(shard_ctrs, "datagen.shard");
     std::vector<sim::Word> diff;
     for (std::size_t i = lo; i < hi; ++i) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -203,6 +205,7 @@ Dataset generate_dataset(const Design& design, const DatagenOptions& opts) {
   auto run_range_bp = [&](sim::bitpar::BitParallelSimulator::Workspace& ws,
                           std::size_t lo, std::size_t hi) {
     M3DFL_OBS_SPAN(shard_span, "datagen.shard");
+    M3DFL_OBS_COUNTERS(shard_ctrs, "datagen.shard");
     sim::bitpar::BitParallelSimulator::BatchResult res;
     std::vector<sim::Word> diff;
     struct Active {

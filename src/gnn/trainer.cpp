@@ -9,6 +9,7 @@
 
 #include "common/executor.h"
 #include "obs/metrics.h"
+#include "obs/prof/counters.h"
 #include "obs/trace.h"
 
 namespace m3dfl::gnn {
@@ -89,6 +90,7 @@ TrainStats train_graph_classifier(GraphClassifier& model,
 
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
     M3DFL_OBS_SPAN(epoch_span, "train.epoch");
+    M3DFL_OBS_COUNTERS(epoch_ctrs, "train.epoch");
     const auto epoch_t0 = std::chrono::steady_clock::now();
     double merge_seconds = 0.0;
     rng.shuffle(order);
@@ -153,6 +155,7 @@ TrainStats train_node_scorer(NodeScorer& model,
 
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
     M3DFL_OBS_SPAN(epoch_span, "train.epoch");
+    M3DFL_OBS_COUNTERS(epoch_ctrs, "train.epoch");
     const auto epoch_t0 = std::chrono::steady_clock::now();
     rng.shuffle(order);
     double epoch_loss = 0.0;

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -24,6 +25,8 @@ const char* status_reason(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
     default: return "OK";
   }
@@ -58,6 +61,20 @@ std::string render_response(const HttpResponse& r, bool head_only,
   return out;
 }
 
+/// Admin threads are infrastructure, not workload: the sampling profiler
+/// (src/obs/prof/) targets registered threads via per-thread timers, but a
+/// handler could still inherit SIGPROF from a pre-existing process-wide
+/// interval timer. Masking here keeps admin threads out of profiles and
+/// keeps blocking poll/recv calls from taking profiling interruptions.
+void block_sigprof_on_this_thread() {
+#if !defined(_WIN32)
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGPROF);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+#endif
+}
+
 void set_io_timeout(int fd, int timeout_ms) {
   timeval tv{};
   tv.tv_sec = timeout_ms / 1000;
@@ -72,6 +89,10 @@ AdminHttpServer::~AdminHttpServer() { stop(); }
 
 void AdminHttpServer::handle(std::string path, Handler handler) {
   routes_[std::move(path)] = std::move(handler);
+}
+
+void AdminHttpServer::handle_query(std::string path, QueryHandler handler) {
+  query_routes_[std::move(path)] = std::move(handler);
 }
 
 bool AdminHttpServer::start(const Options& opts, std::string* error) {
@@ -143,6 +164,7 @@ void AdminHttpServer::stop() {
 }
 
 void AdminHttpServer::accept_loop() {
+  block_sigprof_on_this_thread();
   // poll() with a short timeout instead of a blocking accept(): stop() only
   // has to set the flag, never races a close() against a blocked accept.
   while (!stop_.load(std::memory_order_acquire)) {
@@ -175,6 +197,7 @@ void AdminHttpServer::accept_loop() {
 }
 
 void AdminHttpServer::handler_loop() {
+  block_sigprof_on_this_thread();
   for (;;) {
     int fd = -1;
     {
@@ -240,8 +263,11 @@ void AdminHttpServer::serve_connection(int fd) {
   const std::size_t query = target.find('?');
   const std::string path =
       query == std::string::npos ? target : target.substr(0, query);
+  const std::string query_string =
+      query == std::string::npos ? std::string() : target.substr(query + 1);
   const auto it = routes_.find(path);
-  if (it == routes_.end()) {
+  const auto qit = query_routes_.find(path);
+  if (it == routes_.end() && qit == query_routes_.end()) {
     HttpResponse r;
     r.status = 404;
     r.body = "no such endpoint: " + path + "\n";
@@ -249,7 +275,8 @@ void AdminHttpServer::serve_connection(int fd) {
     return;
   }
   const auto t0 = std::chrono::steady_clock::now();
-  HttpResponse r = it->second();
+  HttpResponse r =
+      it != routes_.end() ? it->second() : qit->second(query_string);
   handler_seconds.record(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count());

@@ -42,6 +42,9 @@ class AdminHttpServer {
   /// Handlers run on a pool thread per request and must be thread-safe
   /// (the built-in endpoints only read snapshots).
   using Handler = std::function<HttpResponse()>;
+  /// Query-aware variant: receives the raw query string (text after '?',
+  /// empty if none) — /profilez?seconds=3 parses its own parameters.
+  using QueryHandler = std::function<HttpResponse(const std::string&)>;
 
   struct Options {
     std::string bind_address = "127.0.0.1";
@@ -60,6 +63,10 @@ class AdminHttpServer {
   /// Registers a GET/HEAD route (exact path match, query string ignored).
   /// Call before start().
   void handle(std::string path, Handler handler);
+
+  /// Registers a query-aware route (exact path match, query string passed
+  /// through). Call before start().
+  void handle_query(std::string path, QueryHandler handler);
 
   /// Binds, listens, and spins up the accept thread + handler pool.
   /// Returns false (and fills *error) on socket failures. Idempotent-safe:
@@ -86,6 +93,7 @@ class AdminHttpServer {
 
   Options opts_;
   std::map<std::string, Handler> routes_;
+  std::map<std::string, QueryHandler> query_routes_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_{0};

@@ -5,6 +5,10 @@
 
 #if !defined(_WIN32)
 #include <sys/resource.h>
+
+#if !defined(_WIN32)
+#include <dirent.h>
+#endif
 #endif
 #include <cstdio>
 #include <cstdlib>
@@ -313,6 +317,37 @@ bool parse_sample_line(const std::string& line, SampleLine* out) {
   return end != nullptr && *end == '\0';
 }
 
+/// Escape-sequence validation over the raw label text of a sample line:
+/// within quoted label values only \\, \" and \n are legal escapes (the
+/// three prometheus_escape_label produces). parse_sample_line skips
+/// escaped characters blindly, so this is where `a\qb` gets caught.
+std::vector<std::string> label_escape_errors(const std::string& labels) {
+  std::vector<std::string> errors;
+  bool in_string = false;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const char c = labels[i];
+    if (!in_string) {
+      if (c == '"') in_string = true;
+      continue;
+    }
+    if (c == '"') {
+      in_string = false;
+    } else if (c == '\\') {
+      if (i + 1 >= labels.size()) {
+        errors.push_back("label value ends mid-escape");
+        break;
+      }
+      const char next = labels[i + 1];
+      if (next != '\\' && next != '"' && next != 'n') {
+        errors.push_back(std::string("invalid label escape '\\") + next +
+                         "'");
+      }
+      ++i;
+    }
+  }
+  return errors;
+}
+
 /// The histogram base name of a sample ("x_bucket" -> "x"), or the metric
 /// itself for _sum/_count.
 std::string strip_suffix(const std::string& metric, const char* suffix) {
@@ -373,6 +408,9 @@ std::vector<std::string> prometheus_lint(const std::string& exposition) {
     if (!parse_sample_line(line, &s)) {
       err("unparsable sample line '" + line + "'");
       continue;
+    }
+    for (const std::string& e : label_escape_errors(s.labels)) {
+      err(s.metric + ": " + e);
     }
     // Resolve the declared family: the metric itself (counter/gauge) or
     // its histogram base via the _bucket/_sum/_count suffix.
@@ -459,6 +497,72 @@ std::size_t peak_rss_bytes() {
   return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
 #endif
 #endif
+}
+
+namespace {
+
+std::uint64_t count_open_fds() {
+#if defined(_WIN32)
+  return 0;
+#else
+#if defined(__APPLE__)
+  const char* fd_dir = "/dev/fd";
+#else
+  const char* fd_dir = "/proc/self/fd";
+#endif
+  DIR* dir = opendir(fd_dir);
+  if (dir == nullptr) return 0;
+  std::uint64_t n = 0;
+  while (const dirent* e = readdir(dir)) {
+    if (e->d_name[0] == '.') continue;
+    ++n;
+  }
+  closedir(dir);
+  // The directory stream itself holds one fd; report the caller's view.
+  return n > 0 ? n - 1 : 0;
+#endif
+}
+
+}  // namespace
+
+ProcessStats process_stats() {
+  ProcessStats ps;
+#if !defined(_WIN32)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    ps.user_cpu_seconds = static_cast<double>(ru.ru_utime.tv_sec) +
+                          static_cast<double>(ru.ru_utime.tv_usec) / 1e6;
+    ps.sys_cpu_seconds = static_cast<double>(ru.ru_stime.tv_sec) +
+                         static_cast<double>(ru.ru_stime.tv_usec) / 1e6;
+    ps.voluntary_ctx_switches = static_cast<std::uint64_t>(ru.ru_nvcsw);
+    ps.involuntary_ctx_switches = static_cast<std::uint64_t>(ru.ru_nivcsw);
+  }
+#endif
+  ps.open_fds = count_open_fds();
+  ps.peak_rss_bytes = peak_rss_bytes();
+  return ps;
+}
+
+void publish_process_metrics() {
+  // Resolve-once refs: scrape handlers call this on every render.
+  static Gauge& user = MetricsRegistry::instance().gauge(
+      "process.user_cpu_seconds");
+  static Gauge& sys = MetricsRegistry::instance().gauge(
+      "process.sys_cpu_seconds");
+  static Gauge& nvcsw = MetricsRegistry::instance().gauge(
+      "process.voluntary_ctx_switches");
+  static Gauge& nivcsw = MetricsRegistry::instance().gauge(
+      "process.involuntary_ctx_switches");
+  static Gauge& fds = MetricsRegistry::instance().gauge("process.open_fds");
+  static Gauge& rss = MetricsRegistry::instance().gauge(
+      "process.peak_rss_bytes");
+  const ProcessStats ps = process_stats();
+  user.set(ps.user_cpu_seconds);
+  sys.set(ps.sys_cpu_seconds);
+  nvcsw.set(static_cast<double>(ps.voluntary_ctx_switches));
+  nivcsw.set(static_cast<double>(ps.involuntary_ctx_switches));
+  fds.set(static_cast<double>(ps.open_fds));
+  rss.set(static_cast<double>(ps.peak_rss_bytes));
 }
 
 }  // namespace m3dfl::obs

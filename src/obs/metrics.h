@@ -134,6 +134,26 @@ std::string prometheus_escape_label(const std::string& value);
 /// out-of-core dictionary's memory claim is checkable from metrics.
 std::size_t peak_rss_bytes();
 
+/// Point-in-time process resource usage (getrusage + /proc/self/fd).
+struct ProcessStats {
+  double user_cpu_seconds = 0.0;
+  double sys_cpu_seconds = 0.0;
+  std::uint64_t voluntary_ctx_switches = 0;
+  std::uint64_t involuntary_ctx_switches = 0;
+  /// Open file descriptors right now (0 where /proc is unavailable). The
+  /// descriptor used to do the counting is excluded.
+  std::uint64_t open_fds = 0;
+  std::size_t peak_rss_bytes = 0;
+};
+ProcessStats process_stats();
+
+/// Publishes process_stats() as `process.*` gauges (user_cpu_seconds,
+/// sys_cpu_seconds, voluntary_ctx_switches, involuntary_ctx_switches,
+/// open_fds, peak_rss_bytes). Scrape handlers call this before rendering so
+/// /metrics and /metrics.json always carry fresh values; gauges are
+/// last-write-wins, so refreshing is idempotent.
+void publish_process_metrics();
+
 /// Structural conformance lint of an exposition page: every sample needs a
 /// preceding # TYPE (with a # HELP), TYPE values must be known, histogram
 /// bucket series must be cumulative/monotone and end in le="+Inf" matching

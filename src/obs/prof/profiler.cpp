@@ -1,0 +1,621 @@
+#include "obs/prof/profiler.h"
+
+#if M3DFL_OBS_ENABLED
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#if defined(__linux__)
+#define M3DFL_PROF_SUPPORTED 1
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+#else
+#define M3DFL_PROF_SUPPORTED 0
+#endif
+
+#include "obs/trace.h"
+
+// The SIGPROF handler and the frame-pointer walk read raw stack memory
+// through computed pointers. The loads are bounds-checked against the
+// thread's real stack extent, but sanitizers cannot see that, so keep
+// their instrumentation out of the signal path.
+#if defined(__clang__)
+#define M3DFL_PROF_NO_SANITIZE \
+  __attribute__((no_sanitize("address", "thread", "undefined")))
+#elif defined(__GNUC__)
+#define M3DFL_PROF_NO_SANITIZE \
+  __attribute__((no_sanitize_address)) __attribute__((no_sanitize_undefined))
+#else
+#define M3DFL_PROF_NO_SANITIZE
+#endif
+
+namespace m3dfl::obs::prof {
+
+#if M3DFL_PROF_SUPPORTED
+
+// glibc spells the SIGEV_THREAD_ID field through a union; older headers
+// do not provide the POSIX-next convenience name.
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+namespace {
+
+/// One sample slot, seqlock-protected exactly like Tracer's span slots:
+/// writer flips seq odd, release fence, relaxed payload stores, seq even
+/// (release); readers skip odd/changed sequences. The writer here runs in
+/// signal context, which is fine — every store is a relaxed atomic.
+struct SampleSlot {
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<std::uint32_t> nframes{0};
+  std::atomic<std::uint64_t> ts_ns{0};
+  std::array<std::atomic<std::uint64_t>, CpuProfiler::kMaxFrames> pcs{};
+};
+
+struct Ring {
+  std::array<SampleSlot, CpuProfiler::kRingCapacity> slots;
+  std::atomic<std::uint64_t> head{0};  ///< Total samples ever written.
+  std::uint32_t tid = 0;               ///< Profiler-assigned thread id.
+};
+
+/// Samples that arrived with no ring to land in (signal raced thread
+/// registration/teardown).
+std::atomic<std::uint64_t> g_unplaced{0};
+
+/// Global recording gate the handler checks; flipping it off is how stop()
+/// quiesces writers without having to synchronize with in-flight signals.
+std::atomic<bool> g_sampling{false};
+
+}  // namespace
+
+struct CpuProfiler::ThreadState {
+  std::atomic<Ring*> ring{nullptr};
+  std::unique_ptr<Ring> owned;
+  pthread_t pthread{};
+  pid_t os_tid = 0;
+  std::uintptr_t stack_lo = 0;
+  std::uintptr_t stack_hi = 0;
+  timer_t timer{};
+  bool timer_armed = false;
+  bool alive = true;  ///< Thread still running (its CPU clock is valid).
+};
+
+namespace {
+
+/// Handler-visible pointer to the calling thread's state. initial-exec TLS
+/// so the access in signal context is a direct %fs load, never lazy
+/// allocation.
+__attribute__((tls_model("initial-exec"))) thread_local
+    CpuProfiler::ThreadState* tls_state = nullptr;
+
+struct ProfilerGlobals {
+  std::mutex mu;
+  std::vector<std::unique_ptr<CpuProfiler::ThreadState>> threads;
+  std::vector<std::unique_ptr<Ring>> free_rings;
+  std::uint32_t next_tid = 1;
+  bool running = false;
+  int hz = 0;
+  bool sigaction_installed = false;
+  // Symbolization cache: PC -> display name. Grows only in collect().
+  std::mutex sym_mu;
+  std::map<std::uint64_t, std::string> sym_cache;
+};
+
+ProfilerGlobals& globals() {
+  static ProfilerGlobals* g = new ProfilerGlobals();  // Never destroyed:
+  return *g;  // signal handlers and late-exiting threads may outlive main.
+}
+
+/// Frame-pointer walk from an interrupted context. pcs[0] is the exact
+/// interrupted PC; subsequent entries are return addresses. Every frame
+/// pointer is validated (alignment, strictly increasing, within the
+/// thread's stack) before dereferencing, so a build without frame pointers
+/// in some object just yields a short stack instead of a fault.
+M3DFL_PROF_NO_SANITIZE
+std::uint32_t capture_stack(void* ucv, std::uintptr_t stack_lo,
+                            std::uintptr_t stack_hi, std::uint64_t* pcs,
+                            std::uint32_t max_frames) {
+#if defined(__x86_64__)
+  const ucontext_t* uc = static_cast<const ucontext_t*>(ucv);
+  std::uintptr_t pc =
+      static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  std::uintptr_t fp =
+      static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+  std::uintptr_t sp =
+      static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RSP]);
+#elif defined(__aarch64__)
+  const ucontext_t* uc = static_cast<const ucontext_t*>(ucv);
+  std::uintptr_t pc = static_cast<std::uintptr_t>(uc->uc_mcontext.pc);
+  std::uintptr_t fp = static_cast<std::uintptr_t>(uc->uc_mcontext.regs[29]);
+  std::uintptr_t sp = static_cast<std::uintptr_t>(uc->uc_mcontext.sp);
+#else
+  (void)ucv;
+  (void)stack_lo;
+  (void)stack_hi;
+  (void)pcs;
+  (void)max_frames;
+  return 0;
+#endif
+#if defined(__x86_64__) || defined(__aarch64__)
+  if (stack_hi == 0) return 0;  // Unknown stack extent: do not walk.
+  std::uint32_t n = 0;
+  pcs[n++] = static_cast<std::uint64_t>(pc);
+  // The frame chain must stay inside [max(sp, stack_lo), stack_hi) and
+  // strictly grow toward the stack base; a saved-fp slot needs fp+16 <=
+  // stack_hi readable.
+  std::uintptr_t lo = sp > stack_lo ? sp : stack_lo;
+  while (n < max_frames) {
+    if (fp < lo || fp + 2 * sizeof(void*) > stack_hi || (fp & 0x7) != 0) {
+      break;
+    }
+    const std::uintptr_t next_fp = *reinterpret_cast<std::uintptr_t*>(fp);
+    const std::uintptr_t ret =
+        *reinterpret_cast<std::uintptr_t*>(fp + sizeof(void*));
+    if (ret < 0x1000) break;  // Not a code address.
+    pcs[n++] = static_cast<std::uint64_t>(ret);
+    if (next_fp <= fp) break;  // Chain must be monotonic.
+    lo = fp + 2 * sizeof(void*);
+    fp = next_fp;
+  }
+  return n;
+#endif
+}
+
+M3DFL_PROF_NO_SANITIZE
+void sigprof_handler(int, siginfo_t*, void* ucv) {
+  const int saved_errno = errno;
+  CpuProfiler::ThreadState* ts = tls_state;
+  if (ts == nullptr) {
+    g_unplaced.fetch_add(1, std::memory_order_relaxed);
+    errno = saved_errno;
+    return;
+  }
+  Ring* ring = ts->ring.load(std::memory_order_relaxed);
+  if (ring == nullptr || !g_sampling.load(std::memory_order_relaxed)) {
+    errno = saved_errno;
+    return;
+  }
+  std::uint64_t pcs[CpuProfiler::kMaxFrames];
+  const std::uint32_t n = capture_stack(ucv, ts->stack_lo, ts->stack_hi, pcs,
+                                        CpuProfiler::kMaxFrames);
+  if (n == 0) {
+    errno = saved_errno;
+    return;
+  }
+  const std::uint64_t h = ring->head.load(std::memory_order_relaxed);
+  SampleSlot& s = ring->slots[h & (CpuProfiler::kRingCapacity - 1)];
+  const std::uint32_t sq = s.seq.load(std::memory_order_relaxed);
+  s.seq.store(sq + 1, std::memory_order_relaxed);  // Odd: write in progress.
+  std::atomic_thread_fence(std::memory_order_release);
+  s.ts_ns.store(Tracer::now_ns(), std::memory_order_relaxed);
+  s.nframes.store(n, std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    s.pcs[i].store(pcs[i], std::memory_order_relaxed);
+  }
+  s.seq.store(sq + 2, std::memory_order_release);  // Even: committed.
+  ring->head.store(h + 1, std::memory_order_release);
+  errno = saved_errno;
+}
+
+void reset_ring(Ring* ring) {
+  for (SampleSlot& s : ring->slots) {
+    s.seq.store(0, std::memory_order_relaxed);
+    s.nframes.store(0, std::memory_order_relaxed);
+  }
+  ring->head.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+CpuProfiler& CpuProfiler::instance() {
+  static CpuProfiler prof;
+  return prof;
+}
+
+void CpuProfiler::register_current_thread() {
+  if (tls_state != nullptr) return;
+  auto ts = std::make_unique<ThreadState>();
+  ts->pthread = pthread_self();
+  ts->os_tid = static_cast<pid_t>(::syscall(SYS_gettid));
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* addr = nullptr;
+    std::size_t size = 0;
+    if (pthread_attr_getstack(&attr, &addr, &size) == 0) {
+      ts->stack_lo = reinterpret_cast<std::uintptr_t>(addr);
+      ts->stack_hi = ts->stack_lo + size;
+    }
+    pthread_attr_destroy(&attr);
+  }
+  ProfilerGlobals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  ThreadState* raw = ts.get();
+  g.threads.push_back(std::move(ts));
+  if (g.running) arm_locked(raw, nullptr);
+  // Publish to the handler only after the state is fully built.
+  tls_state = raw;
+}
+
+void CpuProfiler::unregister_current_thread() {
+  ThreadState* ts = tls_state;
+  if (ts == nullptr) return;
+  tls_state = nullptr;  // Handler sees null from here on (counts unplaced).
+  ProfilerGlobals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  disarm_locked(ts);
+  ts->alive = false;  // Ring and samples stay readable until next start().
+}
+
+bool CpuProfiler::arm_locked(ThreadState* ts, std::string* error) {
+  ProfilerGlobals& g = globals();
+  if (ts->owned == nullptr) {
+    if (!g.free_rings.empty()) {
+      ts->owned = std::move(g.free_rings.back());
+      g.free_rings.pop_back();
+      reset_ring(ts->owned.get());
+    } else {
+      ts->owned = std::make_unique<Ring>();
+    }
+    ts->owned->tid = g.next_tid++;
+    ts->ring.store(ts->owned.get(), std::memory_order_release);
+  }
+  clockid_t clock;
+  if (pthread_getcpuclockid(ts->pthread, &clock) != 0) {
+    if (error != nullptr) *error = "pthread_getcpuclockid failed";
+    return false;
+  }
+  sigevent sev{};
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGPROF;
+  sev.sigev_notify_thread_id = ts->os_tid;
+  if (timer_create(clock, &sev, &ts->timer) != 0) {
+    if (error != nullptr) {
+      *error = std::string("timer_create: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  const long interval_ns = 1000000000L / g.hz;
+  itimerspec its{};
+  its.it_interval.tv_sec = interval_ns / 1000000000L;
+  its.it_interval.tv_nsec = interval_ns % 1000000000L;
+  its.it_value = its.it_interval;
+  if (timer_settime(ts->timer, 0, &its, nullptr) != 0) {
+    if (error != nullptr) {
+      *error = std::string("timer_settime: ") + std::strerror(errno);
+    }
+    timer_delete(ts->timer);
+    return false;
+  }
+  ts->timer_armed = true;
+  return true;
+}
+
+void CpuProfiler::disarm_locked(ThreadState* ts) {
+  if (!ts->timer_armed) return;
+  timer_delete(ts->timer);
+  ts->timer_armed = false;
+}
+
+bool CpuProfiler::start(const ProfilerOptions& opts, std::string* error) {
+  // Make sure the caller is sampleable, and prime the trace epoch (and the
+  // magic statics behind it) outside signal context.
+  Tracer::now_ns();
+  register_current_thread();
+  ProfilerGlobals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (g.running) {
+    if (error != nullptr) *error = "profiler already running";
+    return false;
+  }
+  if (!g.sigaction_installed) {
+    struct sigaction sa{};
+    sa.sa_sigaction = sigprof_handler;
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGPROF, &sa, nullptr) != 0) {
+      if (error != nullptr) {
+        *error = std::string("sigaction(SIGPROF): ") + std::strerror(errno);
+      }
+      return false;
+    }
+    g.sigaction_installed = true;
+  }
+  // Reclaim rings from threads that exited since the last run; their old
+  // samples are discarded (a new run starts clean anyway).
+  for (auto it = g.threads.begin(); it != g.threads.end();) {
+    if (!(*it)->alive) {
+      if ((*it)->owned != nullptr) {
+        g.free_rings.push_back(std::move((*it)->owned));
+      }
+      it = g.threads.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  g.hz = std::clamp(opts.sample_hz, 1, 1000);
+  g_unplaced.store(0, std::memory_order_relaxed);
+  std::size_t armed = 0;
+  for (const auto& ts : g.threads) {
+    if (ts->owned != nullptr) reset_ring(ts->owned.get());
+    if (arm_locked(ts.get(), error)) ++armed;
+  }
+  if (armed == 0) {
+    if (error != nullptr && error->empty()) {
+      *error = "no threads could be armed for sampling";
+    }
+    return false;
+  }
+  g.running = true;
+  g_sampling.store(true, std::memory_order_release);
+  return true;
+}
+
+void CpuProfiler::stop() {
+  ProfilerGlobals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (!g.running) return;
+  g_sampling.store(false, std::memory_order_release);
+  for (const auto& ts : g.threads) disarm_locked(ts.get());
+  g.running = false;
+}
+
+bool CpuProfiler::running() const {
+  ProfilerGlobals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.running;
+}
+
+int CpuProfiler::sample_hz() const {
+  ProfilerGlobals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.hz;
+}
+
+std::uint64_t CpuProfiler::samples() const {
+  ProfilerGlobals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  std::uint64_t total = 0;
+  for (const auto& ts : g.threads) {
+    if (ts->owned == nullptr) continue;
+    const std::uint64_t head =
+        ts->owned->head.load(std::memory_order_relaxed);
+    total += std::min<std::uint64_t>(head, kRingCapacity);
+  }
+  return total;
+}
+
+std::uint64_t CpuProfiler::dropped() const {
+  ProfilerGlobals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  std::uint64_t total = g_unplaced.load(std::memory_order_relaxed);
+  for (const auto& ts : g.threads) {
+    if (ts->owned == nullptr) continue;
+    const std::uint64_t head =
+        ts->owned->head.load(std::memory_order_relaxed);
+    if (head > kRingCapacity) total += head - kRingCapacity;
+  }
+  return total;
+}
+
+std::string symbolize_pc(std::uint64_t pc) {
+  Dl_info info{};
+  if (dladdr(reinterpret_cast<void*>(static_cast<std::uintptr_t>(pc)),
+             &info) != 0 &&
+      info.dli_sname != nullptr) {
+    std::string name;
+    int status = -1;
+    char* dem = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && dem != nullptr) {
+      name = dem;
+    } else {
+      name = info.dli_sname;
+    }
+    std::free(dem);
+    // Trim the parameter list for readable flamegraphs — but never the
+    // parens of operator(), whose name would otherwise vanish.
+    const std::size_t paren = name.find('(');
+    if (paren != std::string::npos && paren > 0 &&
+        !(paren >= 8 && name.compare(paren - 8, 8, "operator") == 0)) {
+      name.erase(paren);
+    }
+    // Folded-format delimiters must not appear inside a frame name.
+    for (char& c : name) {
+      if (c == ';') c = ':';
+      if (c == ' ' || c == '\n' || c == '\t') c = '_';
+    }
+    if (name.size() > 200) name.resize(200);
+    if (!name.empty()) return name;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(pc));
+  return buf;
+}
+
+namespace {
+
+struct RawSample {
+  std::uint64_t ts_ns = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t nframes = 0;
+  std::array<std::uint64_t, CpuProfiler::kMaxFrames> pcs{};
+};
+
+std::vector<RawSample> snapshot_samples() {
+  ProfilerGlobals& g = globals();
+  std::vector<Ring*> rings;
+  {
+    std::lock_guard<std::mutex> lock(g.mu);
+    for (const auto& ts : g.threads) {
+      if (ts->owned != nullptr) rings.push_back(ts->owned.get());
+    }
+  }
+  std::vector<RawSample> out;
+  for (Ring* ring : rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t count =
+        std::min<std::uint64_t>(head, CpuProfiler::kRingCapacity);
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      const SampleSlot& s =
+          ring->slots[i & (CpuProfiler::kRingCapacity - 1)];
+      const std::uint32_t sq1 = s.seq.load(std::memory_order_acquire);
+      if (sq1 & 1) continue;  // Writer mid-update.
+      RawSample r;
+      r.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+      r.nframes = std::min<std::uint32_t>(
+          s.nframes.load(std::memory_order_relaxed), CpuProfiler::kMaxFrames);
+      for (std::uint32_t f = 0; f < r.nframes; ++f) {
+        r.pcs[f] = s.pcs[f].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != sq1) continue;  // Torn.
+      if (r.nframes == 0) continue;
+      r.tid = ring->tid;
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+/// Cached symbolization. Return addresses point *after* their call site, so
+/// every non-leaf frame resolves at pc-1 to land inside the calling
+/// function rather than whatever follows it.
+std::string frame_name(std::uint64_t pc, bool leaf) {
+  const std::uint64_t key = leaf ? pc : pc - 1;
+  ProfilerGlobals& g = globals();
+  std::lock_guard<std::mutex> lock(g.sym_mu);
+  auto it = g.sym_cache.find(key);
+  if (it != g.sym_cache.end()) return it->second;
+  std::string name = symbolize_pc(key);
+  g.sym_cache.emplace(key, name);
+  return name;
+}
+
+}  // namespace
+
+std::vector<FoldedStack> CpuProfiler::collect() const {
+  const std::vector<RawSample> samples = snapshot_samples();
+  std::map<std::string, std::uint64_t> folded;
+  std::string stack;
+  for (const RawSample& r : samples) {
+    stack.clear();
+    // Frames were captured leaf-first; folded format wants root-first.
+    for (std::uint32_t f = r.nframes; f > 0; --f) {
+      if (!stack.empty()) stack += ';';
+      stack += frame_name(r.pcs[f - 1], /*leaf=*/f == 1);
+    }
+    ++folded[stack];
+  }
+  std::vector<FoldedStack> out;
+  out.reserve(folded.size());
+  for (auto& [s, count] : folded) out.push_back({s, count});
+  std::sort(out.begin(), out.end(),
+            [](const FoldedStack& a, const FoldedStack& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.stack < b.stack;
+            });
+  return out;
+}
+
+void CpuProfiler::write_folded(std::ostream& os) const {
+  for (const FoldedStack& f : collect()) {
+    os << f.stack << ' ' << f.count << '\n';
+  }
+}
+
+std::string CpuProfiler::chrome_sample_sections() const {
+  const std::vector<RawSample> samples = snapshot_samples();
+  // Build the stackFrames tree: each (parent, name) pair gets one node.
+  std::map<std::pair<std::uint64_t, std::string>, std::uint64_t> nodes;
+  std::ostringstream frames_os;
+  std::ostringstream samples_os;
+  std::uint64_t next_id = 1;
+  bool first_frame = true;
+  bool first_sample = true;
+  for (const RawSample& r : samples) {
+    std::uint64_t parent = 0;
+    for (std::uint32_t f = r.nframes; f > 0; --f) {
+      const std::string name = frame_name(r.pcs[f - 1], /*leaf=*/f == 1);
+      const auto key = std::make_pair(parent, name);
+      auto it = nodes.find(key);
+      if (it == nodes.end()) {
+        const std::uint64_t id = next_id++;
+        it = nodes.emplace(key, id).first;
+        if (!first_frame) frames_os << ',';
+        first_frame = false;
+        frames_os << '"' << id << "\":{\"name\":\"" << name << '"';
+        if (parent != 0) frames_os << ",\"parent\":\"" << parent << '"';
+        frames_os << '}';
+      }
+      parent = it->second;
+    }
+    if (parent == 0) continue;
+    if (!first_sample) samples_os << ',';
+    first_sample = false;
+    char ts[40];
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(r.ts_ns) / 1e3);
+    samples_os << "{\"cpu\":0,\"name\":\"cpu_sample\",\"ts\":" << ts
+               << ",\"pid\":1,\"tid\":" << r.tid << ",\"weight\":1,\"sf\":\""
+               << parent << "\"}";
+  }
+  return "\"stackFrames\":{" + frames_os.str() + "},\"samples\":[" +
+         samples_os.str() + "]";
+}
+
+#else  // !M3DFL_PROF_SUPPORTED
+
+struct CpuProfiler::ThreadState {};
+
+CpuProfiler& CpuProfiler::instance() {
+  static CpuProfiler prof;
+  return prof;
+}
+void CpuProfiler::register_current_thread() {}
+void CpuProfiler::unregister_current_thread() {}
+bool CpuProfiler::arm_locked(ThreadState*, std::string*) { return false; }
+void CpuProfiler::disarm_locked(ThreadState*) {}
+bool CpuProfiler::start(const ProfilerOptions&, std::string* error) {
+  if (error != nullptr) {
+    *error = "sampling profiler requires Linux per-thread CPU timers";
+  }
+  return false;
+}
+void CpuProfiler::stop() {}
+bool CpuProfiler::running() const { return false; }
+int CpuProfiler::sample_hz() const { return 0; }
+std::uint64_t CpuProfiler::samples() const { return 0; }
+std::uint64_t CpuProfiler::dropped() const { return 0; }
+std::vector<FoldedStack> CpuProfiler::collect() const { return {}; }
+void CpuProfiler::write_folded(std::ostream&) const {}
+std::string CpuProfiler::chrome_sample_sections() const {
+  return "\"stackFrames\":{},\"samples\":[]";
+}
+std::string symbolize_pc(std::uint64_t pc) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(pc));
+  return buf;
+}
+
+#endif  // M3DFL_PROF_SUPPORTED
+
+}  // namespace m3dfl::obs::prof
+
+#endif  // M3DFL_OBS_ENABLED

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+// Sampling CPU profiler. Each registered thread gets a POSIX per-thread
+// CPU-time timer (timer_create on the thread's cpu clock, SIGEV_THREAD_ID
+// delivery) firing SIGPROF at the sampling rate; the handler captures a
+// frame-pointer backtrace from the interrupted context into a per-thread
+// seqlock-protected sample ring — the same drop-oldest ring idiom as
+// Tracer's span rings — using only async-signal-safe operations (relaxed
+// atomic stores, no locks, no allocation). Because the timers tick CPU
+// time, idle threads are never interrupted and sample counts are directly
+// proportional to cycles burned.
+//
+// Export is offline: collect() symbolizes program counters via dladdr
+// (works on the statically linked binary because the build exports dynamic
+// symbols under M3DFL_OBS) and folds identical stacks into collapsed-stack
+// lines ("root;caller;leaf count") — the input format of
+// flamegraph.pl / speedscope / inferno.
+//
+// With -DM3DFL_OBS=OFF this header only defines the no-op macro; the
+// implementation file compiles to nothing and no prof symbols exist in
+// the binary (CI asserts this with nm).
+#if M3DFL_OBS_ENABLED
+
+namespace m3dfl::obs::prof {
+
+struct ProfilerOptions {
+  /// Samples per second of *CPU time* per thread. 99 (not 100) so the
+  /// sampling beat does not alias with 10 ms scheduler ticks.
+  int sample_hz = 99;
+};
+
+/// One folded (collapsed) stack: frames root→leaf joined by ';'.
+struct FoldedStack {
+  std::string stack;
+  std::uint64_t count = 0;
+};
+
+class CpuProfiler {
+ public:
+  /// Deepest stack recorded per sample; frames beyond this are dropped
+  /// (leaf-most kept — the walk starts at the interrupted PC).
+  static constexpr std::size_t kMaxFrames = 32;
+  /// Per-thread sample ring capacity. Power of two. 4096 samples at 99 Hz
+  /// is ~41 s of saturated CPU per thread before drop-oldest kicks in.
+  static constexpr std::size_t kRingCapacity = 4096;
+
+  /// Opaque per-thread state; defined in profiler.cpp.
+  struct ThreadState;
+
+  static CpuProfiler& instance();
+
+  /// Arms per-thread timers on every registered thread (registering the
+  /// calling thread first) and starts recording. Fails if already running
+  /// or the platform lacks per-thread CPU timers. Clears previous samples.
+  bool start(const ProfilerOptions& opts = ProfilerOptions{},
+             std::string* error = nullptr);
+
+  /// Disarms all timers and stops recording. Samples remain readable.
+  void stop();
+
+  bool running() const;
+  int sample_hz() const;
+
+  /// Samples recorded since the last start(). Relaxed read; exact once
+  /// stopped.
+  std::uint64_t samples() const;
+  /// Samples lost: ring overflow (drop-oldest) plus signals that landed on
+  /// threads without a ring.
+  std::uint64_t dropped() const;
+
+  /// Symbolized, deduplicated stacks, heaviest first.
+  std::vector<FoldedStack> collect() const;
+
+  /// Collapsed-stack text: one "frame;frame;frame count" line per unique
+  /// stack. Empty output means no samples (e.g. the profiled window was
+  /// idle).
+  void write_folded(std::ostream& os) const;
+
+  /// Chrome trace-event extra sections (`"stackFrames":{...},"samples":
+  /// [...]`) for merging sampled stacks into Tracer::write_chrome_trace
+  /// output; Perfetto renders them alongside the spans.
+  std::string chrome_sample_sections() const;
+
+  /// Registers the calling thread for sampling (idempotent). Threads that
+  /// never register are simply not sampled. Prefer the ProfiledThread RAII
+  /// guard / M3DFL_PROF_THREAD macro.
+  void register_current_thread();
+  /// Disarms and unlinks the calling thread. Must be called before the
+  /// thread exits if register_current_thread was called on it (its CPU
+  /// clock dies with it).
+  void unregister_current_thread();
+
+ private:
+  CpuProfiler() = default;
+  bool arm_locked(ThreadState* ts, std::string* error);
+  void disarm_locked(ThreadState* ts);
+};
+
+/// RAII registration of the calling thread with the profiler — used by
+/// Executor worker threads so pool workers are always sampleable.
+class ProfiledThread {
+ public:
+  ProfiledThread() { CpuProfiler::instance().register_current_thread(); }
+  ~ProfiledThread() { CpuProfiler::instance().unregister_current_thread(); }
+  ProfiledThread(const ProfiledThread&) = delete;
+  ProfiledThread& operator=(const ProfiledThread&) = delete;
+};
+
+/// Symbol name for a program counter ("m3dfl::sim::FaultSimulator::run" or
+/// "0x40fe12" when unresolvable). Test hook; collect() caches these.
+std::string symbolize_pc(std::uint64_t pc);
+
+}  // namespace m3dfl::obs::prof
+
+#define M3DFL_PROF_THREAD(var) ::m3dfl::obs::prof::ProfiledThread var
+
+#else  // !M3DFL_OBS_ENABLED
+
+#define M3DFL_PROF_THREAD(var) ((void)0)
+
+#endif  // M3DFL_OBS_ENABLED

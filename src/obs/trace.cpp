@@ -181,7 +181,8 @@ void Tracer::clear() {
   }
 }
 
-void Tracer::write_chrome_trace(std::ostream& os) const {
+void Tracer::write_chrome_trace(std::ostream& os,
+                                const std::string& extra_sections) const {
   std::vector<SpanEvent> events = snapshot();
   std::sort(events.begin(), events.end(),
             [](const SpanEvent& a, const SpanEvent& b) {
@@ -204,7 +205,9 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
                   static_cast<double>(e.dur_ns) / 1e3);
     os << ",\"dur\":" << buf << ",\"args\":{\"depth\":" << e.depth << "}}";
   }
-  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  os << "\n],\"displayTimeUnit\":\"ms\"";
+  if (!extra_sections.empty()) os << ',' << extra_sections;
+  os << "}\n";
 }
 
 ObsSpan::ObsSpan(const char* name, const char* category)

@@ -78,7 +78,13 @@ class Tracer {
 
   /// Writes the snapshot as Chrome trace-event JSON ("X" complete events,
   /// microsecond timestamps) — loadable in chrome://tracing and Perfetto.
-  void write_chrome_trace(std::ostream& os) const;
+  /// `extra_sections`, when non-empty, is spliced verbatim as additional
+  /// top-level members (no surrounding braces/commas) — the profiler's
+  /// `"stackFrames":{...},"samples":[...]` ride along this way so sampled
+  /// stacks and spans land in one file.
+  void write_chrome_trace(std::ostream& os,
+                          const std::string& extra_sections =
+                              std::string()) const;
 
  private:
   friend struct TlsHolder;

@@ -7,7 +7,9 @@
 #include "diagnosis/diagnoser.h"
 #include "graphx/backtrace.h"
 #include "obs/exemplar.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prof/counters.h"
 #include "obs/trace.h"
 
 namespace m3dfl::serve {
@@ -111,6 +113,10 @@ std::future<DiagnosisResponse> DiagnosisService::submit(
     DiagnosisResponse r;
     r.error = "design not registered with the service";
     r.request_id = p.request_id;
+    // rid in the log line matches the response, the /tracez exemplar, and
+    // the client-side error — one identifier across all three surfaces.
+    M3DFL_LOG_WARN("serve", "rid=%llu rejected: design not registered",
+                   static_cast<unsigned long long>(p.request_id));
     metrics_.on_complete_split(0.0, 0.0, false);
     p.promise->set_value(std::move(r));
     {
@@ -160,6 +166,7 @@ void DiagnosisService::release_context(DesignState& state,
 
 void DiagnosisService::process(Pending& p) {
   M3DFL_OBS_SPAN(span, "serve.process");
+  M3DFL_OBS_COUNTERS(ctrs, "serve.process");
   using clock = std::chrono::steady_clock;
   // Worker pickup: the boundary between queue wait and service time. Queue
   // wait = batcher dwell + executor queue; service = everything below.
@@ -229,6 +236,11 @@ void DiagnosisService::process(Pending& p) {
       std::chrono::duration<double>(clock::now() - t_start).count();
   r.seconds = r.queue_seconds + r.service_seconds;
   metrics_.on_complete_split(r.queue_seconds, r.service_seconds, r.ok);
+  if (!r.ok) {
+    M3DFL_LOG_WARN("serve", "rid=%llu failed after %.1f ms: %s",
+                   static_cast<unsigned long long>(p.request_id),
+                   1e3 * r.seconds, r.error.c_str());
+  }
   {
     // Resolved once; record() is wait-free, so the global registry adds no
     // lock to the completion path.

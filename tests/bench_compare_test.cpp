@@ -1,0 +1,137 @@
+// The bench_compare gate's contract, driven through bench_compare_lib.h on
+// in-memory JSON. The load-bearing cases are the two directions of the
+// additive-key rule: a candidate file that grows keys the baseline has
+// never seen (benches gaining ipc / cache-miss fields) must pass with a
+// NOTE, while a genuine throughput regression must still fail even when
+// the same new keys are present.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "tools/bench_compare_lib.h"
+
+namespace {
+
+using benchcmp::BenchEntry;
+using benchcmp::CompareResult;
+
+std::string bench_json(const std::string& entries) {
+  return "{\"context\":{\"date\":\"x\"},\"benchmarks\":[" + entries + "]}";
+}
+
+std::map<std::string, BenchEntry> scan_or_die(const std::string& text) {
+  std::map<std::string, BenchEntry> out;
+  std::string error;
+  EXPECT_TRUE(benchcmp::scan_bench_json(text, &out, &error)) << error;
+  return out;
+}
+
+TEST(BenchCompareScan, ExtractsCountersAndKeys) {
+  const auto entries = scan_or_die(bench_json(
+      "{\"name\":\"BM_Serve\",\"real_time\":2.0,"
+      "\"items_per_second\":1000.0,\"ipc\":1.7,"
+      "\"hw_counters\":{\"cycles\":123,\"instructions\":456}}"));
+  ASSERT_EQ(entries.size(), 1u);
+  const BenchEntry& e = entries.at("BM_Serve");
+  EXPECT_EQ(e.counter, "items_per_second");
+  EXPECT_DOUBLE_EQ(e.throughput, 1000.0);
+  // Depth-1 keys only: the nested hw_counters object is one key, and its
+  // inner "cycles"/"instructions" must not leak into the key set.
+  const std::vector<std::string> want = {"name", "real_time",
+                                         "items_per_second", "ipc",
+                                         "hw_counters"};
+  EXPECT_EQ(e.keys, want);
+}
+
+TEST(BenchCompareScan, FailsClosedOnGarbage) {
+  std::map<std::string, BenchEntry> out;
+  std::string error;
+  EXPECT_FALSE(benchcmp::scan_bench_json("not json at all", &out, &error));
+  EXPECT_FALSE(benchcmp::scan_bench_json(
+      bench_json("{\"name\":\"BM_NoCounter\",\"iterations\":5}"), &out,
+      &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchCompare, AdditiveKeysInFreshDoNotGate) {
+  const auto baseline = scan_or_die(
+      bench_json("{\"name\":\"BM_Serve\",\"items_per_second\":1000.0}"));
+  // Same throughput, but the fresh run now embeds profiling fields.
+  const auto fresh = scan_or_die(bench_json(
+      "{\"name\":\"BM_Serve\",\"items_per_second\":1010.0,\"ipc\":1.7,"
+      "\"llc_misses_per_kinstr\":0.4,\"hw_counters\":{\"cycles\":1}}"));
+  const CompareResult r = benchcmp::compare(baseline, fresh, 25.0);
+  EXPECT_FALSE(r.regressed) << r.report;
+  EXPECT_NE(r.report.find("OK"), std::string::npos);
+  EXPECT_NE(r.report.find("new keys ignored (not gated): "
+                          "ipc, llc_misses_per_kinstr, hw_counters"),
+            std::string::npos)
+      << r.report;
+}
+
+TEST(BenchCompare, KeysAbsentFromFreshDoNotGate) {
+  // The reverse direction: baseline recorded on a machine with working
+  // perf counters, fresh run in a container without them drops the fields.
+  const auto baseline = scan_or_die(bench_json(
+      "{\"name\":\"BM_Serve\",\"items_per_second\":1000.0,\"ipc\":1.7}"));
+  const auto fresh = scan_or_die(
+      bench_json("{\"name\":\"BM_Serve\",\"items_per_second\":990.0}"));
+  const CompareResult r = benchcmp::compare(baseline, fresh, 25.0);
+  EXPECT_FALSE(r.regressed) << r.report;
+  EXPECT_NE(r.report.find("keys absent from fresh (not gated): ipc"),
+            std::string::npos)
+      << r.report;
+}
+
+TEST(BenchCompare, RealRegressionStillFailsDespiteNewKeys) {
+  const auto baseline = scan_or_die(
+      bench_json("{\"name\":\"BM_Serve\",\"items_per_second\":1000.0}"));
+  const auto fresh = scan_or_die(bench_json(
+      "{\"name\":\"BM_Serve\",\"items_per_second\":500.0,\"ipc\":1.7}"));
+  const CompareResult r = benchcmp::compare(baseline, fresh, 25.0);
+  EXPECT_TRUE(r.regressed) << r.report;
+  EXPECT_NE(r.report.find("FAIL"), std::string::npos);
+}
+
+TEST(BenchCompare, NewCounterKeyCannotFlipTheComparison) {
+  // A fresh entry that *adds* requests_per_second (higher priority than
+  // the baseline's items_per_second) must keep gating on the counter both
+  // sides share — otherwise the gate would compare apples to oranges.
+  const auto baseline = scan_or_die(
+      bench_json("{\"name\":\"BM_Serve\",\"items_per_second\":1000.0}"));
+  const auto fresh = scan_or_die(bench_json(
+      "{\"name\":\"BM_Serve\",\"items_per_second\":980.0,"
+      "\"requests_per_second\":12.0}"));
+  const CompareResult r = benchcmp::compare(baseline, fresh, 25.0);
+  EXPECT_FALSE(r.regressed) << r.report;
+  EXPECT_NE(r.report.find("items_per_second"), std::string::npos);
+  EXPECT_NE(r.report.find("980.00"), std::string::npos) << r.report;
+}
+
+TEST(BenchCompare, MissingAndNewBenchmarksAreReportedNotGated) {
+  const auto baseline = scan_or_die(bench_json(
+      "{\"name\":\"BM_Old\",\"items_per_second\":10.0},"
+      "{\"name\":\"BM_Shared\",\"items_per_second\":10.0}"));
+  const auto fresh = scan_or_die(bench_json(
+      "{\"name\":\"BM_Shared\",\"items_per_second\":10.0},"
+      "{\"name\":\"BM_New\",\"items_per_second\":10.0}"));
+  const CompareResult r = benchcmp::compare(baseline, fresh, 25.0);
+  EXPECT_FALSE(r.regressed) << r.report;
+  EXPECT_NE(r.report.find("MISSING"), std::string::npos);
+  EXPECT_NE(r.report.find("NEW"), std::string::npos);
+}
+
+TEST(BenchCompare, InverseRealTimeGatesLowerIsBetter) {
+  const auto baseline =
+      scan_or_die(bench_json("{\"name\":\"BM_Kernel\",\"real_time\":2.0}"));
+  const auto slower =
+      scan_or_die(bench_json("{\"name\":\"BM_Kernel\",\"real_time\":4.0}"));
+  EXPECT_TRUE(benchcmp::compare(baseline, slower, 25.0).regressed);
+  const auto faster =
+      scan_or_die(bench_json("{\"name\":\"BM_Kernel\",\"real_time\":1.5}"));
+  EXPECT_FALSE(benchcmp::compare(baseline, faster, 25.0).regressed);
+}
+
+}  // namespace

@@ -28,11 +28,27 @@
 #include "obs/httpd.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prof/profiler.h"
 #include "serve/admin.h"
 #include "serve/model_registry.h"
 #include "serve/service.h"
 
 namespace m3dfl {
+
+#if M3DFL_OBS_ENABLED
+// External linkage + noinline so the profiler's dladdr symbolization can
+// name this frame in /profilez output (the build exports dynamic symbols
+// under M3DFL_OBS).
+__attribute__((noinline)) double httpd_test_profile_burn(
+    const std::atomic<bool>& stop) {
+  volatile double sink = 1.0;
+  while (!stop.load(std::memory_order_acquire)) {
+    for (int i = 1; i < 4096; ++i) sink = sink + 1.0 / static_cast<double>(i);
+  }
+  return sink;
+}
+#endif
+
 namespace {
 
 // --- Raw-socket HTTP client helper -------------------------------------------
@@ -287,6 +303,111 @@ TEST(AdminHttp, StopIsIdempotentAndRejectsDoubleStart) {
   EXPECT_FALSE(server.running());
 }
 
+// --- Profiling endpoints -----------------------------------------------------
+
+#if M3DFL_OBS_ENABLED
+
+#if defined(__SANITIZE_THREAD__)
+#define M3DFL_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define M3DFL_TEST_TSAN 1
+#endif
+#endif
+
+TEST(AdminHttp, ProfilezReturnsCollapsedStacksNamingHotFrames) {
+#ifdef M3DFL_TEST_TSAN
+  // TSan's scheduler starves the CPU-time sampling clock and its runtime
+  // does not model the seqlock handoff between the SIGPROF handler and
+  // the collector; the uninstrumented build covers this path.
+  GTEST_SKIP() << "sampling profiler not exercised under TSan";
+#endif
+  AdminFixture fx;
+  // A registered thread must be burning CPU during the window — per-thread
+  // CPU-time timers never fire on an idle process.
+  std::atomic<bool> stop{false};
+  std::thread busy([&stop] {
+    obs::prof::ProfiledThread reg;
+    httpd_test_profile_burn(stop);
+  });
+  const HttpReply r =
+      http_get(fx.server.port(), "/profilez?seconds=1&hz=499");
+  stop.store(true, std::memory_order_release);
+  busy.join();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  ASSERT_FALSE(r.body.empty());
+  EXPECT_EQ(r.body.rfind("# no samples", 0), std::string::npos)
+      << "window sampled nothing despite a busy registered thread";
+  // The folded lines must attribute the burn loop by name, not hex.
+  EXPECT_NE(r.body.find("httpd_test_profile_burn"), std::string::npos)
+      << r.body;
+}
+
+TEST(AdminHttp, ProfilezConflictsWithARunningSession) {
+  AdminFixture fx;
+  auto& prof = obs::prof::CpuProfiler::instance();
+  std::string error;
+  ASSERT_TRUE(prof.start(obs::prof::ProfilerOptions{}, &error)) << error;
+  const HttpReply r = http_get(fx.server.port(), "/profilez?seconds=1");
+  prof.stop();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 409);
+  EXPECT_NE(r.body.find("cannot start profiler"), std::string::npos);
+}
+
+TEST(AdminHttp, CounterszServesAvailabilityJson) {
+  AdminFixture fx;
+  const HttpReply r = http_get(fx.server.port(), "/countersz");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.headers.at("content-type"), "application/json");
+  EXPECT_NE(r.body.find("\"availability\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"mode\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"scopes\""), std::string::npos);
+}
+
+TEST(AdminHttp, StatuszReportsProfilerAndCounterState) {
+  AdminFixture fx;
+  const HttpReply r = http_get(fx.server.port(), "/statusz");
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.body.find("\"profiler\":{\"compiled\":true"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("\"counters\":{\"mode\":\""), std::string::npos);
+}
+
+#else  // !M3DFL_OBS_ENABLED
+
+TEST(AdminHttp, ProfilezAndCounterszReport501WhenCompiledOut) {
+  AdminFixture fx;
+  const HttpReply p = http_get(fx.server.port(), "/profilez");
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.status, 501);
+  const HttpReply c = http_get(fx.server.port(), "/countersz");
+  ASSERT_TRUE(c.ok);
+  EXPECT_EQ(c.status, 501);
+}
+
+#endif  // M3DFL_OBS_ENABLED
+
+TEST(AdminHttp, MetricsCarryProcessCollectors) {
+  AdminFixture fx;
+  const HttpReply r = http_get(fx.server.port(), "/metrics");
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.body.find("m3dfl_process_user_cpu_seconds"), std::string::npos);
+  EXPECT_NE(r.body.find("m3dfl_process_sys_cpu_seconds"), std::string::npos);
+  EXPECT_NE(r.body.find("m3dfl_process_voluntary_ctx_switches"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("m3dfl_process_involuntary_ctx_switches"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("m3dfl_process_open_fds"), std::string::npos);
+  // The scrape is a live process: the fd collector must report at least
+  // stdin/stdout/stderr plus the server's sockets.
+  const obs::ProcessStats ps = obs::process_stats();
+  EXPECT_GE(ps.open_fds, 3u);
+  EXPECT_GE(ps.user_cpu_seconds + ps.sys_cpu_seconds, 0.0);
+}
+
 // --- Prometheus exposition ---------------------------------------------------
 
 TEST(Prometheus, BucketBoundsRoundTripBitExactly) {
@@ -355,6 +476,31 @@ TEST(Prometheus, LabelEscaping) {
   EXPECT_EQ(obs::prometheus_escape_label("a\"b"), "a\\\"b");
   EXPECT_EQ(obs::prometheus_escape_label("a\\b"), "a\\\\b");
   EXPECT_EQ(obs::prometheus_escape_label("a\nb"), "a\\nb");
+}
+
+TEST(Prometheus, EscapedLabelValuesPassTheLint) {
+  // Round trip: a value hitting all three escapable characters, escaped by
+  // the library, embedded in a page — the lint must accept it.
+  const std::string escaped = obs::prometheus_escape_label("a\\b\"c\nd");
+  EXPECT_EQ(escaped, "a\\\\b\\\"c\\nd");
+  const std::string page = "# HELP g g\n# TYPE g gauge\ng{path=\"" + escaped +
+                           "\"} 1\n";
+  EXPECT_TRUE(obs::prometheus_lint(page).empty())
+      << obs::prometheus_lint(page).front();
+}
+
+TEST(Prometheus, LintFlagsBadLabelEscapes) {
+  // Raw backslash followed by a character that is not \, ", or n.
+  const std::string bad_escape =
+      "# HELP g g\n# TYPE g gauge\ng{path=\"a\\qb\"} 1\n";
+  const std::vector<std::string> errs1 = obs::prometheus_lint(bad_escape);
+  ASSERT_FALSE(errs1.empty());
+  EXPECT_NE(errs1.front().find("escape"), std::string::npos);
+  // Label block ending mid-escape: the backslash is the last character
+  // before '}', so the value never terminates cleanly.
+  const std::string mid_escape =
+      "# HELP g g\n# TYPE g gauge\ng{path=\"a\\} 1\n";
+  EXPECT_FALSE(obs::prometheus_lint(mid_escape).empty());
 }
 
 TEST(Prometheus, LintFlagsMalformedPages) {

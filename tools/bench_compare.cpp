@@ -8,25 +8,28 @@
 //
 //   bench_compare --baseline bench/baselines/BENCH_serve_throughput.json \
 //                 --fresh build/BENCH_serve_throughput.json \
-//                 [--max-regression-pct 25] [--counter auto]
+//                 [--max-regression-pct 25]
 //
 // Throughput counter per benchmark: requests_per_second if present, else
 // items_per_second, else the inverse of real_time (so lower-is-better
 // timings still gate). Benchmarks present only in one file are reported but
-// never fail the gate (new benchmarks land without a baseline first).
+// never fail the gate (new benchmarks land without a baseline first), and
+// JSON keys the baseline has never seen (benches growing ipc / cache-miss
+// fields) are listed in NOTE lines, never gated.
 //
 // Exit codes: 0 within budget, 1 regression beyond budget, 2 usage/parse
-// error — mirroring the m3dfl CLI convention.
+// error — mirroring the m3dfl CLI convention. The scan/compare logic lives
+// in bench_compare_lib.h so tests can exercise it directly.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
-#include <vector>
+
+#include "bench_compare_lib.h"
 
 namespace {
 
@@ -45,139 +48,8 @@ int usage() {
   return kExitUsage;
 }
 
-/// The slice of a google-benchmark JSON entry the gate cares about.
-struct BenchEntry {
-  double throughput = 0.0;
-  std::string counter;  ///< Which counter `throughput` came from.
-};
-
-/// Purpose-built scanner for google-benchmark's JSON shape: finds the
-/// "benchmarks" array and, per object, pulls "name" plus the numeric fields.
-/// Not a general JSON parser — but the input is machine-generated with a
-/// fixed structure, and a wrong parse fails closed (exit 2), never silently
-/// passes the gate.
-class BenchJsonScanner {
- public:
-  explicit BenchJsonScanner(std::string text) : text_(std::move(text)) {}
-
-  bool scan(std::map<std::string, BenchEntry>* out, std::string* error) {
-    const std::size_t arr = text_.find("\"benchmarks\"");
-    if (arr == std::string::npos) {
-      *error = "no \"benchmarks\" array";
-      return false;
-    }
-    std::size_t pos = text_.find('[', arr);
-    if (pos == std::string::npos) {
-      *error = "malformed \"benchmarks\" array";
-      return false;
-    }
-    ++pos;
-    int depth = 0;
-    std::size_t obj_start = 0;
-    for (; pos < text_.size(); ++pos) {
-      const char c = text_[pos];
-      if (c == '"') {
-        skip_string(&pos);
-        continue;
-      }
-      if (c == '{') {
-        if (depth == 0) obj_start = pos;
-        ++depth;
-      } else if (c == '}') {
-        --depth;
-        if (depth == 0) {
-          if (!add_object(text_.substr(obj_start, pos - obj_start + 1), out,
-                          error)) {
-            return false;
-          }
-        }
-      } else if (c == ']' && depth == 0) {
-        return true;
-      }
-    }
-    *error = "unterminated \"benchmarks\" array";
-    return false;
-  }
-
- private:
-  void skip_string(std::size_t* pos) {
-    for (++*pos; *pos < text_.size(); ++*pos) {
-      if (text_[*pos] == '\\') {
-        ++*pos;
-      } else if (text_[*pos] == '"') {
-        return;
-      }
-    }
-  }
-
-  static std::optional<std::string> find_string_field(const std::string& obj,
-                                                      const char* key) {
-    const std::string needle = std::string("\"") + key + "\"";
-    std::size_t pos = obj.find(needle);
-    if (pos == std::string::npos) return std::nullopt;
-    pos = obj.find(':', pos + needle.size());
-    if (pos == std::string::npos) return std::nullopt;
-    pos = obj.find('"', pos);
-    if (pos == std::string::npos) return std::nullopt;
-    std::string value;
-    for (++pos; pos < obj.size() && obj[pos] != '"'; ++pos) {
-      if (obj[pos] == '\\' && pos + 1 < obj.size()) ++pos;
-      value.push_back(obj[pos]);
-    }
-    return value;
-  }
-
-  static std::optional<double> find_number_field(const std::string& obj,
-                                                 const char* key) {
-    const std::string needle = std::string("\"") + key + "\"";
-    std::size_t pos = obj.find(needle);
-    if (pos == std::string::npos) return std::nullopt;
-    pos = obj.find(':', pos + needle.size());
-    if (pos == std::string::npos) return std::nullopt;
-    ++pos;
-    while (pos < obj.size() && (obj[pos] == ' ' || obj[pos] == '\t')) ++pos;
-    char* end = nullptr;
-    const double v = std::strtod(obj.c_str() + pos, &end);
-    if (end == obj.c_str() + pos) return std::nullopt;
-    return v;
-  }
-
-  bool add_object(const std::string& obj, std::map<std::string, BenchEntry>* out,
-                  std::string* error) {
-    const auto name = find_string_field(obj, "name");
-    if (!name) {
-      *error = "benchmark entry without a \"name\"";
-      return false;
-    }
-    // Aggregate rows (mean/median/stddev repetitions) would double-count;
-    // gate on the raw iterations only.
-    if (find_string_field(obj, "aggregate_name")) return true;
-    BenchEntry e;
-    if (const auto rps = find_number_field(obj, "requests_per_second")) {
-      e.throughput = *rps;
-      e.counter = "requests_per_second";
-    } else if (const auto ips = find_number_field(obj, "items_per_second")) {
-      e.throughput = *ips;
-      e.counter = "items_per_second";
-    } else if (const auto rt = find_number_field(obj, "real_time")) {
-      if (*rt <= 0.0) {
-        *error = "non-positive real_time for " + *name;
-        return false;
-      }
-      e.throughput = 1.0 / *rt;
-      e.counter = "1/real_time";
-    } else {
-      *error = "no throughput counter in " + *name;
-      return false;
-    }
-    (*out)[*name] = e;
-    return true;
-  }
-
-  std::string text_;
-};
-
-std::optional<std::map<std::string, BenchEntry>> load(const std::string& path) {
+std::optional<std::map<std::string, benchcmp::BenchEntry>> load(
+    const std::string& path) {
   std::ifstream is(path);
   if (!is) {
     std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
@@ -185,17 +57,11 @@ std::optional<std::map<std::string, BenchEntry>> load(const std::string& path) {
   }
   std::stringstream buffer;
   buffer << is.rdbuf();
-  std::map<std::string, BenchEntry> entries;
+  std::map<std::string, benchcmp::BenchEntry> entries;
   std::string error;
-  BenchJsonScanner scanner(buffer.str());
-  if (!scanner.scan(&entries, &error)) {
+  if (!benchcmp::scan_bench_json(buffer.str(), &entries, &error)) {
     std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
                  error.c_str());
-    return std::nullopt;
-  }
-  if (entries.empty()) {
-    std::fprintf(stderr, "bench_compare: %s: no benchmark entries\n",
-                 path.c_str());
     return std::nullopt;
   }
   return entries;
@@ -235,32 +101,10 @@ int main(int argc, char** argv) {
   const auto fresh = load(fresh_path);
   if (!baseline || !fresh) return kExitUsage;
 
-  bool failed = false;
-  for (const auto& [name, base] : *baseline) {
-    const auto it = fresh->find(name);
-    if (it == fresh->end()) {
-      std::printf("MISSING  %-40s (in baseline only — not gated)\n",
-                  name.c_str());
-      continue;
-    }
-    const BenchEntry& now = it->second;
-    const double delta_pct =
-        base.throughput > 0.0
-            ? 100.0 * (now.throughput - base.throughput) / base.throughput
-            : 0.0;
-    const bool regressed = delta_pct < -max_regression_pct;
-    failed = failed || regressed;
-    std::printf("%-8s %-40s %s %12.2f -> %12.2f  (%+.1f%%)\n",
-                regressed ? "FAIL" : "OK", name.c_str(), now.counter.c_str(),
-                base.throughput, now.throughput, delta_pct);
-  }
-  for (const auto& [name, entry] : *fresh) {
-    if (!baseline->count(name)) {
-      std::printf("NEW      %-40s %s %12.2f (no baseline — not gated)\n",
-                  name.c_str(), entry.counter.c_str(), entry.throughput);
-    }
-  }
-  if (failed) {
+  const benchcmp::CompareResult result =
+      benchcmp::compare(*baseline, *fresh, max_regression_pct);
+  std::fputs(result.report.c_str(), stdout);
+  if (result.regressed) {
     std::printf("bench_compare: throughput regressed beyond %.1f%% budget\n",
                 max_regression_pct);
     return kExitRegression;

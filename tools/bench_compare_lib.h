@@ -1,0 +1,307 @@
+#pragma once
+
+// The bench_compare gate's logic, header-only so tests can drive it on
+// in-memory JSON. bench_compare.cpp is the thin CLI over this.
+//
+// Forward-compatibility contract: a candidate BENCH_*.json may carry keys
+// the committed baseline has never seen (benches grow ipc / cache-miss
+// fields), and the gate must treat those as additive — reported as NOTE
+// lines listing the ignored keys, never as failures. In particular the
+// throughput counter is chosen from the *baseline's* counter when the
+// fresh entry still carries it, so a fresh entry growing a
+// higher-priority counter key cannot silently flip which two numbers get
+// compared.
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace benchcmp {
+
+/// The slice of a google-benchmark JSON entry the gate cares about.
+struct BenchEntry {
+  double throughput = 0.0;
+  std::string counter;  ///< Which counter `throughput` came from.
+  /// Every recognized throughput field present in the entry, so compare()
+  /// can pick the counter both sides share.
+  std::map<std::string, double> counters;
+  /// All depth-1 JSON keys of the entry object, in order of appearance —
+  /// the additive-key diff is computed from these.
+  std::vector<std::string> keys;
+};
+
+/// Purpose-built scanner for google-benchmark's JSON shape: finds the
+/// "benchmarks" array and, per object, pulls "name" plus the numeric
+/// fields. Not a general JSON parser — but the input is machine-generated
+/// with a fixed structure, and a wrong parse fails closed (exit 2), never
+/// silently passes the gate.
+class BenchJsonScanner {
+ public:
+  explicit BenchJsonScanner(std::string text) : text_(std::move(text)) {}
+
+  bool scan(std::map<std::string, BenchEntry>* out, std::string* error) {
+    const std::size_t arr = text_.find("\"benchmarks\"");
+    if (arr == std::string::npos) {
+      *error = "no \"benchmarks\" array";
+      return false;
+    }
+    std::size_t pos = text_.find('[', arr);
+    if (pos == std::string::npos) {
+      *error = "malformed \"benchmarks\" array";
+      return false;
+    }
+    ++pos;
+    int depth = 0;
+    std::size_t obj_start = 0;
+    for (; pos < text_.size(); ++pos) {
+      const char c = text_[pos];
+      if (c == '"') {
+        skip_string(&pos);
+        continue;
+      }
+      if (c == '{') {
+        if (depth == 0) obj_start = pos;
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (depth == 0) {
+          if (!add_object(text_.substr(obj_start, pos - obj_start + 1), out,
+                          error)) {
+            return false;
+          }
+        }
+      } else if (c == ']' && depth == 0) {
+        return true;
+      }
+    }
+    *error = "unterminated \"benchmarks\" array";
+    return false;
+  }
+
+ private:
+  void skip_string(std::size_t* pos) {
+    for (++*pos; *pos < text_.size(); ++*pos) {
+      if (text_[*pos] == '\\') {
+        ++*pos;
+      } else if (text_[*pos] == '"') {
+        return;
+      }
+    }
+  }
+
+  static std::optional<std::string> find_string_field(const std::string& obj,
+                                                      const char* key) {
+    const std::string needle = std::string("\"") + key + "\"";
+    std::size_t pos = obj.find(needle);
+    if (pos == std::string::npos) return std::nullopt;
+    pos = obj.find(':', pos + needle.size());
+    if (pos == std::string::npos) return std::nullopt;
+    pos = obj.find('"', pos);
+    if (pos == std::string::npos) return std::nullopt;
+    std::string value;
+    for (++pos; pos < obj.size() && obj[pos] != '"'; ++pos) {
+      if (obj[pos] == '\\' && pos + 1 < obj.size()) ++pos;
+      value.push_back(obj[pos]);
+    }
+    return value;
+  }
+
+  static std::optional<double> find_number_field(const std::string& obj,
+                                                 const char* key) {
+    const std::string needle = std::string("\"") + key + "\"";
+    std::size_t pos = obj.find(needle);
+    if (pos == std::string::npos) return std::nullopt;
+    pos = obj.find(':', pos + needle.size());
+    if (pos == std::string::npos) return std::nullopt;
+    ++pos;
+    while (pos < obj.size() && (obj[pos] == ' ' || obj[pos] == '\t')) ++pos;
+    char* end = nullptr;
+    const double v = std::strtod(obj.c_str() + pos, &end);
+    if (end == obj.c_str() + pos) return std::nullopt;
+    return v;
+  }
+
+  /// Depth-1 keys of one entry object: a quoted string whose next
+  /// non-space character is ':' while not nested inside a sub-object or
+  /// array. Nested structure ("hw_counters": {...}) contributes one key.
+  static std::vector<std::string> object_keys(const std::string& obj) {
+    std::vector<std::string> keys;
+    int depth = 0;
+    for (std::size_t i = 0; i < obj.size(); ++i) {
+      const char c = obj[i];
+      if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        --depth;
+      } else if (c == '"') {
+        std::string s;
+        for (++i; i < obj.size() && obj[i] != '"'; ++i) {
+          if (obj[i] == '\\' && i + 1 < obj.size()) ++i;
+          s.push_back(obj[i]);
+        }
+        if (depth != 1) continue;
+        std::size_t j = i + 1;
+        while (j < obj.size() && (obj[j] == ' ' || obj[j] == '\t' ||
+                                  obj[j] == '\n' || obj[j] == '\r')) {
+          ++j;
+        }
+        if (j < obj.size() && obj[j] == ':') keys.push_back(s);
+      }
+    }
+    return keys;
+  }
+
+  bool add_object(const std::string& obj,
+                  std::map<std::string, BenchEntry>* out,
+                  std::string* error) {
+    const auto name = find_string_field(obj, "name");
+    if (!name) {
+      *error = "benchmark entry without a \"name\"";
+      return false;
+    }
+    // Aggregate rows (mean/median/stddev repetitions) would double-count;
+    // gate on the raw iterations only.
+    if (find_string_field(obj, "aggregate_name")) return true;
+    BenchEntry e;
+    e.keys = object_keys(obj);
+    for (const char* key :
+         {"requests_per_second", "items_per_second", "real_time"}) {
+      if (const auto v = find_number_field(obj, key)) e.counters[key] = *v;
+    }
+    if (e.counters.count("requests_per_second")) {
+      e.throughput = e.counters["requests_per_second"];
+      e.counter = "requests_per_second";
+    } else if (e.counters.count("items_per_second")) {
+      e.throughput = e.counters["items_per_second"];
+      e.counter = "items_per_second";
+    } else if (e.counters.count("real_time")) {
+      const double rt = e.counters["real_time"];
+      if (rt <= 0.0) {
+        *error = "non-positive real_time for " + *name;
+        return false;
+      }
+      e.throughput = 1.0 / rt;
+      e.counter = "1/real_time";
+    } else {
+      *error = "no throughput counter in " + *name;
+      return false;
+    }
+    (*out)[*name] = e;
+    return true;
+  }
+
+  std::string text_;
+};
+
+/// Scans a whole BENCH_*.json document. Returns false (and sets *error)
+/// on parse failure or when no entries were found — the gate fails closed.
+inline bool scan_bench_json(const std::string& text,
+                            std::map<std::string, BenchEntry>* out,
+                            std::string* error) {
+  BenchJsonScanner scanner(text);
+  if (!scanner.scan(out, error)) return false;
+  if (out->empty()) {
+    *error = "no benchmark entries";
+    return false;
+  }
+  return true;
+}
+
+struct CompareResult {
+  bool regressed = false;
+  std::string report;  ///< Printable per-benchmark lines + NOTEs.
+};
+
+/// The gate. Benchmarks in both files compare their shared throughput
+/// counter against the regression budget; entries present on only one
+/// side, and JSON keys present on only one side of a shared entry, are
+/// reported but never gate.
+inline CompareResult compare(const std::map<std::string, BenchEntry>& baseline,
+                             const std::map<std::string, BenchEntry>& fresh,
+                             double max_regression_pct) {
+  CompareResult result;
+  char line[512];
+  auto emit = [&result, &line] { result.report += line; };
+  auto key_diff = [](const BenchEntry& from, const BenchEntry& to) {
+    std::string joined;
+    for (const std::string& k : to.keys) {
+      bool known = false;
+      for (const std::string& b : from.keys) {
+        if (b == k) {
+          known = true;
+          break;
+        }
+      }
+      if (known) continue;
+      if (!joined.empty()) joined += ", ";
+      joined += k;
+    }
+    return joined;
+  };
+  for (const auto& [name, base] : baseline) {
+    const auto it = fresh.find(name);
+    if (it == fresh.end()) {
+      std::snprintf(line, sizeof(line),
+                    "MISSING  %-40s (in baseline only — not gated)\n",
+                    name.c_str());
+      emit();
+      continue;
+    }
+    const BenchEntry& now = it->second;
+    // Counter choice: the baseline's counter whenever the fresh entry
+    // still carries it. A fresh entry that *adds* requests_per_second to a
+    // bench whose baseline gated on items_per_second keeps comparing
+    // items_per_second until the baseline is regenerated.
+    std::string counter = base.counter;
+    double base_v = base.throughput;
+    double now_v;
+    const std::string base_key =
+        base.counter == "1/real_time" ? "real_time" : base.counter;
+    const auto now_it = now.counters.find(base_key);
+    if (now_it != now.counters.end() &&
+        !(base.counter == "1/real_time" && now_it->second <= 0.0)) {
+      now_v = base.counter == "1/real_time" ? 1.0 / now_it->second
+                                            : now_it->second;
+    } else {
+      counter = now.counter;  // Baseline's counter vanished: degrade
+      now_v = now.throughput;  // honestly to the fresh priority pick.
+      base_v = base.throughput;
+    }
+    const double delta_pct =
+        base_v > 0.0 ? 100.0 * (now_v - base_v) / base_v : 0.0;
+    const bool regressed = delta_pct < -max_regression_pct;
+    result.regressed = result.regressed || regressed;
+    std::snprintf(line, sizeof(line),
+                  "%-8s %-40s %s %12.2f -> %12.2f  (%+.1f%%)\n",
+                  regressed ? "FAIL" : "OK", name.c_str(), counter.c_str(),
+                  base_v, now_v, delta_pct);
+    emit();
+    const std::string added = key_diff(base, now);
+    if (!added.empty()) {
+      std::snprintf(line, sizeof(line),
+                    "NOTE     %-40s new keys ignored (not gated): %s\n",
+                    name.c_str(), added.c_str());
+      emit();
+    }
+    const std::string removed = key_diff(now, base);
+    if (!removed.empty()) {
+      std::snprintf(line, sizeof(line),
+                    "NOTE     %-40s keys absent from fresh (not gated): %s\n",
+                    name.c_str(), removed.c_str());
+      emit();
+    }
+  }
+  for (const auto& [name, entry] : fresh) {
+    if (!baseline.count(name)) {
+      std::snprintf(line, sizeof(line),
+                    "NEW      %-40s %s %12.2f (no baseline — not gated)\n",
+                    name.c_str(), entry.counter.c_str(), entry.throughput);
+      emit();
+    }
+  }
+  return result;
+}
+
+}  // namespace benchcmp

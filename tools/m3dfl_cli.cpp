@@ -81,6 +81,8 @@
 #include "obs/httpd.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prof/counters.h"
+#include "obs/prof/profiler.h"
 #include "obs/trace.h"
 #include "serve/admin.h"
 #include "serve/service.h"
@@ -118,7 +120,8 @@ int usage() {
       "           --logs F1,F2,... [--threads N] [--batch N] [--wait-us N]\n"
       "           [--repeat N] [--quiet] [--admin-port N] [--linger-ms N]\n"
       "all subcommands also take [--trace out.json] [--metrics-json out.json|-]\n"
-      "[--log-json] [--sim-backend event|bitpar] [--simd scalar|sse2|avx2]\n"
+      "[--profile out.folded] [--counters] [--log-json]\n"
+      "[--sim-backend event|bitpar] [--simd scalar|sse2|avx2]\n"
       "(M3DFL_SIMD env is the no-flag equivalent of --simd);\n"
       "gen/train also take [--progress]\n"
       "m3dfl --version prints build metadata\n"
@@ -557,7 +560,8 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
       return kExitRuntime;
     }
     std::printf("admin endpoints on http://127.0.0.1:%u "
-                "(/healthz /readyz /metrics /metrics.json /statusz /tracez)\n",
+                "(/healthz /readyz /metrics /metrics.json /statusz /tracez "
+                "/profilez /countersz)\n",
                 admin.port());
     std::fflush(stdout);
   }
@@ -576,15 +580,18 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     const std::string& path = paths[i % paths.size()];
     if (!resp.ok) {
       any_failed = true;
-      M3DFL_LOG_ERROR("cli", "%s: serve error: %s", path.c_str(),
+      // rid matches the serve-side warn log and the /tracez exemplar.
+      M3DFL_LOG_ERROR("cli", "%s: serve error (rid=%llu): %s", path.c_str(),
+                      static_cast<unsigned long long>(resp.request_id),
                       resp.error.c_str());
       continue;
     }
     if (!quiet) {
       std::printf(
-          "%s: %zu -> %zu candidates, tier %s (conf %.3f), %s, "
+          "%s: rid=%llu, %zu -> %zu candidates, tier %s (conf %.3f), %s, "
           "model v%llu%s, %.1f ms\n",
-          path.c_str(), resp.atpg_report.resolution(),
+          path.c_str(), static_cast<unsigned long long>(resp.request_id),
+          resp.atpg_report.resolution(),
           resp.outcome.report.resolution(),
           resp.outcome.predicted_tier == netlist::Tier::kTop ? "TOP"
                                                              : "BOTTOM",
@@ -616,10 +623,23 @@ int write_observability(const std::map<std::string, std::string>& flags) {
   obs::Tracer& tracer = obs::Tracer::instance();
   tracer.set_enabled(false);  // Quiesce before snapshotting.
 
+  // Stop sampling before any export: the folded file and the Chrome-trace
+  // sample sections must both read a quiesced profile.
+  std::string chrome_extra;
+#if M3DFL_OBS_ENABLED
+  obs::prof::CpuProfiler& profiler = obs::prof::CpuProfiler::instance();
+  if (flags.count("profile")) {
+    profiler.stop();
+    if (flags.count("trace")) {
+      chrome_extra = profiler.chrome_sample_sections();
+    }
+  }
+#endif
+
   if (flags.count("trace")) {
     const std::string& path = flags.at("trace");
     std::ofstream os(path);
-    if (os) tracer.write_chrome_trace(os);
+    if (os) tracer.write_chrome_trace(os, chrome_extra);
     if (!os) {
       M3DFL_LOG_ERROR("cli", "cannot write trace file %s", path.c_str());
       rc = kExitRuntime;
@@ -632,6 +652,57 @@ int write_observability(const std::map<std::string, std::string>& flags) {
                      tracer.snapshot().size());
     }
   }
+
+#if M3DFL_OBS_ENABLED
+  if (flags.count("profile")) {
+    const std::string& path = flags.at("profile");
+    std::ofstream os(path);
+    if (os) profiler.write_folded(os);
+    if (!os) {
+      M3DFL_LOG_ERROR("cli", "cannot write profile file %s", path.c_str());
+      rc = kExitRuntime;
+    } else {
+      M3DFL_LOG_INFO(
+          "cli", "wrote profile to %s (%llu samples @ %d Hz, %llu dropped)",
+          path.c_str(),
+          static_cast<unsigned long long>(profiler.samples()),
+          profiler.sample_hz(),
+          static_cast<unsigned long long>(profiler.dropped()));
+    }
+  }
+
+  if (flags.count("counters")) {
+    // Stage-attributed counter table on stdout, like the --progress span
+    // table. Hardware columns appear only when the probe ladder reached a
+    // perf_event rung; on "rusage" the table is CPU seconds only.
+    const obs::prof::CounterAvailability& av =
+        obs::prof::counter_availability();
+    const bool hw = av.mode == obs::prof::CounterMode::kFull ||
+                    av.mode == obs::prof::CounterMode::kBasic;
+    const bool full = av.mode == obs::prof::CounterMode::kFull;
+    std::printf("\ncounters (%s: %s)\n",
+                obs::prof::counter_mode_name(av.mode), av.detail.c_str());
+    std::printf("%-24s %10s %10s", "scope", "count", "cpu s");
+    if (hw) std::printf(" %14s %14s %6s", "cycles", "instr", "ipc");
+    if (full) std::printf(" %10s %10s", "llc/ki", "br/ki");
+    std::printf("\n");
+    for (const auto& [name, t] :
+         obs::prof::CounterRegistry::instance().snapshot()) {
+      std::printf("%-24s %10llu %10.3f", name.c_str(),
+                  static_cast<unsigned long long>(t.count), t.cpu_seconds);
+      if (hw) {
+        std::printf(" %14llu %14llu %6.2f",
+                    static_cast<unsigned long long>(t.cycles),
+                    static_cast<unsigned long long>(t.instructions), t.ipc());
+      }
+      if (full) {
+        std::printf(" %10.3f %10.3f", t.llc_misses_per_kinstr(),
+                    t.branch_misses_per_kinstr());
+      }
+      std::printf("\n");
+    }
+  }
+#endif
 
   if (flags.count("progress")) {
     const std::vector<obs::SpanSummary> summary =
@@ -649,11 +720,21 @@ int write_observability(const std::map<std::string, std::string>& flags) {
 
   if (flags.count("metrics-json")) {
     const std::string& path = flags.at("metrics-json");
+    obs::publish_process_metrics();  // Fresh process.* gauges in the dump.
+#if M3DFL_OBS_ENABLED
+    const std::string counters_json =
+        obs::prof::CounterRegistry::instance().enabled()
+            ? obs::prof::CounterRegistry::instance().to_json()
+            : "null";
+#else
+    // Key kept across build modes so consumers see one schema.
+    const std::string counters_json = "null";
+#endif
     const std::string payload =
         "{\"registry\": " + obs::MetricsRegistry::instance().to_json() +
         ", \"service\": " +
         (g_service_metrics_json.empty() ? "null" : g_service_metrics_json) +
-        "}\n";
+        ", \"counters\": " + counters_json + "}\n";
     if (path == "-") {
       // Machine-readable mode: the JSON document is the only stdout output
       // of this block; the notice goes through the logger (stderr). This is
@@ -715,6 +796,8 @@ int main(int argc, char** argv) {
   spec.value_flags.insert("metrics-json");
   spec.value_flags.insert("sim-backend");
   spec.value_flags.insert("simd");
+  spec.value_flags.insert("profile");
+  spec.switch_flags.insert("counters");
   spec.switch_flags.insert("log-json");
 
   // --log-json must take effect before any parse error is reported, so scan
@@ -757,6 +840,28 @@ int main(int argc, char** argv) {
                    "(metrics histograms/counters still record)");
 #endif
   }
+  const bool want_profile = flags->count("profile") > 0;
+  const bool want_counters = flags->count("counters") > 0;
+#if M3DFL_OBS_ENABLED
+  if (want_counters) obs::prof::CounterRegistry::instance().set_enabled(true);
+  if (want_profile) {
+    // Sample for the whole subcommand; write_observability() stops the
+    // profiler and writes the folded stacks once the work is done. Worker
+    // threads spawned later self-register (Executor's M3DFL_PROF_THREAD).
+    std::string error;
+    if (!obs::prof::CpuProfiler::instance().start(
+            obs::prof::ProfilerOptions{}, &error)) {
+      M3DFL_LOG_ERROR("cli", "cannot start profiler: %s", error.c_str());
+      return kExitRuntime;
+    }
+  }
+#else
+  if (want_profile || want_counters) {
+    M3DFL_LOG_WARN("cli",
+                   "note: built with M3DFL_OBS=OFF — --profile/--counters "
+                   "are inert (no samples, no counters)");
+  }
+#endif
 
   int rc;
   if (cmd == "gen") rc = cmd_gen(*flags);
@@ -766,7 +871,7 @@ int main(int argc, char** argv) {
   else if (cmd == "dict") rc = cmd_dict(*flags);
   else rc = cmd_serve(*flags);
 
-  if (want_obs) {
+  if (want_obs || want_profile || want_counters) {
     const int obs_rc = write_observability(*flags);
     if (rc == kExitOk) rc = obs_rc;
   }
