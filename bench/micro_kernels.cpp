@@ -9,6 +9,8 @@
 #include "core/tier_predictor.h"
 #include "eval/benchmarks.h"
 #include "eval/datagen.h"
+#include "gnn/qkernels.h"
+#include "gnn/quant.h"
 #include "graphx/backtrace.h"
 #include "obs/prof/counters.h"
 
@@ -160,6 +162,83 @@ void BM_PodemGenerate(benchmark::State& state) {
 }
 BENCHMARK(BM_PodemGenerate);
 
+// fp32 vs int8 GEMM at inference-relevant shapes: (m x k) activations
+// against a (k x n) layer. Args = {m, k, n}; items = multiply-accumulates,
+// so items/s is directly comparable between the two kernels.
+void BM_GemmFp32(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  Rng rng(7);
+  const gnn::Matrix a = gnn::Matrix::xavier(m, k, rng);
+  const gnn::Matrix b = gnn::Matrix::xavier(k, n, rng);
+  const HwCounters hw(state);
+  for (auto _ : state) {
+    const gnn::Matrix c = gnn::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m * n * k));
+}
+BENCHMARK(BM_GemmFp32)
+    ->Args({32, 13, 32})
+    ->Args({64, 32, 32})
+    ->Args({128, 64, 64})
+    ->Args({256, 64, 64});
+
+void BM_QGemmInt8(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  Rng rng(7);
+  gnn::QMatrix a(m, k), bt(n, k);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      a.at(i, j) = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      bt.at(i, j) = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  const gnn::QGemmFn kernel = gnn::active_qgemm();
+  std::vector<std::int32_t> c(m * n);
+  const HwCounters hw(state);
+  for (auto _ : state) {
+    kernel(a.data(), bt.data(), c.data(), m, n, a.stride());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m * n * k));
+}
+BENCHMARK(BM_QGemmInt8)
+    ->Args({32, 13, 32})
+    ->Args({64, 32, 32})
+    ->Args({128, 64, 64})
+    ->Args({256, 64, 64});
+
+// Whole quantized layer: quantize activations, int8 GEMM, dequant + bias —
+// what QuantizedGcnLayer/heads actually pay per forward.
+void BM_QuantLinearForward(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  Rng rng(7);
+  const gnn::Matrix w = gnn::Matrix::xavier(k, n, rng);
+  const std::vector<float> bias(n, 0.1f);
+  gnn::Matrix x(m, k);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const gnn::QuantizedLinear ql = gnn::quantize_linear(w, bias, 1.0f);
+  const HwCounters hw(state);
+  for (auto _ : state) {
+    const gnn::Matrix y = ql.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m * n * k));
+}
+BENCHMARK(BM_QuantLinearForward)
+    ->Args({64, 32, 32})
+    ->Args({256, 64, 64});
+
 void BM_TierPredictorInference(benchmark::State& state) {
   const eval::Design& d = fixture();
   const HwCounters hw(state);
@@ -178,6 +257,30 @@ void BM_TierPredictorInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TierPredictorInference);
+
+// The same end-to-end graph forward through the calibrated int8 twin —
+// the serve hot loop's model path under --inference int8.
+void BM_QuantizedTierInference(benchmark::State& state) {
+  const eval::Design& d = fixture();
+  const HwCounters hw(state);
+  eval::DatagenOptions opts;
+  opts.num_samples = 1;
+  opts.seed = 123;
+  const eval::Dataset ds = eval::generate_dataset(d, opts);
+  if (ds.samples.empty()) {
+    state.SkipWithError("no detectable fault");
+    return;
+  }
+  const core::TierPredictor tier(7);
+  const graphx::SubGraph* calib[] = {&ds.samples.front().sub};
+  const gnn::QuantizedGraphClassifier q =
+      gnn::quantize_graph_classifier(tier.model(), calib);
+  for (auto _ : state) {
+    const std::vector<float> p = q.predict_probs(ds.samples.front().sub);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_QuantizedTierInference);
 
 }  // namespace
 }  // namespace m3dfl

@@ -16,6 +16,7 @@
 
 #include "bench/table_common.h"
 #include "eval/datagen.h"
+#include "eval/quantize.h"
 #include "obs/build_info.h"
 #include "obs/metrics.h"
 #include "obs/prof/counters.h"
@@ -101,7 +102,9 @@ std::string hw_json_fields(const char* scope_name) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--profile out.folded] [--counters]\n", argv0);
+               "usage: %s [--profile out.folded] [--counters] "
+               "[--inference fp32|int8] [--inference-spec tiny|m3d100k]\n",
+               argv0);
   return 2;
 }
 
@@ -110,12 +113,23 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string profile_path;
   bool want_counters = false;
+  eval::InferenceMode serve_mode = eval::InferenceMode::kFp32;
+  std::string inference_spec = "tiny";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--profile" && i + 1 < argc) {
       profile_path = argv[++i];
     } else if (arg == "--counters") {
       want_counters = true;
+    } else if (arg == "--inference" && i + 1 < argc) {
+      if (!eval::parse_inference_mode(argv[++i], serve_mode)) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--inference-spec" && i + 1 < argc) {
+      inference_spec = argv[++i];
+      if (inference_spec != "tiny" && inference_spec != "m3d100k") {
+        return usage(argv[0]);
+      }
     } else {
       return usage(argv[0]);
     }
@@ -156,7 +170,7 @@ int main(int argc, char** argv) {
   const int repeat = fast ? 2 : 4;
 
   const eval::BenchmarkSpec spec = eval::tiny_spec();
-  const eval::TrainedFramework fw = eval::train_framework(
+  eval::TrainedFramework fw = eval::train_framework(
       eval::build_training_bundle(spec, false, scale), scale);
   const eval::Design& design = eval::cached_design(spec, eval::Config::kSyn2);
 
@@ -164,6 +178,16 @@ int main(int argc, char** argv) {
   dopts.num_samples = num_logs;
   dopts.seed = 2026;
   const eval::Dataset ds = eval::generate_dataset(design, dopts);
+
+  // Calibrate the int8 twin on the benchmark's own logs so the serve and
+  // inference-path sections below can exercise both modes; the report's
+  // AUPRC delta contextualizes the speedup (fast is worthless if wrong).
+  const eval::QuantReport quant_report = eval::quantize_framework(
+      fw, eval::graphs_of(ds), eval::tier_labeled(ds), {});
+  std::printf("quantized twin: %zu calibration graphs, AUPRC delta %+.4f, "
+              "max |score delta| %.4f\n\n",
+              quant_report.calib_graphs, quant_report.auprc_delta(),
+              quant_report.max_abs_score_delta);
 
   // Sequential: one request at a time, the plain `m3dfl diagnose` path.
   Run seq;
@@ -185,13 +209,16 @@ int main(int argc, char** argv) {
 
   // Served: all requests in flight at once through the batched service.
   Run served;
-  served.name = "served (4 threads, batched)";
+  served.name = serve_mode == eval::InferenceMode::kInt8
+                    ? "served (4 threads, batched, int8)"
+                    : "served (4 threads, batched)";
   std::string service_metrics_json;
   {
     serve::ModelRegistry registry;
     registry.publish("default", fw, "bench");
     serve::ServiceOptions opts;
     opts.num_threads = 4;
+    opts.inference = serve_mode;
     serve::DiagnosisService service(registry, opts);
     service.register_design(design);
 
@@ -225,20 +252,110 @@ int main(int argc, char** argv) {
     service_metrics_json = service.metrics().to_json();
   }
 
+  // Inference path in isolation: single-threaded model forwards (tier
+  // probabilities) through the fp32 and int8 paths on the same sub-graphs.
+  // This is the quantization acceptance measurement — diagnosis requests
+  // amortize ATPG + back-trace over the forward, so the kernel win only
+  // shows undiluted here. --inference-spec m3d100k runs it on the
+  // paper-scale netlist's sub-graphs instead of tiny's.
+  Run inf_fp32, inf_int8;
+  inf_fp32.name = "inference_fp32";
+  inf_int8.name = "inference_int8";
+  {
+    std::vector<const graphx::SubGraph*> subs;
+    eval::Dataset inf_ds;
+    if (inference_spec == "m3d100k") {
+      const eval::Design& big =
+          eval::cached_design(eval::m3d100k_spec(), eval::Config::kSyn2);
+      eval::DatagenOptions iopts;
+      iopts.num_samples = fast ? 2 : 4;
+      iopts.seed = 2027;
+      iopts.backend = sim::SimBackend::kBitParallel;
+      inf_ds = eval::generate_dataset(big, iopts);
+      subs = eval::graphs_of(inf_ds);
+    } else {
+      subs = eval::graphs_of(ds);
+    }
+    // Enough rounds that each measurement runs for tens of milliseconds
+    // (fast) to ~half a second (full): per-forward cost is single-digit
+    // microseconds, and a sub-millisecond measurement window would be
+    // mostly scheduler noise. Latencies are sampled 1-in-16 so the clock
+    // reads around each forward do not dilute the throughput itself.
+    const int rounds = fast ? 2000 : 4000;
+    std::size_t total_nodes = 0;
+    for (const graphx::SubGraph* g : subs) total_nodes += g->num_nodes();
+    std::printf("inference graphs: %zu from %s (mean %.1f nodes)\n",
+                subs.size(), inference_spec.c_str(),
+                subs.empty() ? 0.0
+                             : static_cast<double>(total_nodes) /
+                                   static_cast<double>(subs.size()));
+    const auto& fp32_model = fw.tier.model();
+    const auto& int8_model = fw.quant->tier;
+    {
+      M3DFL_OBS_COUNTERS(ctrs, "bench.inference_fp32");
+      for (const graphx::SubGraph* g : subs) fp32_model.predict_probs(*g);
+      const auto t0 = Clock::now();
+      for (int r = 0; r < rounds; ++r) {
+        for (const graphx::SubGraph* g : subs) {
+          if (r % 16 == 0) {
+            const auto t1 = Clock::now();
+            const std::vector<float> p = fp32_model.predict_probs(*g);
+            inf_fp32.latencies.push_back(seconds_since(t1));
+            inf_fp32.requests += !p.empty();
+          } else {
+            inf_fp32.requests += !fp32_model.predict_probs(*g).empty();
+          }
+        }
+      }
+      inf_fp32.wall_seconds = seconds_since(t0);
+    }
+    {
+      M3DFL_OBS_COUNTERS(ctrs, "bench.inference_int8");
+      for (const graphx::SubGraph* g : subs) int8_model.predict_probs(*g);
+      const auto t0 = Clock::now();
+      for (int r = 0; r < rounds; ++r) {
+        for (const graphx::SubGraph* g : subs) {
+          if (r % 16 == 0) {
+            const auto t1 = Clock::now();
+            const std::vector<float> p = int8_model.predict_probs(*g);
+            inf_int8.latencies.push_back(seconds_since(t1));
+            inf_int8.requests += !p.empty();
+          } else {
+            inf_int8.requests += !int8_model.predict_probs(*g).empty();
+          }
+        }
+      }
+      inf_int8.wall_seconds = seconds_since(t0);
+    }
+  }
+
   TablePrinter t;
   t.set_header({"Mode", "Requests", "Wall (s)", "Req/s", "p50 (ms)",
                 "p95 (ms)", "p99 (ms)"});
   add_run_row(t, seq);
   add_run_row(t, served);
+  add_run_row(t, inf_fp32);
+  add_run_row(t, inf_int8);
   t.print();
   std::printf("\nThroughput: served = %.2fx sequential\n",
               seq.rps() > 0.0 ? served.rps() / seq.rps() : 0.0);
   std::puts("(served per-request latency includes micro-batching wait and");
   std::puts(" queueing — the trade the batcher makes for throughput)");
+  std::printf("Inference (%s, single thread): int8 = %.2fx fp32\n",
+              inference_spec.c_str(),
+              inf_fp32.rps() > 0.0 ? inf_int8.rps() / inf_fp32.rps() : 0.0);
 
   obs::Tracer::instance().set_enabled(false);
 
-  std::string seq_extra, served_extra, hw_counters_json;
+  std::string seq_extra, served_extra, inf_fp32_extra, inf_int8_extra,
+      hw_counters_json;
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\n      \"speedup_vs_fp32\": %.3f",
+                  inf_fp32.rps() > 0.0 ? inf_int8.rps() / inf_fp32.rps()
+                                       : 0.0);
+    inf_int8_extra = buf;
+  }
 #if M3DFL_OBS_ENABLED
   if (!profile_path.empty()) {
     auto& prof = obs::prof::CpuProfiler::instance();
@@ -255,6 +372,8 @@ int main(int argc, char** argv) {
     // The served run's work happens on the executor workers under the
     // service's own "serve.process" scope — that is the row's IPC.
     served_extra = hw_json_fields("serve.process");
+    inf_fp32_extra = hw_json_fields("bench.inference_fp32");
+    inf_int8_extra += hw_json_fields("bench.inference_int8");
     hw_counters_json = obs::prof::CounterRegistry::instance().to_json();
   }
 #endif
@@ -264,10 +383,16 @@ int main(int argc, char** argv) {
      << "    \"executable\": \"bench_serve_throughput\",\n"
      << "    \"build\": " << obs::build_info_json() << ",\n"
      << "    \"num_logs\": " << num_logs << ",\n"
-     << "    \"repeat\": " << repeat << "\n  },\n"
+     << "    \"repeat\": " << repeat << ",\n"
+     << "    \"inference_spec\": \"" << inference_spec << "\",\n"
+     << "    \"quant_calib_graphs\": " << quant_report.calib_graphs << ",\n"
+     << "    \"quant_auprc_delta\": " << quant_report.auprc_delta()
+     << "\n  },\n"
      << "  \"benchmarks\": [\n";
   json_run(os, seq, seq_extra, false);
-  json_run(os, served, served_extra, true);
+  json_run(os, served, served_extra, false);
+  json_run(os, inf_fp32, inf_fp32_extra, false);
+  json_run(os, inf_int8, inf_int8_extra, true);
   os << "  ],\n";
   // Additive when --counters is on: the committed baseline predates this
   // key, and bench_compare's additive-key rule keeps it non-gating.

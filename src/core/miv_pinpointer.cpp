@@ -12,20 +12,28 @@ std::vector<double> MivPinpointer::scores(const SubGraph& g) const {
   return model_.predict_miv(g);
 }
 
-std::vector<SiteId> MivPinpointer::predict_faulty_mivs(
-    const SubGraph& g, double threshold, std::size_t max_count) const {
-  const std::vector<double> s = scores(g);
+std::vector<SiteId> select_faulty_mivs(const SubGraph& g,
+                                       std::span<const double> scores,
+                                       double threshold,
+                                       std::size_t max_count) {
   std::vector<std::size_t> order;
-  for (std::size_t k = 0; k < s.size(); ++k) {
-    if (s[k] >= threshold) order.push_back(k);
+  for (std::size_t k = 0; k < scores.size(); ++k) {
+    if (scores[k] >= threshold) order.push_back(k);
   }
-  std::sort(order.begin(), order.end(),
-            [&s](std::size_t a, std::size_t b) { return s[a] > s[b]; });
+  std::sort(order.begin(), order.end(), [&scores](std::size_t a,
+                                                  std::size_t b) {
+    return scores[a] > scores[b];
+  });
   if (order.size() > max_count) order.resize(max_count);
   std::vector<SiteId> out;
   out.reserve(order.size());
   for (std::size_t k : order) out.push_back(g.nodes[g.miv_local[k]]);
   return out;
+}
+
+std::vector<SiteId> MivPinpointer::predict_faulty_mivs(
+    const SubGraph& g, double threshold, std::size_t max_count) const {
+  return select_faulty_mivs(g, scores(g), threshold, max_count);
 }
 
 gnn::TrainStats MivPinpointer::train(std::span<const SubGraph* const> data,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "gnn/trainer.h"
@@ -10,6 +11,14 @@ namespace m3dfl::core {
 
 using graphx::SubGraph;
 using netlist::SiteId;
+
+/// Score-to-site selection shared by the fp32 and int8 MIV paths: global
+/// site ids of the MIVs with score >= threshold, strongest first, at most
+/// max_count. `scores` is parallel to g.miv_local.
+std::vector<SiteId> select_faulty_mivs(const SubGraph& g,
+                                       std::span<const double> scores,
+                                       double threshold,
+                                       std::size_t max_count);
 
 /// GNN Model-2 of the paper: node classification over the sub-graph's MIV
 /// nodes, scoring each with the probability that this MIV carries the delay

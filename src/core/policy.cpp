@@ -17,7 +17,10 @@ PolicyOutcome apply_policy(const DiagnosisReport& report, const SubGraph& sub,
 
   // Step 1: MIV prioritization. Candidates matching a predicted-faulty MIV
   // go to the top of the list and can never be pruned afterwards.
-  if (config.use_miv_pinpointer && models.miv != nullptr) {
+  if (config.use_miv_pinpointer && models.miv_q != nullptr) {
+    out.predicted_mivs = select_faulty_mivs(
+        sub, models.miv_q->predict_miv(sub), config.miv_threshold, 3);
+  } else if (config.use_miv_pinpointer && models.miv != nullptr) {
     out.predicted_mivs =
         models.miv->predict_faulty_mivs(sub, config.miv_threshold);
   }
@@ -32,7 +35,8 @@ PolicyOutcome apply_policy(const DiagnosisReport& report, const SubGraph& sub,
     (is_predicted_miv(c) ? miv_first : rest).push_back(c);
   }
 
-  if (!config.use_tier_predictor || models.tier == nullptr) {
+  if (!config.use_tier_predictor ||
+      (models.tier == nullptr && models.tier_q == nullptr)) {
     // MIV-pinpointer standalone (Table XI): only the prioritization step.
     out.report.candidates = std::move(miv_first);
     out.report.candidates.insert(out.report.candidates.end(), rest.begin(),
@@ -43,14 +47,25 @@ PolicyOutcome apply_policy(const DiagnosisReport& report, const SubGraph& sub,
   }
 
   // Step 2: tier prediction and confidence.
-  const TierPredictor::Prediction pred = models.tier->predict(sub);
+  TierPredictor::Prediction pred;
+  if (models.tier_q != nullptr) {
+    const std::vector<double> p = models.tier_q->predict(sub);
+    pred.p_bottom = p[TierPredictor::label_of(Tier::kBottom)];
+    pred.p_top = p[TierPredictor::label_of(Tier::kTop)];
+  } else {
+    pred = models.tier->predict(sub);
+  }
   out.predicted_tier = pred.tier();
   out.confidence = pred.confidence();
   out.high_confidence = out.confidence >= config.t_p;
 
   bool do_prune = false;
   if (out.high_confidence) {
-    if (config.use_classifier && models.classifier != nullptr) {
+    if (config.use_classifier && models.classifier_q != nullptr) {
+      do_prune =
+          models.classifier_q->predict(sub)[PruneClassifier::kPrune] >=
+          config.classifier_threshold;
+    } else if (config.use_classifier && models.classifier != nullptr) {
       do_prune = models.classifier->should_prune(
           sub, config.classifier_threshold);
     } else {

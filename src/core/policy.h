@@ -6,6 +6,7 @@
 #include "core/prune_classifier.h"
 #include "core/tier_predictor.h"
 #include "diagnosis/report.h"
+#include "gnn/quant.h"
 
 namespace m3dfl::core {
 
@@ -33,6 +34,15 @@ struct PolicyModels {
   const TierPredictor* tier = nullptr;
   const MivPinpointer* miv = nullptr;
   const PruneClassifier* classifier = nullptr;
+
+  // Optional int8 twins. When set, apply_policy routes that model's
+  // forward through the quantized path instead of the fp32 one; the
+  // decision logic (thresholds, ordering, pruning) is shared, so the two
+  // paths differ only in how scores are produced. The fp32 pointers above
+  // stay authoritative for everything else (training, explanations).
+  const gnn::QuantizedGraphClassifier* tier_q = nullptr;
+  const gnn::QuantizedNodeScorer* miv_q = nullptr;
+  const gnn::QuantizedGraphClassifier* classifier_q = nullptr;
 };
 
 /// Result of the candidate pruning & reordering process for one report.

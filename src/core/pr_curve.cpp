@@ -76,4 +76,19 @@ double PrCurve::recall_at(double threshold) const {
   return pos > 0 ? static_cast<double>(tp) / pos : 1.0;
 }
 
+double PrCurve::auprc() const {
+  // points_ holds ascending thresholds, so reversed iteration walks the
+  // curve in ascending recall; each step contributes its precision over
+  // the recall it adds (average precision).
+  double ap = 0.0;
+  double r_prev = 0.0;
+  for (auto it = points_.rbegin(); it != points_.rend(); ++it) {
+    if (it->recall > r_prev) {
+      ap += (it->recall - r_prev) * it->precision;
+      r_prev = it->recall;
+    }
+  }
+  return ap;
+}
+
 }  // namespace m3dfl::core

@@ -39,6 +39,11 @@ class PrCurve {
   /// Recall at a given threshold.
   double recall_at(double threshold) const;
 
+  /// Area under the precision-recall curve (average precision via step
+  /// integration over the curve's operating points). Used to compare the
+  /// fp32 and int8 inference paths on the same evaluation samples.
+  double auprc() const;
+
  private:
   std::vector<PrPoint> points_;                    ///< Ascending thresholds.
   std::vector<std::pair<double, bool>> samples_;   ///< Sorted by confidence.

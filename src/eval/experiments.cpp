@@ -21,6 +21,36 @@ using diag::DiagnosisReport;
 using netlist::SiteId;
 using netlist::Tier;
 
+const char* inference_mode_name(InferenceMode mode) {
+  return mode == InferenceMode::kInt8 ? "int8" : "fp32";
+}
+
+bool parse_inference_mode(const std::string& name, InferenceMode& out) {
+  if (name == "fp32") {
+    out = InferenceMode::kFp32;
+    return true;
+  }
+  if (name == "int8") {
+    out = InferenceMode::kInt8;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t QuantizedFramework::fingerprint() const {
+  // FNV-1a over the three per-model scale fingerprints, in a fixed order.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint64_t v : {tier.provenance.scale_fingerprint,
+                          miv.provenance.scale_fingerprint,
+                          classifier.provenance.scale_fingerprint}) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
 RunScale RunScale::tiny() {
   RunScale s;
   s.train_single = 48;

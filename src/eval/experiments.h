@@ -49,6 +49,30 @@ struct RunScale {
   static RunScale tiny();
 };
 
+/// Which forward pass the diagnosis policy runs its models through.
+enum class InferenceMode { kFp32, kInt8 };
+
+const char* inference_mode_name(InferenceMode mode);
+bool parse_inference_mode(const std::string& name, InferenceMode& out);
+
+/// The int8 twin of a trained framework: calibrated quantized versions of
+/// the three GNN models plus a policy whose thresholds (T_p in particular)
+/// were re-derived by re-running the PR-curve selection on *quantized*
+/// scores — a threshold tuned on fp32 confidences would silently shift its
+/// operating point on the int8 score distribution.
+struct QuantizedFramework {
+  gnn::QuantizedGraphClassifier tier;
+  gnn::QuantizedNodeScorer miv;
+  gnn::QuantizedGraphClassifier classifier;
+  core::PolicyConfig policy;
+
+  /// Calibration-set size (the three models are calibrated together).
+  std::size_t calib_graphs() const { return tier.provenance.calib_graphs; }
+  /// Combined scale fingerprint over all three models — what /statusz
+  /// reports as the calibration identity of a serving process.
+  std::uint64_t fingerprint() const;
+};
+
 /// A trained instance of the proposed framework (all three GNN models plus
 /// the PR-curve-derived policy configuration).
 struct TrainedFramework {
@@ -59,8 +83,33 @@ struct TrainedFramework {
   double gnn_train_seconds = 0.0;
   double train_tier_accuracy = 0.0;
 
+  /// Optional calibrated int8 twin (produced by eval::quantize_framework,
+  /// persisted through framework_io). shared_ptr so a framework value can
+  /// be copied into the serving registry without duplicating the blobs;
+  /// const because a published twin is immutable.
+  std::shared_ptr<const QuantizedFramework> quant;
+
   core::PolicyModels models() const {
     return {&tier, &miv, &classifier};
+  }
+
+  /// Models for the requested inference mode. kInt8 without a quantized
+  /// twin degrades to the fp32 models (callers that need to distinguish
+  /// check `quant` first — the serving layer counts such fallbacks).
+  core::PolicyModels models(InferenceMode mode) const {
+    core::PolicyModels m{&tier, &miv, &classifier};
+    if (mode == InferenceMode::kInt8 && quant) {
+      m.tier_q = &quant->tier;
+      m.miv_q = &quant->miv;
+      m.classifier_q = &quant->classifier;
+    }
+    return m;
+  }
+
+  /// Policy thresholds matching models(mode) — the quantized twin carries
+  /// its own T_p, selected on quantized scores.
+  const core::PolicyConfig& policy_for(InferenceMode mode) const {
+    return mode == InferenceMode::kInt8 && quant ? quant->policy : policy;
   }
 };
 

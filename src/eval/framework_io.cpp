@@ -20,19 +20,64 @@ bool valid_policy_value(double v) { return std::isfinite(v) && v >= 0.0 && v <= 
 
 }  // namespace
 
-void save_framework(const TrainedFramework& fw, std::ostream& os) {
-  os << "m3dfl-framework v1\n";
+namespace {
+
+void write_policy(std::ostream& os, const core::PolicyConfig& policy) {
   const auto old_precision = os.precision();
   os.precision(std::numeric_limits<double>::max_digits10);
-  os << "policy t_p " << fw.policy.t_p << '\n';
-  os << "policy miv_threshold " << fw.policy.miv_threshold << '\n';
-  os << "policy classifier_threshold " << fw.policy.classifier_threshold
-     << '\n';
-  os << "policy reorder_floor " << fw.policy.reorder_floor << '\n';
+  os << "policy t_p " << policy.t_p << '\n';
+  os << "policy miv_threshold " << policy.miv_threshold << '\n';
+  os << "policy classifier_threshold " << policy.classifier_threshold << '\n';
+  os << "policy reorder_floor " << policy.reorder_floor << '\n';
   os.precision(old_precision);
+}
+
+bool read_policy(std::istream& is, core::PolicyConfig& policy,
+                 std::string* error) {
+  for (int i = 0; i < 4; ++i) {
+    std::string word, key;
+    double value = 0.0;
+    if (!(is >> word >> key >> value) || word != "policy") {
+      if (error) *error = "expected 4 'policy <key> <value>' lines";
+      return false;
+    }
+    if (!valid_policy_value(value)) {
+      if (error) *error = "policy value for '" + key + "' outside [0, 1]";
+      return false;
+    }
+    if (key == "t_p") {
+      policy.t_p = value;
+    } else if (key == "miv_threshold") {
+      policy.miv_threshold = value;
+    } else if (key == "classifier_threshold") {
+      policy.classifier_threshold = value;
+    } else if (key == "reorder_floor") {
+      policy.reorder_floor = value;
+    } else {
+      if (error) *error = "unknown policy key '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void save_framework(const TrainedFramework& fw, std::ostream& os) {
+  os << "m3dfl-framework v1\n";
+  write_policy(os, fw.policy);
   gnn::save_graph_classifier(fw.tier.model(), os);
   gnn::save_node_scorer(fw.miv.model(), os);
   gnn::save_graph_classifier(fw.classifier.model(), os);
+  if (fw.quant) {
+    // Optional trailing section — readers without it (or files without it)
+    // stay compatible: the loader treats EOF here as "no quantized twin".
+    os << "quant\n";
+    write_policy(os, fw.quant->policy);
+    gnn::save_quantized_graph_classifier(fw.quant->tier, os);
+    gnn::save_quantized_node_scorer(fw.quant->miv, os);
+    gnn::save_quantized_graph_classifier(fw.quant->classifier, os);
+  }
 }
 
 bool load_framework(TrainedFramework& fw, std::istream& is,
@@ -44,36 +89,26 @@ bool load_framework(TrainedFramework& fw, std::istream& is,
     return false;
   }
   TrainedFramework loaded;
-  for (int i = 0; i < 4; ++i) {
-    std::string word, key;
-    double value = 0.0;
-    if (!(is >> word >> key >> value) || word != "policy") {
-      if (error) *error = "expected 4 'policy <key> <value>' lines";
-      return false;
-    }
-    if (!valid_policy_value(value)) {
-      if (error) {
-        *error = "policy value for '" + key + "' outside [0, 1]";
-      }
-      return false;
-    }
-    if (key == "t_p") {
-      loaded.policy.t_p = value;
-    } else if (key == "miv_threshold") {
-      loaded.policy.miv_threshold = value;
-    } else if (key == "classifier_threshold") {
-      loaded.policy.classifier_threshold = value;
-    } else if (key == "reorder_floor") {
-      loaded.policy.reorder_floor = value;
-    } else {
-      if (error) *error = "unknown policy key '" + key + "'";
-      return false;
-    }
-  }
+  if (!read_policy(is, loaded.policy, error)) return false;
   if (!gnn::load_graph_classifier(loaded.tier.model(), is, error) ||
       !gnn::load_node_scorer(loaded.miv.model(), is, error) ||
       !gnn::load_graph_classifier(loaded.classifier.model(), is, error)) {
     return false;
+  }
+  std::string word;
+  if (is >> word) {
+    if (word != "quant") {
+      if (error) *error = "unexpected trailing section '" + word + "'";
+      return false;
+    }
+    auto q = std::make_shared<QuantizedFramework>();
+    if (!read_policy(is, q->policy, error)) return false;
+    if (!gnn::load_quantized_graph_classifier(q->tier, is, error) ||
+        !gnn::load_quantized_node_scorer(q->miv, is, error) ||
+        !gnn::load_quantized_graph_classifier(q->classifier, is, error)) {
+      return false;
+    }
+    loaded.quant = std::move(q);
   }
   fw = std::move(loaded);
   return true;

@@ -1,0 +1,192 @@
+#include "eval/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/pr_curve.h"
+
+namespace m3dfl::eval {
+
+namespace {
+
+/// Correctness-PR samples (Table-IV construction) for one prediction
+/// function: (confidence, tier-call-correct) per labeled graph.
+template <typename Predict>
+std::vector<std::pair<double, bool>> tier_pr_samples(
+    std::span<const gnn::LabeledGraph> data, Predict predict) {
+  std::vector<std::pair<double, bool>> out;
+  out.reserve(data.size());
+  for (const gnn::LabeledGraph& ex : data) {
+    const std::vector<double> p = predict(*ex.graph);
+    const int call =
+        p[core::TierPredictor::label_of(netlist::Tier::kTop)] >=
+                p[core::TierPredictor::label_of(netlist::Tier::kBottom)]
+            ? core::TierPredictor::label_of(netlist::Tier::kTop)
+            : core::TierPredictor::label_of(netlist::Tier::kBottom);
+    out.push_back({std::max(p[0], p[1]), call == ex.label});
+  }
+  return out;
+}
+
+/// recall@3 of a MIV scorer: fraction of labeled graphs whose faulty MIV
+/// appears among the 3 top-scoring MIV nodes.
+template <typename Score>
+double miv_recall_at3(std::span<const graphx::SubGraph* const> data,
+                      Score score) {
+  std::size_t considered = 0, hits = 0;
+  for (const graphx::SubGraph* g : data) {
+    const bool has_truth =
+        std::any_of(g->miv_label.begin(), g->miv_label.end(),
+                    [](float v) { return v > 0.5f; });
+    if (!has_truth) continue;
+    ++considered;
+    const std::vector<double> s = score(*g);
+    std::vector<std::size_t> order(s.size());
+    for (std::size_t k = 0; k < s.size(); ++k) order[k] = k;
+    std::sort(order.begin(), order.end(),
+              [&s](std::size_t a, std::size_t b) { return s[a] > s[b]; });
+    if (order.size() > 3) order.resize(3);
+    for (std::size_t k : order) {
+      if (g->miv_label[k] > 0.5f) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return considered ? static_cast<double>(hits) / considered : -1.0;
+}
+
+/// The fp32-vs-int8 comparison shared by quantize_framework (freshly
+/// calibrated twin) and evaluate_framework (the framework's persisted
+/// twin). With q == nullptr only the fp32 columns are filled.
+QuantReport compare_paths(const TrainedFramework& fw,
+                          const QuantizedFramework* q,
+                          std::span<const gnn::LabeledGraph> tier_eval,
+                          std::span<const graphx::SubGraph* const> miv_eval,
+                          double tp_precision_target) {
+  QuantReport report;
+
+  const auto fp32_samples = tier_pr_samples(
+      tier_eval, [&fw](const graphx::SubGraph& g) {
+        return fw.tier.model().predict(g);
+      });
+  const core::PrCurve fp32_curve = core::PrCurve::from_samples(fp32_samples);
+  report.fp32_auprc = fp32_curve.auprc();
+  report.fp32_t_p = fp32_curve.threshold_for_precision(tp_precision_target);
+  report.fp32_recall_at_tp = fp32_curve.recall_at(report.fp32_t_p);
+  report.fp32_miv_recall3 = miv_recall_at3(
+      miv_eval, [&fw](const graphx::SubGraph& g) { return fw.miv.scores(g); });
+  if (q == nullptr) return report;
+
+  report.has_int8 = true;
+  report.calib_graphs = q->calib_graphs();
+  report.fingerprint = q->fingerprint();
+
+  // PR curve on the same evaluation graphs through the quantized path, and
+  // T_p re-selected on the quantized confidence distribution.
+  const auto int8_samples = tier_pr_samples(
+      tier_eval, [q](const graphx::SubGraph& g) { return q->tier.predict(g); });
+  const core::PrCurve int8_curve = core::PrCurve::from_samples(int8_samples);
+  report.int8_auprc = int8_curve.auprc();
+  report.int8_t_p = int8_curve.threshold_for_precision(tp_precision_target);
+  report.int8_recall_at_tp = int8_curve.recall_at(report.int8_t_p);
+
+  // Score-delta bound over every probability both paths produced.
+  for (const gnn::LabeledGraph& ex : tier_eval) {
+    const std::vector<double> a = fw.tier.model().predict(*ex.graph);
+    const std::vector<double> b = q->tier.predict(*ex.graph);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      report.max_abs_score_delta =
+          std::max(report.max_abs_score_delta, std::abs(a[i] - b[i]));
+    }
+  }
+  for (const graphx::SubGraph* g : miv_eval) {
+    const std::vector<double> a = fw.miv.scores(*g);
+    const std::vector<double> b = q->miv.predict_miv(*g);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      report.max_abs_score_delta =
+          std::max(report.max_abs_score_delta, std::abs(a[i] - b[i]));
+    }
+  }
+
+  report.int8_miv_recall3 = miv_recall_at3(
+      miv_eval,
+      [q](const graphx::SubGraph& g) { return q->miv.predict_miv(g); });
+  return report;
+}
+
+}  // namespace
+
+QuantReport quantize_framework(TrainedFramework& fw,
+                               std::span<const graphx::SubGraph* const> calib,
+                               std::span<const gnn::LabeledGraph> tier_eval,
+                               std::span<const graphx::SubGraph* const>
+                                   miv_eval,
+                               const QuantizeOptions& opts) {
+  gnn::QuantCalibrationOptions copts;
+  copts.num_threads = opts.num_threads;
+
+  auto q = std::make_shared<QuantizedFramework>();
+  q->tier = gnn::quantize_graph_classifier(fw.tier.model(), calib, copts);
+  q->miv = gnn::quantize_node_scorer(fw.miv.model(), calib, copts);
+  q->classifier =
+      gnn::quantize_graph_classifier(fw.classifier.model(), calib, copts);
+  q->policy = fw.policy;
+
+  QuantReport report = compare_paths(fw, q.get(), tier_eval, miv_eval,
+                                     opts.tp_precision_target);
+  q->policy.t_p = report.int8_t_p;
+  fw.quant = std::move(q);
+  return report;
+}
+
+QuantReport evaluate_framework(const TrainedFramework& fw,
+                               InferenceMode mode,
+                               std::span<const gnn::LabeledGraph> tier_eval,
+                               std::span<const graphx::SubGraph* const>
+                                   miv_eval,
+                               double tp_precision_target) {
+  const QuantizedFramework* q =
+      mode == InferenceMode::kInt8 ? fw.quant.get() : nullptr;
+  return compare_paths(fw, q, tier_eval, miv_eval, tp_precision_target);
+}
+
+std::string format_quant_report(const QuantReport& report) {
+  std::ostringstream os;
+  if (report.has_int8) {
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(report.fingerprint));
+    os << "calibration graphs     " << report.calib_graphs << '\n'
+       << "scale fingerprint      " << fp << '\n';
+  }
+  os << "tier AUPRC fp32        " << report.fp32_auprc << '\n';
+  if (report.has_int8) {
+    os << "tier AUPRC int8        " << report.int8_auprc << '\n'
+       << "tier AUPRC delta       " << report.auprc_delta() << '\n';
+  }
+  os << "T_p fp32               " << report.fp32_t_p << '\n';
+  if (report.has_int8) {
+    os << "T_p int8 (re-derived)  " << report.int8_t_p << '\n';
+  }
+  os << "recall@T_p fp32        " << report.fp32_recall_at_tp << '\n';
+  if (report.has_int8) {
+    os << "recall@T_p int8        " << report.int8_recall_at_tp << '\n';
+  }
+  if (report.fp32_miv_recall3 >= 0.0) {
+    os << "MIV recall@3 fp32      " << report.fp32_miv_recall3 << '\n';
+    if (report.has_int8) {
+      os << "MIV recall@3 int8      " << report.int8_miv_recall3 << '\n';
+    }
+  }
+  if (report.has_int8) {
+    os << "max |score delta|      " << report.max_abs_score_delta << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace m3dfl::eval

@@ -1,6 +1,9 @@
 #include "gnn/gcn.h"
 
 #include <cassert>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace m3dfl::gnn {
 
@@ -11,9 +14,16 @@ GcnLayer::GcnLayer(std::size_t in_dim, std::size_t out_dim, Rng& rng)
       gb(out_dim, 0.0f) {}
 
 Matrix GcnLayer::aggregate(const SubGraph& g, const Matrix& h_in) {
+  Matrix agg;
+  aggregate_into(g, h_in, agg);
+  return agg;
+}
+
+void GcnLayer::aggregate_into(const SubGraph& g, const Matrix& h_in,
+                              Matrix& agg) {
   const std::size_t n = g.num_nodes();
   assert(h_in.rows() == n);
-  Matrix agg(n, h_in.cols());
+  agg.resize(n, h_in.cols());
   // Restrict-qualified rows + hoisted bounds (agg never aliases h_in) so
   // the per-channel loops vectorize; accumulation order is unchanged.
   const std::size_t C = h_in.cols();
@@ -29,7 +39,6 @@ Matrix GcnLayer::aggregate(const SubGraph& g, const Matrix& h_in) {
     const float inv = 1.0f / static_cast<float>(1 + hi - lo);
     for (std::size_t c = 0; c < C; ++c) out[c] *= inv;
   }
-  return agg;
 }
 
 Matrix GcnLayer::aggregate_transpose(const SubGraph& g, const Matrix& d_agg) {
@@ -101,10 +110,29 @@ GcnStack::GcnStack(std::size_t in_dim, const std::vector<std::size_t>& hidden,
 
 Matrix GcnStack::forward(const SubGraph& g, const Matrix& x,
                          std::vector<GcnCache>* caches) const {
-  if (caches) caches->resize(layers.size());
+  if (caches) {
+    // Training forward (caches requested): no instrumentation — backprop
+    // dominates and the histogram is meant to profile inference.
+    caches->resize(layers.size());
+    Matrix h = x;
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      h = layers[l].forward(g, h, &(*caches)[l]);
+    }
+    return h;
+  }
+  static obs::LatencyHistogram& hist = obs::MetricsRegistry::instance()
+      .histogram("gnn.inference.layer_forward_seconds");
   Matrix h = x;
-  for (std::size_t l = 0; l < layers.size(); ++l) {
-    h = layers[l].forward(g, h, caches ? &(*caches)[l] : nullptr);
+  for (const GcnLayer& layer : layers) {
+    if (obs::hot_path_sample()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      h = layer.forward(g, h, nullptr);
+      hist.record(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+    } else {
+      h = layer.forward(g, h, nullptr);
+    }
   }
   return h;
 }

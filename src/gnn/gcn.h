@@ -34,6 +34,11 @@ class GcnLayer {
   /// self-loop: agg[v] = (h[v] + sum_{u in N(v)} h[u]) / (1 + |N(v)|).
   static Matrix aggregate(const SubGraph& g, const Matrix& h_in);
 
+  /// aggregate() into a caller-owned matrix (reshaped to fit) — lets hot
+  /// inference loops reuse scratch instead of allocating per layer.
+  static void aggregate_into(const SubGraph& g, const Matrix& h_in,
+                             Matrix& agg);
+
   /// The transpose operation of aggregate() (A_norm is not symmetric after
   /// row normalization, so backprop needs A_norm^T explicitly).
   static Matrix aggregate_transpose(const SubGraph& g, const Matrix& d_agg);

@@ -106,8 +106,14 @@ void add_colsum(std::span<float> out, const Matrix& m) {
 }
 
 Matrix row_mean(const Matrix& m) {
-  Matrix out(1, m.cols());
-  if (m.rows() == 0) return out;
+  Matrix out;
+  row_mean_into(m, out);
+  return out;
+}
+
+void row_mean_into(const Matrix& m, Matrix& out) {
+  out.resize(1, m.cols());
+  if (m.rows() == 0) return;
   const std::size_t R = m.rows(), C = m.cols();
   float* __restrict o = out.row(0);
   for (std::size_t i = 0; i < R; ++i) {
@@ -116,7 +122,19 @@ Matrix row_mean(const Matrix& m) {
   }
   const auto inv = 1.0f / static_cast<float>(R);
   for (std::size_t j = 0; j < C; ++j) o[j] *= inv;
-  return out;
+}
+
+std::vector<float> softmax_float(std::span<const float> logits) {
+  std::vector<float> p(logits.size());
+  float mx = -1e30f;
+  for (float v : logits) mx = std::max(mx, v);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - mx);
+    sum += p[i];
+  }
+  for (float& v : p) v /= sum;
+  return p;
 }
 
 std::vector<double> softmax(std::span<const float> logits) {

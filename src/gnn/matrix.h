@@ -37,6 +37,15 @@ class Matrix {
 
   void zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
 
+  /// Reshapes to rows x cols of zeros, reusing capacity. For thread-local
+  /// scratch matrices on inference hot paths, where a fresh Matrix per
+  /// call would mean a malloc/free pair per layer.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -69,7 +78,14 @@ void add_colsum(std::span<float> out, const Matrix& m);
 /// Row-wise mean of m: returns a 1 x cols matrix.
 Matrix row_mean(const Matrix& m);
 
-/// Numerically stable softmax over a single row vector.
+/// row_mean() into a caller-owned 1 x cols matrix (reshaped to fit).
+void row_mean_into(const Matrix& m, Matrix& out);
+
+/// Numerically stable softmax over a single row vector. The double variant
+/// is the training-path softmax (gradients want the extra precision); the
+/// float variant is the inference-path softmax — float end to end, so the
+/// serve hot loop never round-trips through double.
 std::vector<double> softmax(std::span<const float> logits);
+std::vector<float> softmax_float(std::span<const float> logits);
 
 }  // namespace m3dfl::gnn

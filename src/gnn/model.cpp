@@ -3,16 +3,23 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace m3dfl::gnn {
 
 Matrix features_matrix(const SubGraph& g) {
-  Matrix x(g.num_nodes(), graphx::kNumSubgraphFeatures);
+  Matrix x;
+  features_matrix_into(g, x);
+  return x;
+}
+
+void features_matrix_into(const SubGraph& g, Matrix& x) {
+  x.resize(g.num_nodes(), graphx::kNumSubgraphFeatures);
   for (std::size_t i = 0; i < g.num_nodes(); ++i) {
     for (std::size_t f = 0; f < graphx::kNumSubgraphFeatures; ++f) {
       x.at(i, f) = g.feature(i, f);
     }
   }
-  return x;
 }
 
 GraphClassifier::GraphClassifier(std::size_t in_dim,
@@ -51,8 +58,30 @@ GraphClassifier GraphClassifier::transfer_from(const GcnStack& pretrained,
   return m;
 }
 
+std::vector<float> GraphClassifier::predict_probs(const SubGraph& g) const {
+  static obs::Counter& forwards =
+      obs::MetricsRegistry::instance().counter("gnn.inference.fp32_forwards");
+  forwards.add();
+  const std::size_t c = num_classes();
+  if (g.num_nodes() == 0) {
+    return std::vector<float>(c, 1.0f / static_cast<float>(c));
+  }
+  const Matrix h = stack.forward(g, features_matrix(g), nullptr);
+  Matrix pooled = row_mean(h);
+  if (has_hidden_head) {
+    Matrix z = matmul(pooled, Wh);
+    add_bias_rows(z, bh);
+    relu_inplace(z);
+    pooled = std::move(z);
+  }
+  Matrix logits = matmul(pooled, Wo);
+  add_bias_rows(logits, bo);
+  return softmax_float({logits.data(), logits.size()});
+}
+
 std::vector<double> GraphClassifier::predict(const SubGraph& g) const {
-  return predict_with_features(g, features_matrix(g));
+  const std::vector<float> p = predict_probs(g);
+  return std::vector<double>(p.begin(), p.end());
 }
 
 std::vector<double> GraphClassifier::predict_with_features(
@@ -219,6 +248,9 @@ NodeScorer::NodeScorer(std::size_t in_dim,
 }
 
 std::vector<double> NodeScorer::predict_miv(const SubGraph& g) const {
+  static obs::Counter& forwards =
+      obs::MetricsRegistry::instance().counter("gnn.inference.fp32_forwards");
+  forwards.add();
   std::vector<double> scores(g.miv_local.size(), 0.0);
   if (g.num_nodes() == 0 || g.miv_local.empty()) return scores;
   const Matrix x = features_matrix(g);

@@ -17,6 +17,10 @@ struct ParamRef {
 /// Copies a sub-graph's features into a Matrix (N x kNumSubgraphFeatures).
 Matrix features_matrix(const SubGraph& g);
 
+/// features_matrix() into a caller-owned matrix (reshaped to fit) — lets
+/// hot inference loops reuse scratch instead of allocating per forward.
+void features_matrix_into(const SubGraph& g, Matrix& x);
+
 /// Graph-classification model: GCN stack -> mean-pool readout -> (optional
 /// hidden linear) -> linear -> softmax. This is the architecture of both
 /// the Tier-predictor (2 outputs, [p_top, p_bottom]) and the transfer-
@@ -40,7 +44,14 @@ class GraphClassifier {
 
   std::size_t num_classes() const { return Wo.cols(); }
 
-  /// Class probabilities for one graph. Empty graphs yield uniform output.
+  /// Class probabilities for one graph, float end to end (the inference
+  /// hot path — the readout/softmax never widen to double). Empty graphs
+  /// yield uniform output.
+  std::vector<float> predict_probs(const SubGraph& g) const;
+
+  /// Double-widening shim over predict_probs. float->double widening is
+  /// exact, so threshold comparisons against the double vector agree
+  /// bit-wise with the float path (regression-tested in gnn_test).
   std::vector<double> predict(const SubGraph& g) const;
 
   /// Probabilities with explicit features (used by the explainer's masked

@@ -1,0 +1,66 @@
+// SSE2 int8 GEMM tier. SSE2 has no int8 multiply, so each 16-byte load is
+// sign-extended to two int16 vectors with the unpack-with-self + arithmetic
+//-shift trick, then _mm_madd_epi16 produces exact pairwise int32 sums.
+// int16*int16 products fit int32 with no saturation, so the result is the
+// same int32 the scalar loop computes, in any summation order.
+
+#include "gnn/qkernels.h"
+
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(__clang__))
+#include <emmintrin.h>
+
+namespace m3dfl::gnn {
+
+namespace {
+
+/// Horizontal sum of the four int32 lanes.
+inline std::int32_t hsum_epi32(__m128i v) {
+  v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2)));
+  v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(v);
+}
+
+/// Sign-extends the low 8 bytes of `v` to int16: interleaving a byte with
+/// itself puts it in the high half of a 16-bit lane, and the arithmetic
+/// shift replicates its sign bit down.
+inline __m128i sext_lo(__m128i v) {
+  return _mm_srai_epi16(_mm_unpacklo_epi8(v, v), 8);
+}
+inline __m128i sext_hi(__m128i v) {
+  return _mm_srai_epi16(_mm_unpackhi_epi8(v, v), 8);
+}
+
+void qgemm_sse2_impl(const std::int8_t* a, const std::int8_t* bt,
+                     std::int32_t* c, std::size_t m, std::size_t n,
+                     std::size_t stride) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int8_t* ai = a + i * stride;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int8_t* bj = bt + j * stride;
+      __m128i acc = _mm_setzero_si128();
+      for (std::size_t k = 0; k < stride; k += 16) {
+        const __m128i av =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(ai + k));
+        const __m128i bv =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bj + k));
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(sext_lo(av), sext_lo(bv)));
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(sext_hi(av), sext_hi(bv)));
+      }
+      c[i * n + j] = hsum_epi32(acc);
+    }
+  }
+}
+
+}  // namespace
+
+QGemmFn qgemm_sse2() { return &qgemm_sse2_impl; }
+
+}  // namespace m3dfl::gnn
+
+#else  // !__SSE2__
+
+namespace m3dfl::gnn {
+QGemmFn qgemm_sse2() { return nullptr; }
+}  // namespace m3dfl::gnn
+
+#endif

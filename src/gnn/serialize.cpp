@@ -107,6 +107,110 @@ bool read_stack(std::istream& is, GcnStack& stack, std::string* error) {
   return true;
 }
 
+void write_qlinear(std::ostream& os, const QuantizedLinear& lin) {
+  os << "qlinear " << lin.out_dim() << ' ' << lin.in_dim() << '\n';
+  const auto old_precision = os.precision();
+  os.precision(std::numeric_limits<float>::max_digits10);
+  os << "scales " << lin.in_scale << ' ' << lin.w_scale << '\n';
+  os.precision(old_precision);
+  os << "Wq";
+  for (std::size_t o = 0; o < lin.out_dim(); ++o) {
+    for (std::size_t i = 0; i < lin.in_dim(); ++i) {
+      os << ' ' << static_cast<int>(lin.wt.at(o, i));
+    }
+  }
+  os << '\n';
+  write_floats(os, "b", lin.bias.data(), lin.bias.size());
+}
+
+bool read_qlinear(std::istream& is, QuantizedLinear& lin, std::string* error) {
+  std::string word;
+  std::size_t out_dim = 0, in_dim = 0;
+  if (!(is >> word >> out_dim >> in_dim) || word != "qlinear") {
+    if (error) *error = "expected 'qlinear <out> <in>'";
+    return false;
+  }
+  if (!check_dims(out_dim, in_dim, "qlinear", error)) return false;
+  float in_scale = 0.0f, w_scale = 0.0f;
+  if (!(is >> word >> in_scale >> w_scale) || word != "scales") {
+    if (error) *error = "expected 'scales <in> <w>'";
+    return false;
+  }
+  if (!std::isfinite(in_scale) || in_scale <= 0.0f ||
+      !std::isfinite(w_scale) || w_scale <= 0.0f) {
+    if (error) *error = "non-finite or non-positive quantization scale";
+    return false;
+  }
+  lin.in_scale = in_scale;
+  lin.w_scale = w_scale;
+  lin.wt = QMatrix(out_dim, in_dim);
+  if (!(is >> word) || word != "Wq") {
+    if (error) *error = "expected 'Wq' tag";
+    return false;
+  }
+  for (std::size_t o = 0; o < out_dim; ++o) {
+    for (std::size_t i = 0; i < in_dim; ++i) {
+      int q = 0;
+      if (!(is >> q)) {
+        if (error) *error = "short int8 payload for 'Wq'";
+        return false;
+      }
+      if (q < -127 || q > 127) {
+        if (error) {
+          *error = "quantized weight " + std::to_string(q) +
+                   " outside [-127, 127]";
+        }
+        return false;
+      }
+      lin.wt.at(o, i) = static_cast<std::int8_t>(q);
+    }
+  }
+  lin.bias.assign(out_dim, 0.0f);
+  return read_floats(is, "b", lin.bias.data(), lin.bias.size(), error);
+}
+
+void write_provenance(std::ostream& os, const QuantProvenance& p) {
+  os << "calib " << p.calib_graphs << ' ' << p.scale_fingerprint << '\n';
+}
+
+bool read_provenance(std::istream& is, QuantProvenance& p,
+                     std::string* error) {
+  std::string word;
+  if (!(is >> word >> p.calib_graphs >> p.scale_fingerprint) ||
+      word != "calib") {
+    if (error) *error = "expected 'calib <graphs> <fingerprint>'";
+    return false;
+  }
+  return true;
+}
+
+bool write_qstack(std::ostream& os, const QuantizedGcnStack& stack) {
+  os << "qstack " << stack.layers.size() << '\n';
+  for (const QuantizedGcnLayer& l : stack.layers) write_qlinear(os, l.lin);
+  return true;
+}
+
+bool read_qstack(std::istream& is, QuantizedGcnStack& stack,
+                 std::string* error) {
+  std::string word;
+  std::size_t layers = 0;
+  if (!(is >> word >> layers) || word != "qstack") {
+    if (error) *error = "expected 'qstack <n>'";
+    return false;
+  }
+  if (layers == 0 || layers > kMaxLayers) {
+    if (error) *error = "implausible qstack depth " + std::to_string(layers);
+    return false;
+  }
+  stack.layers.clear();
+  for (std::size_t i = 0; i < layers; ++i) {
+    QuantizedGcnLayer layer;
+    if (!read_qlinear(is, layer.lin, error)) return false;
+    stack.layers.push_back(std::move(layer));
+  }
+  return true;
+}
+
 bool check_header(std::istream& is, const char* kind, std::string* error) {
   std::string magic, version, k;
   if (!(is >> magic >> version >> k) || magic != "m3dfl-model" ||
@@ -227,6 +331,81 @@ bool load_node_scorer(NodeScorer& model, std::istream& is,
   return true;
 }
 
+void save_quantized_graph_classifier(const QuantizedGraphClassifier& model,
+                                     std::ostream& os) {
+  os << "m3dfl-model v1 quant-graph-classifier\n";
+  write_provenance(os, model.provenance);
+  write_qstack(os, model.stack);
+  if (model.has_hidden_head) {
+    os << "head hidden\n";
+    write_qlinear(os, model.head_hidden);
+  } else {
+    os << "head none\n";
+  }
+  os << "out\n";
+  write_qlinear(os, model.head_out);
+}
+
+bool load_quantized_graph_classifier(QuantizedGraphClassifier& model,
+                                     std::istream& is, std::string* error) {
+  if (!check_header(is, "quant-graph-classifier", error)) return false;
+  QuantizedGraphClassifier m;
+  if (!read_provenance(is, m.provenance, error)) return false;
+  if (!read_qstack(is, m.stack, error)) return false;
+  std::string word, head_kind;
+  if (!(is >> word >> head_kind) || word != "head") {
+    if (error) *error = "expected 'head <none|hidden>'";
+    return false;
+  }
+  if (head_kind == "hidden") {
+    m.has_hidden_head = true;
+    if (!read_qlinear(is, m.head_hidden, error)) return false;
+  } else if (head_kind != "none") {
+    if (error) *error = "unknown head kind '" + head_kind + "'";
+    return false;
+  }
+  if (!(is >> word) || word != "out") {
+    if (error) *error = "expected 'out'";
+    return false;
+  }
+  if (!read_qlinear(is, m.head_out, error)) return false;
+  model = std::move(m);
+  return true;
+}
+
+void save_quantized_node_scorer(const QuantizedNodeScorer& model,
+                                std::ostream& os) {
+  os << "m3dfl-model v1 quant-node-scorer\n";
+  write_provenance(os, model.provenance);
+  write_qstack(os, model.stack);
+  os << "out " << model.Wo.rows() << ' ' << model.Wo.cols() << '\n';
+  write_floats(os, "Wo", model.Wo.data(), model.Wo.size());
+  write_floats(os, "bo", model.bo.data(), model.bo.size());
+}
+
+bool load_quantized_node_scorer(QuantizedNodeScorer& model, std::istream& is,
+                                std::string* error) {
+  if (!check_header(is, "quant-node-scorer", error)) return false;
+  QuantizedNodeScorer m;
+  if (!read_provenance(is, m.provenance, error)) return false;
+  if (!read_qstack(is, m.stack, error)) return false;
+  std::string word;
+  std::size_t rows = 0, cols = 0;
+  if (!(is >> word >> rows >> cols) || word != "out") {
+    if (error) *error = "expected 'out <rows> <cols>'";
+    return false;
+  }
+  if (!check_dims(rows, cols, "output head", error)) return false;
+  m.Wo = Matrix(rows, cols);
+  m.bo.assign(cols, 0.0f);
+  if (!read_floats(is, "Wo", m.Wo.data(), m.Wo.size(), error) ||
+      !read_floats(is, "bo", m.bo.data(), m.bo.size(), error)) {
+    return false;
+  }
+  model = std::move(m);
+  return true;
+}
+
 std::string graph_classifier_to_string(const GraphClassifier& model) {
   std::ostringstream os;
   save_graph_classifier(model, os);
@@ -250,6 +429,33 @@ bool node_scorer_from_string(NodeScorer& model, const std::string& text,
                              std::string* error) {
   std::istringstream is(text);
   return load_node_scorer(model, is, error);
+}
+
+std::string quantized_graph_classifier_to_string(
+    const QuantizedGraphClassifier& model) {
+  std::ostringstream os;
+  save_quantized_graph_classifier(model, os);
+  return os.str();
+}
+
+bool quantized_graph_classifier_from_string(QuantizedGraphClassifier& model,
+                                            const std::string& text,
+                                            std::string* error) {
+  std::istringstream is(text);
+  return load_quantized_graph_classifier(model, is, error);
+}
+
+std::string quantized_node_scorer_to_string(const QuantizedNodeScorer& model) {
+  std::ostringstream os;
+  save_quantized_node_scorer(model, os);
+  return os.str();
+}
+
+bool quantized_node_scorer_from_string(QuantizedNodeScorer& model,
+                                       const std::string& text,
+                                       std::string* error) {
+  std::istringstream is(text);
+  return load_quantized_node_scorer(model, is, error);
 }
 
 }  // namespace m3dfl::gnn

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "gnn/model.h"
+#include "gnn/quant.h"
 
 namespace m3dfl::gnn {
 
@@ -42,6 +43,26 @@ void save_node_scorer(const NodeScorer& model, std::ostream& os);
 bool load_node_scorer(NodeScorer& model, std::istream& is,
                       std::string* error = nullptr);
 
+/// Quantized twins use the same tagged-text scheme with kinds
+/// `quant-graph-classifier` / `quant-node-scorer`: a `calib` provenance
+/// line, then `qlinear <out> <in>` blocks carrying the two scales
+/// (max_digits10 floats — bit-exact round-trip), the int8 weights as
+/// decimal integers, and the float bias. Loaders enforce the same hostile-
+/// input contract as the fp32 loaders, plus that every quantized weight is
+/// in [-127, 127] and every scale is finite and positive. Save/load is
+/// byte-stable: re-saving a loaded model reproduces the input bytes.
+
+void save_quantized_graph_classifier(const QuantizedGraphClassifier& model,
+                                     std::ostream& os);
+bool load_quantized_graph_classifier(QuantizedGraphClassifier& model,
+                                     std::istream& is,
+                                     std::string* error = nullptr);
+
+void save_quantized_node_scorer(const QuantizedNodeScorer& model,
+                                std::ostream& os);
+bool load_quantized_node_scorer(QuantizedNodeScorer& model, std::istream& is,
+                                std::string* error = nullptr);
+
 // String conveniences.
 std::string graph_classifier_to_string(const GraphClassifier& model);
 bool graph_classifier_from_string(GraphClassifier& model,
@@ -50,5 +71,14 @@ bool graph_classifier_from_string(GraphClassifier& model,
 std::string node_scorer_to_string(const NodeScorer& model);
 bool node_scorer_from_string(NodeScorer& model, const std::string& text,
                              std::string* error = nullptr);
+std::string quantized_graph_classifier_to_string(
+    const QuantizedGraphClassifier& model);
+bool quantized_graph_classifier_from_string(QuantizedGraphClassifier& model,
+                                            const std::string& text,
+                                            std::string* error = nullptr);
+std::string quantized_node_scorer_to_string(const QuantizedNodeScorer& model);
+bool quantized_node_scorer_from_string(QuantizedNodeScorer& model,
+                                       const std::string& text,
+                                       std::string* error = nullptr);
 
 }  // namespace m3dfl::gnn

@@ -192,7 +192,20 @@ void register_admin_endpoints(obs::AdminHttpServer& server,
        << ",\"max_wait_us\":" << o.max_wait.count()
        << ",\"cache_capacity\":" << o.cache_capacity
        << ",\"batcher_pending_high_water\":" << service.batcher_high_water()
-       << "},\"sim\":{"
+       << "},\"inference\":{";
+    {
+      const DiagnosisService::QuantStatus q = service.live_quant_status();
+      char fp[32];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(q.fingerprint));
+      os << "\"mode\":\"" << eval::inference_mode_name(q.effective) << "\""
+         << ",\"configured\":\"" << eval::inference_mode_name(q.configured)
+         << "\",\"quantized_available\":"
+         << (q.quantized_available ? "true" : "false")
+         << ",\"calibration\":{\"graphs\":" << q.calib_graphs
+         << ",\"fingerprint\":\"" << (q.quantized_available ? fp : "") << "\"}";
+    }
+    os << "},\"sim\":{"
        << "\"backend\":\"" << sim::backend_name(static_cast<sim::SimBackend>(
               obs::MetricsRegistry::instance().gauge("sim.backend").value()))
        << "\",\"simd_tier\":\""

@@ -14,6 +14,33 @@
 
 namespace m3dfl::serve {
 
+namespace {
+
+/// Resolves the mode a request actually runs under: int8 degrades to fp32
+/// when the published framework has no quantized twin. `count` switches the
+/// per-path counters on (the served path counts; status probes don't).
+eval::InferenceMode resolve_inference_mode(eval::InferenceMode requested,
+                                           const eval::TrainedFramework& fw,
+                                           bool count) {
+  static obs::Counter& int8_requests = obs::MetricsRegistry::instance()
+      .counter("serve.inference.int8_requests");
+  static obs::Counter& fp32_requests = obs::MetricsRegistry::instance()
+      .counter("serve.inference.fp32_requests");
+  static obs::Counter& int8_fallbacks = obs::MetricsRegistry::instance()
+      .counter("serve.inference.int8_fallbacks");
+  eval::InferenceMode mode = requested;
+  if (mode == eval::InferenceMode::kInt8 && !fw.quant) {
+    if (count) int8_fallbacks.add();
+    mode = eval::InferenceMode::kFp32;
+  }
+  if (count) {
+    (mode == eval::InferenceMode::kInt8 ? int8_requests : fp32_requests).add();
+  }
+  return mode;
+}
+
+}  // namespace
+
 std::uint64_t failure_log_fingerprint(const sim::FailureLog& log) {
   static_assert(
       std::has_unique_object_representations_v<sim::FailureLog::Obs> &&
@@ -71,7 +98,13 @@ DiagnosisService::DiagnosisService(ModelRegistry& registry,
       batcher_({opts.max_batch, opts.max_wait},
                [this](std::vector<Pending>&& batch, FlushReason reason) {
                  flush_batch(std::move(batch), reason);
-               }) {}
+               }) {
+  // 0 = fp32, 1 = int8: the configured mode as a scrapable gauge (the
+  // effective per-request mode can differ on fallback — see the counters).
+  obs::MetricsRegistry::instance()
+      .gauge("gnn.inference.mode")
+      .set(opts_.inference == eval::InferenceMode::kInt8 ? 1.0 : 0.0);
+}
 
 DiagnosisService::~DiagnosisService() = default;
 
@@ -214,10 +247,12 @@ void DiagnosisService::process(Pending& p) {
       }
 
       const clock::time_point t_pol0 = clock::now();
+      const eval::InferenceMode mode = resolve_inference_mode(
+          opts_.inference, published->framework, /*count=*/true);
       r.outcome =
           core::apply_policy(r.atpg_report, *sub,
-                             published->framework.models(),
-                             published->framework.policy);
+                             published->framework.models(mode),
+                             published->framework.policy_for(mode));
       if (want_exemplar) {
         stages.push_back({"serve.policy", rel_ms(p.t_submit, t_pol0),
                           rel_ms(t_pol0, clock::now())});
@@ -273,13 +308,15 @@ void DiagnosisService::process(Pending& p) {
 
 DiagnosisResponse DiagnosisService::diagnose_direct(
     const eval::Design& design, const eval::TrainedFramework& fw,
-    const sim::FailureLog& log) {
+    const sim::FailureLog& log, eval::InferenceMode mode) {
   DiagnosisResponse r;
   diag::Diagnoser diagnoser = design.make_diagnoser();
   r.atpg_report = diagnoser.diagnose(log);
   const graphx::SubGraph sub =
       graphx::backtrace_subgraph(*design.graph, log, design.scan);
-  r.outcome = core::apply_policy(r.atpg_report, sub, fw.models(), fw.policy);
+  mode = resolve_inference_mode(mode, fw, /*count=*/false);
+  r.outcome = core::apply_policy(r.atpg_report, sub, fw.models(mode),
+                                 fw.policy_for(mode));
   r.ok = true;
   return r;
 }
@@ -292,6 +329,23 @@ bool DiagnosisService::ready() const {
 std::uint64_t DiagnosisService::live_model_version() const {
   const ModelRegistry::Published* published = model_.current();
   return published ? published->version : 0;
+}
+
+DiagnosisService::QuantStatus DiagnosisService::live_quant_status() const {
+  QuantStatus s;
+  s.configured = opts_.inference;
+  const ModelRegistry::Published* published = model_.current();
+  if (published && published->framework.quant) {
+    const eval::QuantizedFramework& q = *published->framework.quant;
+    s.quantized_available = true;
+    s.calib_graphs = q.calib_graphs();
+    s.fingerprint = q.fingerprint();
+  }
+  s.effective = s.configured == eval::InferenceMode::kInt8 &&
+                        s.quantized_available
+                    ? eval::InferenceMode::kInt8
+                    : eval::InferenceMode::kFp32;
+  return s;
 }
 
 void DiagnosisService::drain() {

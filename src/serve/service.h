@@ -13,6 +13,7 @@
 
 #include "core/policy.h"
 #include "eval/benchmarks.h"
+#include "eval/experiments.h"
 #include "graphx/subgraph.h"
 #include "serve/batcher.h"
 #include "serve/cache.h"
@@ -29,6 +30,11 @@ struct ServiceOptions {
   std::chrono::microseconds max_wait{2000};  ///< Micro-batch deadline.
   std::size_t cache_capacity = 256;     ///< Sub-graph LRU entries (0 = off).
   std::string model_name = "default";   ///< Registry name served.
+  /// Which forward pass the policy models run. kInt8 requires the
+  /// published framework to carry a quantized twin; requests against a
+  /// framework without one fall back to fp32 (counted as
+  /// serve.inference.int8_fallbacks) rather than fail.
+  eval::InferenceMode inference = eval::InferenceMode::kFp32;
 };
 
 /// What the service returns for one failure log: the raw ATPG report plus
@@ -86,10 +92,11 @@ class DiagnosisService {
 
   /// The sequential reference path (exactly what `m3dfl diagnose` runs):
   /// shared-simulator Diagnoser, fresh back-trace, policy. The served path
-  /// must produce bit-identical reports to this.
-  static DiagnosisResponse diagnose_direct(const eval::Design& design,
-                                           const eval::TrainedFramework& fw,
-                                           const sim::FailureLog& log);
+  /// must produce bit-identical reports to this (per inference mode).
+  static DiagnosisResponse diagnose_direct(
+      const eval::Design& design, const eval::TrainedFramework& fw,
+      const sim::FailureLog& log,
+      eval::InferenceMode mode = eval::InferenceMode::kFp32);
 
   /// Blocks until every accepted request has completed.
   void drain();
@@ -103,6 +110,18 @@ class DiagnosisService {
 
   /// Registry version currently being served (0 before the first publish).
   std::uint64_t live_model_version() const;
+
+  /// Inference-mode status of the live framework (for /statusz): the
+  /// configured mode, whether the published framework carries a quantized
+  /// twin, and that twin's calibration provenance.
+  struct QuantStatus {
+    eval::InferenceMode configured = eval::InferenceMode::kFp32;
+    eval::InferenceMode effective = eval::InferenceMode::kFp32;
+    bool quantized_available = false;
+    std::size_t calib_graphs = 0;
+    std::uint64_t fingerprint = 0;
+  };
+  QuantStatus live_quant_status() const;
 
   /// Batcher queue-depth high-water mark (see Batcher::pending_high_water).
   std::size_t batcher_high_water() const {

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "common/rng.h"
 #include "gnn/adam.h"
@@ -12,7 +15,10 @@
 #include "gnn/model.h"
 #include "gnn/oversample.h"
 #include "gnn/pca.h"
+#include "gnn/qkernels.h"
+#include "gnn/quant.h"
 #include "gnn/trainer.h"
+#include "sim/bitpar/dispatch.h"
 
 namespace m3dfl::gnn {
 namespace {
@@ -230,6 +236,93 @@ TEST(KernelBitIdentity, ElementwiseKernelsMatchScalarReference) {
   expect_bit_identical(row_mean(m), mean_want, "row_mean");
 }
 
+// --- int8 GEMM kernel family -------------------------------------------------
+
+/// Plain-loop int32 reference over the padded rows (pads are zero, so
+/// covering the full stride matches the kernels' whole-vector consumption).
+std::vector<std::int32_t> ref_qgemm(const QMatrix& a, const QMatrix& bt) {
+  std::vector<std::int32_t> c(a.rows() * bt.rows(), 0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < bt.rows(); ++j) {
+      std::int32_t s = 0;
+      for (std::size_t k = 0; k < a.stride(); ++k) {
+        s += static_cast<std::int32_t>(a.at(i, k)) *
+             static_cast<std::int32_t>(bt.at(j, k));
+      }
+      c[i * bt.rows() + j] = s;
+    }
+  }
+  return c;
+}
+
+QMatrix random_qmatrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  QMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m.at(i, j) = static_cast<std::int8_t>(
+          std::lround(rng.uniform(-127.0, 127.0)));
+    }
+  }
+  return m;
+}
+
+TEST(QGemm, EveryCompiledTierMatchesInt32Reference) {
+  Rng rng(94);
+  // Odd dims so the zero padding (70 -> 96 stride) is actually exercised,
+  // including values at the extremes of the int8 range.
+  const QMatrix a = random_qmatrix(7, 70, rng);
+  const QMatrix bt = random_qmatrix(9, 70, rng);
+  ASSERT_EQ(a.stride(), bt.stride());
+  const std::vector<std::int32_t> want = ref_qgemm(a, bt);
+
+  struct TierFn {
+    const char* name;
+    QGemmFn fn;
+    bool runnable;
+  };
+  const TierFn tiers[] = {
+      {"scalar", qgemm_scalar(), true},
+      {"sse2", qgemm_sse2(),
+       sim::bitpar::tier_available(sim::bitpar::SimdTier::kSse2)},
+      {"avx2", qgemm_avx2(),
+       sim::bitpar::tier_available(sim::bitpar::SimdTier::kAvx2)},
+  };
+  ASSERT_NE(tiers[0].fn, nullptr);
+  int checked = 0;
+  for (const TierFn& t : tiers) {
+    if (t.fn == nullptr || !t.runnable) continue;
+    std::vector<std::int32_t> got(a.rows() * bt.rows(), -1);
+    t.fn(a.data(), bt.data(), got.data(), a.rows(), bt.rows(), a.stride());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i], want[i])
+          << t.name << " diverges at flat index " << i;
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 1);
+}
+
+TEST(QGemm, ActiveKernelFollowsForcedTier) {
+  using sim::bitpar::SimdTier;
+  struct Clear {
+    ~Clear() { sim::bitpar::force_tier(std::nullopt); }
+  } clear_on_exit;
+  const struct {
+    SimdTier tier;
+    QGemmFn fn;
+  } table[] = {
+      {SimdTier::kScalar, qgemm_scalar()},
+      {SimdTier::kSse2, qgemm_sse2()},
+      {SimdTier::kAvx2, qgemm_avx2()},
+  };
+  for (const auto& row : table) {
+    if (!sim::bitpar::tier_available(row.tier)) continue;
+    sim::bitpar::force_tier(row.tier);
+    EXPECT_EQ(active_qgemm_tier(), row.tier);
+    EXPECT_EQ(active_qgemm(), row.fn);
+  }
+}
+
 // --- A tiny synthetic SubGraph ---------------------------------------------------
 
 /// Builds a path graph 0-1-2-...-(n-1) with controllable features.
@@ -407,6 +500,24 @@ TEST(GraphClassifier, EmptyGraphGivesUniform) {
   const auto p = model.predict(empty);
   EXPECT_DOUBLE_EQ(p[0], 0.5);
   EXPECT_DOUBLE_EQ(p[1], 0.5);
+}
+
+// predict() is documented as an exact double-widening shim over the float
+// inference path — every threshold comparison made on the double view must
+// agree bit-wise with the float probabilities underneath.
+TEST(GraphClassifier, PredictIsExactWideningOfPredictProbs) {
+  Rng rng(95);
+  const graphx::SubGraph g = path_graph(6, rng);
+  const GraphClassifier model(graphx::kNumSubgraphFeatures, {8}, 2, 19);
+  const std::vector<float> pf = model.predict_probs(g);
+  const std::vector<double> pd = model.predict(g);
+  ASSERT_EQ(pf.size(), pd.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pf.size(); ++i) {
+    EXPECT_EQ(pd[i], static_cast<double>(pf[i]));
+    sum += pd[i];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
 }
 
 // --- Trainer: learnability -------------------------------------------------------

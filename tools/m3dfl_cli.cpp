@@ -12,9 +12,10 @@
 //             Inject a random TDF, simulate the tester, write the failure
 //             log (and print the ground truth for reference).
 //   diagnose  --benchmark <name> --config <cfg> --faillog chip.faillog
-//             [--framework framework.m3dfl]
+//             [--framework framework.m3dfl] [--inference fp32|int8]
 //             Run ATPG-style diagnosis; with a framework, also apply the
-//             GNN candidate pruning & reordering policy.
+//             GNN candidate pruning & reordering policy (--inference int8
+//             routes the policy models through the quantized twin).
 //   dict      --benchmark <name> [--config <cfg>] [--threads N]
 //             [--partition-gates N] [--spill sigs.bin] [--faillog F]
 //             Run the full fault-dictionary campaign (the paper-scale
@@ -24,10 +25,24 @@
 //             entry count, fingerprint, signature footprint and peak RSS;
 //             with --faillog, also diagnoses the log against the
 //             dictionary.
+//   quantize  --benchmark <name> [--config <cfg>] [--framework F]
+//             [--out F2] [--calib-samples N] [--seed N] [--threads N]
+//             [--precision P]
+//             Calibrate an int8 twin for a trained framework (training one
+//             first when --framework is absent): collect activation scales
+//             on a calibration set, re-derive T_p on the quantized score
+//             distribution, print the fp32-vs-int8 quality report
+//             (AUPRC/recall deltas, score-delta bound) and save the
+//             extended framework file.
+//   eval      --benchmark <name> --framework F [--config <cfg>]
+//             [--samples N] [--seed N] [--inference fp32|int8]
+//             Re-measure a saved framework's diagnosis quality on freshly
+//             generated samples; with --inference int8 the saved quantized
+//             twin is evaluated side by side with the fp32 path.
 //   serve     --benchmark <name> --config <cfg> --framework framework.m3dfl
 //             --logs a.faillog,b.faillog,... [--threads N] [--batch N]
 //             [--wait-us N] [--repeat N] [--quiet] [--admin-port N]
-//             [--linger-ms N]
+//             [--linger-ms N] [--inference fp32|int8]
 //             Batch-diagnose the logs through the concurrent serving stack
 //             (src/serve/): micro-batching, executor fan-out, sub-graph
 //             cache, and a metrics table at the end. With --admin-port the
@@ -61,7 +76,9 @@
 // replaced, so scripts matching on error text keep working.
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -75,6 +92,7 @@
 
 #include "diagnosis/dictionary.h"
 #include "eval/framework_io.h"
+#include "eval/quantize.h"
 #include "netlist/verilog.h"
 #include "obs/build_info.h"
 #include "obs/exemplar.h"
@@ -106,19 +124,26 @@ sim::SimBackend g_sim_backend = sim::SimBackend::kEvent;
 
 int usage() {
   std::fputs(
-      "usage: m3dfl <gen|train|inject|diagnose|dict|serve> [options]\n"
+      "usage: m3dfl <gen|train|inject|diagnose|dict|quantize|eval|serve> "
+      "[options]\n"
       "  gen      --benchmark B --config C [--out design.v]\n"
       "  train    --benchmark B [--compacted] [--threads N]\n"
       "           [--out framework.m3dfl]\n"
       "  inject   --benchmark B --config C [--seed N] [--compacted]\n"
       "           [--out chip.faillog]\n"
       "  diagnose --benchmark B --config C --faillog F\n"
-      "           [--framework framework.m3dfl]\n"
+      "           [--framework framework.m3dfl] [--inference fp32|int8]\n"
       "  dict     --benchmark B [--config C] [--threads N]\n"
       "           [--partition-gates N] [--spill sigs.bin] [--faillog F]\n"
+      "  quantize --benchmark B [--config C] [--framework F] [--out F2]\n"
+      "           [--calib-samples N] [--seed N] [--threads N]\n"
+      "           [--precision P]\n"
+      "  eval     --benchmark B --framework F [--config C] [--samples N]\n"
+      "           [--seed N] [--inference fp32|int8]\n"
       "  serve    --benchmark B --config C --framework framework.m3dfl\n"
       "           --logs F1,F2,... [--threads N] [--batch N] [--wait-us N]\n"
       "           [--repeat N] [--quiet] [--admin-port N] [--linger-ms N]\n"
+      "           [--inference fp32|int8]\n"
       "all subcommands also take [--trace out.json] [--metrics-json out.json|-]\n"
       "[--profile out.folded] [--counters] [--log-json]\n"
       "[--sim-backend event|bitpar] [--simd scalar|sse2|avx2]\n"
@@ -195,6 +220,29 @@ std::optional<std::uint64_t> parse_u64(const std::string& text) {
     value = value * 10 + static_cast<std::uint64_t>(c - '0');
   }
   return value;
+}
+
+/// Strict finite-double parse for threshold-like flags (--precision).
+std::optional<double> parse_f64(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || end == text.c_str() || *end != '\0' ||
+      !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Shared --inference handling; defaults to fp32 when the flag is absent.
+bool parse_inference_flag(const std::map<std::string, std::string>& flags,
+                          eval::InferenceMode& mode) {
+  if (!flags.count("inference")) return true;
+  if (!eval::parse_inference_mode(flags.at("inference"), mode)) {
+    M3DFL_LOG_ERROR("cli", "--inference wants fp32|int8");
+    return false;
+  }
+  return true;
 }
 
 std::vector<std::string> split_commas(const std::string& text) {
@@ -376,16 +424,24 @@ int cmd_diagnose(const std::map<std::string, std::string>& flags) {
 
   diag::DiagnosisReport final_report = report;
   if (flags.count("framework")) {
+    eval::InferenceMode mode = eval::InferenceMode::kFp32;
+    if (!parse_inference_flag(flags, mode)) return usage();
     eval::TrainedFramework fw;
     std::string error;
     if (!eval::load_framework_file(fw, flags.at("framework"), &error)) {
       M3DFL_LOG_ERROR("cli", "bad framework file: %s", error.c_str());
       return kExitRuntime;
     }
+    if (mode == eval::InferenceMode::kInt8 && !fw.quant) {
+      M3DFL_LOG_WARN("cli",
+                     "--inference int8 but %s has no quantized twin "
+                     "(run `m3dfl quantize`); using fp32",
+                     flags.at("framework").c_str());
+    }
     const graphx::SubGraph sub =
         graphx::backtrace_subgraph(*d.graph, *log, d.scan);
     const core::PolicyOutcome outcome =
-        core::apply_policy(report, sub, fw.models(), fw.policy);
+        core::apply_policy(report, sub, fw.models(mode), fw.policy_for(mode));
     std::printf("tier prediction: %s (confidence %.3f) — report %s, "
                 "%zu candidates moved to the backup dictionary\n",
                 outcome.predicted_tier == netlist::Tier::kTop ? "TOP"
@@ -470,6 +526,169 @@ int cmd_dict(const std::map<std::string, std::string>& flags) {
   return kExitOk;
 }
 
+/// Parses a "uint >= min" flag into *out; leaves *out alone when absent.
+bool flag_u64(const std::map<std::string, std::string>& flags,
+              const char* key, std::uint64_t min_value, std::uint64_t* out) {
+  if (!flags.count(key)) return true;
+  const auto parsed = parse_u64(flags.at(key));
+  if (!parsed || *parsed < min_value) {
+    M3DFL_LOG_ERROR("cli", "--%s wants an integer >= %llu", key,
+                    static_cast<unsigned long long>(min_value));
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+int cmd_quantize(const std::map<std::string, std::string>& flags) {
+  const auto spec = spec_by_name(flags.count("benchmark")
+                                     ? flags.at("benchmark")
+                                     : "");
+  const auto config = config_by_name(
+      flags.count("config") ? flags.at("config") : "Syn-1");
+  if (!spec || !config) return usage();
+  std::uint64_t seed = 1, threads = 1, calib_samples = 32;
+  if (!flag_u64(flags, "seed", 0, &seed) ||
+      !flag_u64(flags, "threads", 1, &threads) ||
+      !flag_u64(flags, "calib-samples", 1, &calib_samples)) {
+    return usage();
+  }
+  double precision = 0.99;
+  if (flags.count("precision")) {
+    const auto parsed = parse_f64(flags.at("precision"));
+    if (!parsed || *parsed <= 0.0 || *parsed > 1.0) {
+      M3DFL_LOG_ERROR("cli", "--precision wants a value in (0, 1]");
+      return usage();
+    }
+    precision = *parsed;
+  }
+
+  eval::TrainedFramework fw;
+  if (flags.count("framework")) {
+    std::string error;
+    if (!eval::load_framework_file(fw, flags.at("framework"), &error)) {
+      M3DFL_LOG_ERROR("cli", "bad framework file: %s", error.c_str());
+      return kExitRuntime;
+    }
+  } else {
+    eval::RunScale scale;
+    if (spec->name == "tiny") scale = eval::RunScale::tiny();
+    scale.sim_backend = g_sim_backend;
+    scale.num_threads = static_cast<std::size_t>(threads);
+    std::printf("no --framework given; training on %s first...\n",
+                spec->name.c_str());
+    const eval::TrainingBundle bundle =
+        eval::build_training_bundle(*spec, /*compacted=*/false, scale);
+    fw = eval::train_framework(bundle, scale);
+  }
+
+  // Three disjoint deterministic sample streams (datagen seeds samples
+  // individually, so distinct base seeds keep the sets independent):
+  // calibration, tier evaluation, and MIV-targeted evaluation.
+  const eval::Design& d = eval::cached_design(*spec, *config);
+  eval::DatagenOptions dopts;
+  dopts.num_samples = calib_samples;
+  dopts.seed = seed;
+  dopts.num_threads = static_cast<std::size_t>(threads);
+  dopts.backend = g_sim_backend;
+  const eval::Dataset calib_ds = eval::generate_dataset(d, dopts);
+  dopts.num_samples = calib_samples * 2;
+  dopts.seed = seed + 0x9e3779b9ull;
+  const eval::Dataset eval_ds = eval::generate_dataset(d, dopts);
+  dopts.mode = eval::FaultMode::kSingleMiv;
+  dopts.num_samples = calib_samples;
+  dopts.seed = seed + 0x51ed270bull;
+  const eval::Dataset miv_ds = eval::generate_dataset(d, dopts);
+  if (calib_ds.samples.empty() || eval_ds.samples.empty()) {
+    M3DFL_LOG_ERROR(
+        "cli", "datagen drew no detectable faults; try another --seed");
+    return kExitRuntime;
+  }
+  std::printf("calibrating on %zu graphs, evaluating on %zu (+%zu MIV)...\n",
+              calib_ds.size(), eval_ds.size(), miv_ds.size());
+
+  eval::QuantizeOptions qopts;
+  qopts.num_threads = static_cast<std::size_t>(threads);
+  qopts.tp_precision_target = precision;
+  const std::vector<const graphx::SubGraph*> calib =
+      eval::graphs_of(calib_ds);
+  const std::vector<gnn::LabeledGraph> tier_eval = eval::tier_labeled(eval_ds);
+  const std::vector<const graphx::SubGraph*> miv_eval =
+      eval::graphs_of(miv_ds);
+  const eval::QuantReport report =
+      eval::quantize_framework(fw, calib, tier_eval, miv_eval, qopts);
+  std::fputs(eval::format_quant_report(report).c_str(), stdout);
+
+  const std::string out = flags.count("out") ? flags.at("out")
+                          : flags.count("framework")
+                              ? flags.at("framework")
+                              : spec->name + ".m3dfl";
+  std::ofstream os(out);
+  if (!os) {
+    M3DFL_LOG_ERROR("cli", "cannot write %s", out.c_str());
+    return kExitRuntime;
+  }
+  eval::save_framework(fw, os);
+  std::printf("saved quantized framework to %s\n", out.c_str());
+  return kExitOk;
+}
+
+int cmd_eval(const std::map<std::string, std::string>& flags) {
+  const auto spec = spec_by_name(flags.count("benchmark")
+                                     ? flags.at("benchmark")
+                                     : "");
+  const auto config = config_by_name(
+      flags.count("config") ? flags.at("config") : "Syn-1");
+  if (!spec || !config || !flags.count("framework")) return usage();
+  std::uint64_t seed = 1, samples = 64;
+  if (!flag_u64(flags, "seed", 0, &seed) ||
+      !flag_u64(flags, "samples", 1, &samples)) {
+    return usage();
+  }
+  eval::InferenceMode mode = eval::InferenceMode::kFp32;
+  if (!parse_inference_flag(flags, mode)) return usage();
+
+  eval::TrainedFramework fw;
+  std::string error;
+  if (!eval::load_framework_file(fw, flags.at("framework"), &error)) {
+    M3DFL_LOG_ERROR("cli", "bad framework file: %s", error.c_str());
+    return kExitRuntime;
+  }
+  if (mode == eval::InferenceMode::kInt8 && !fw.quant) {
+    M3DFL_LOG_ERROR("cli",
+                    "%s has no quantized twin; run `m3dfl quantize` first",
+                    flags.at("framework").c_str());
+    return kExitRuntime;
+  }
+
+  const eval::Design& d = eval::cached_design(*spec, *config);
+  eval::DatagenOptions dopts;
+  dopts.num_samples = samples;
+  dopts.seed = seed;
+  dopts.backend = g_sim_backend;
+  const eval::Dataset eval_ds = eval::generate_dataset(d, dopts);
+  dopts.mode = eval::FaultMode::kSingleMiv;
+  dopts.seed = seed + 0x51ed270bull;
+  const eval::Dataset miv_ds = eval::generate_dataset(d, dopts);
+  if (eval_ds.samples.empty()) {
+    M3DFL_LOG_ERROR(
+        "cli", "datagen drew no detectable faults; try another --seed");
+    return kExitRuntime;
+  }
+  std::printf("evaluating %s on %s/%s: %zu samples (+%zu MIV), %s path\n",
+              flags.at("framework").c_str(), spec->name.c_str(),
+              eval::config_name(*config), eval_ds.size(), miv_ds.size(),
+              eval::inference_mode_name(mode));
+
+  const std::vector<gnn::LabeledGraph> tier_eval = eval::tier_labeled(eval_ds);
+  const std::vector<const graphx::SubGraph*> miv_eval =
+      eval::graphs_of(miv_ds);
+  const eval::QuantReport report =
+      eval::evaluate_framework(fw, mode, tier_eval, miv_eval);
+  std::fputs(eval::format_quant_report(report).c_str(), stdout);
+  return kExitOk;
+}
+
 int cmd_serve(const std::map<std::string, std::string>& flags) {
   const auto spec = spec_by_name(flags.count("benchmark")
                                      ? flags.at("benchmark")
@@ -511,6 +730,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   opts.num_threads = threads;
   opts.max_batch = batch;
   opts.max_wait = std::chrono::microseconds(wait_us);
+  if (!parse_inference_flag(flags, opts.inference)) return usage();
   const bool quiet = flags.count("quiet") > 0;
 
   const std::vector<std::string> paths = split_commas(flags.at("logs"));
@@ -532,6 +752,12 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     if (!eval::load_framework_file(fw, flags.at("framework"), &error)) {
       M3DFL_LOG_ERROR("cli", "bad framework file: %s", error.c_str());
       return kExitRuntime;
+    }
+    if (opts.inference == eval::InferenceMode::kInt8 && !fw.quant) {
+      M3DFL_LOG_WARN("cli",
+                     "--inference int8 but %s has no quantized twin "
+                     "(run `m3dfl quantize`); serving fp32",
+                     flags.at("framework").c_str());
     }
     registry.publish(opts.model_name, std::move(fw), flags.at("framework"));
   }
@@ -777,14 +1003,22 @@ int main(int argc, char** argv) {
   } else if (cmd == "inject") {
     spec = {{"benchmark", "config", "seed", "out"}, {"compacted"}};
   } else if (cmd == "diagnose") {
-    spec = {{"benchmark", "config", "faillog", "framework"}, {}};
+    spec = {{"benchmark", "config", "faillog", "framework", "inference"}, {}};
   } else if (cmd == "dict") {
     spec = {{"benchmark", "config", "threads", "partition-gates", "spill",
              "faillog"},
             {}};
+  } else if (cmd == "quantize") {
+    spec = {{"benchmark", "config", "framework", "out", "calib-samples",
+             "seed", "threads", "precision"},
+            {}};
+  } else if (cmd == "eval") {
+    spec = {{"benchmark", "config", "framework", "samples", "seed",
+             "inference"},
+            {}};
   } else if (cmd == "serve") {
     spec = {{"benchmark", "config", "framework", "logs", "threads", "batch",
-             "wait-us", "repeat", "admin-port", "linger-ms"},
+             "wait-us", "repeat", "admin-port", "linger-ms", "inference"},
             {"quiet"}};
   } else {
     M3DFL_LOG_ERROR("cli", "unknown subcommand '%s'", cmd.c_str());
@@ -869,6 +1103,8 @@ int main(int argc, char** argv) {
   else if (cmd == "inject") rc = cmd_inject(*flags);
   else if (cmd == "diagnose") rc = cmd_diagnose(*flags);
   else if (cmd == "dict") rc = cmd_dict(*flags);
+  else if (cmd == "quantize") rc = cmd_quantize(*flags);
+  else if (cmd == "eval") rc = cmd_eval(*flags);
   else rc = cmd_serve(*flags);
 
   if (want_obs || want_profile || want_counters) {
